@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared plumbing for the per-figure bench binaries: flag parsing and the
+// standard column set printed for latency/throughput sweeps.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace bamboo::bench {
+
+struct Args {
+  bool full = false;  ///< longer windows / more points
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: " << argv[0] << " [--full]\n"
+                << "  --full   longer measurement windows and denser sweeps\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& subtitle) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!subtitle.empty()) std::cout << subtitle << "\n";
+  std::cout << "\n";
+}
+
+/// Append one sweep point to a table with the standard columns.
+inline void add_sweep_row(harness::TextTable& table, const std::string& label,
+                          double offered, const harness::SweepPoint& p) {
+  table.add_row({label, harness::TextTable::num(offered, 0),
+                 harness::TextTable::num(p.result.throughput_tps / 1e3, 1),
+                 harness::TextTable::num(p.result.latency_ms_mean, 1),
+                 harness::TextTable::num(p.result.latency_ms_p99, 1),
+                 p.result.consistent ? "ok" : "VIOLATED"});
+}
+
+inline std::vector<std::string> sweep_headers(const std::string& offered) {
+  return {"series", offered, "thr(KTx/s)", "lat(ms)", "p99(ms)", "safety"};
+}
+
+/// The paper's three evaluated protocols.
+inline const std::vector<std::string>& evaluated_protocols() {
+  static const std::vector<std::string> names = {"hotstuff", "2chs",
+                                                 "streamlet"};
+  return names;
+}
+
+inline const char* short_name(const std::string& protocol) {
+  if (protocol == "hotstuff") return "HS";
+  if (protocol == "2chs") return "2CHS";
+  if (protocol == "streamlet") return "SL";
+  if (protocol == "fasthotstuff") return "FHS";
+  if (protocol == "ohs") return "OHS";
+  return protocol.c_str();
+}
+
+}  // namespace bamboo::bench

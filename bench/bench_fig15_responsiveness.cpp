@@ -1,0 +1,92 @@
+// Figure 15: responsiveness — throughput over time for two settings:
+//   t10 : 10 ms view timeout, every protocol proposes as soon as 2f+1
+//         view-change messages arrive (responsive proposing),
+//   t100: 100 ms timeout, every protocol waits the full timeout after a
+//         view change (conservative proposing).
+// A 10-second window of network fluctuation (extra one-way delay uniform
+// in [10 ms, 100 ms]) hits mid-run; afterwards one replica turns silent.
+// Expected shapes: under t10 everyone stalls during the fluctuation; the
+// responsive HotStuff resumes at network speed afterwards, with throughput
+// waves from the silent leader; the non-responsive protocols recover far
+// worse. Under t100 all three stay live throughout, at lower throughput.
+
+#include "bench_common.h"
+#include "client/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace bamboo;
+  const auto args = bench::parse_args(argc, argv);
+
+  const double horizon = args.full ? 40.0 : 24.0;
+  const double fluct_start = args.full ? 10.0 : 6.0;
+  const double fluct_end = fluct_start + (args.full ? 10.0 : 6.0);
+  const double fault_at = fluct_end + 2.0;
+  const double bucket = args.full ? 1.0 : 0.5;
+
+  bench::print_header(
+      "Figure 15 — responsiveness under fluctuation + silent replica",
+      "fluctuation [" + harness::TextTable::num(fluct_start, 0) + "s, " +
+          harness::TextTable::num(fluct_end, 0) + "s), replica turns " +
+          "silent at " + harness::TextTable::num(fault_at, 0) + "s");
+
+  struct Setting {
+    const char* tag;
+    sim::Duration timeout;
+    sim::Duration propose_wait;
+  };
+  // t100's conservative wait is the assumed maximal network delay; it must
+  // stay below the view timer or the delayed proposal always loses the
+  // race against peers' timeouts and no view can ever complete.
+  const Setting settings[] = {
+      {"t10", sim::milliseconds(10), 0},
+      {"t100", sim::milliseconds(100), sim::milliseconds(50)},
+  };
+
+  for (const Setting& setting : settings) {
+    harness::TextTable table({"t(s)", "HS(KTx/s)", "2CHS(KTx/s)",
+                              "SL(KTx/s)"});
+    std::vector<std::vector<double>> series;
+    for (const std::string& protocol : bench::evaluated_protocols()) {
+      core::Config cfg;
+      cfg.protocol = protocol;
+      cfg.n_replicas = 4;
+      cfg.bsize = 400;
+      cfg.memsize = 200000;
+      cfg.timeout = setting.timeout;
+      cfg.propose_wait_after_vc = setting.propose_wait;
+      cfg.seed = 15;
+
+      client::WorkloadConfig wl;
+      wl.mode = client::LoadMode::kOpenLoop;
+      wl.arrival_rate_tps = 20000;
+
+      const auto timeline = harness::run_responsiveness_timeline(
+          cfg, wl, horizon, bucket, fluct_start, fluct_end,
+          sim::milliseconds(10), sim::milliseconds(100), fault_at,
+          cfg.n_replicas - 1, harness::FaultKind::kSilence);
+      series.push_back(timeline.tx_per_s);
+    }
+
+    const std::size_t buckets = series.front().size();
+    for (std::size_t i = 0; i < buckets; ++i) {
+      std::vector<std::string> row;
+      row.push_back(harness::TextTable::num(i * bucket, 1));
+      for (const auto& s : series) {
+        row.push_back(harness::TextTable::num(
+            (i < s.size() ? s[i] : 0.0) / 1e3, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "--- setting " << setting.tag << " (timeout "
+              << sim::to_milliseconds(setting.timeout) << " ms, wait "
+              << sim::to_milliseconds(setting.propose_wait)
+              << " ms after view change) ---\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "result: t10 stalls everyone during fluctuation, HS recovers\n"
+               "at network speed with waves under the silent leader; t100\n"
+               "keeps all protocols live at lower throughput (paper "
+               "Fig. 15).\n";
+  return 0;
+}

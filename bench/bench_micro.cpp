@@ -1,0 +1,144 @@
+// Component microbenchmarks (google-benchmark): the substrate costs that
+// feed the calibration constants in Config and DESIGN.md §5. Not a paper
+// figure; kept so regressions in the hot paths are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "forest/block_forest.h"
+#include "mempool/mempool.h"
+#include "model/order_stats.h"
+#include "quorum/vote_aggregator.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bamboo;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SignVerify(benchmark::State& state) {
+  crypto::KeyStore keys(1, 4);
+  const auto digest = crypto::Sha256::hash("message");
+  const auto sig = keys.sign(0, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.verify(sig, digest));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_BlockHash(benchmark::State& state) {
+  std::vector<types::Transaction> txns(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < txns.size(); ++i) txns[i].id = i;
+  const auto genesis = types::Block::genesis();
+  for (auto _ : state) {
+    types::Block::Fields f;
+    f.parent_hash = genesis->hash();
+    f.view = 1;
+    f.height = 1;
+    f.txns = txns;
+    types::Block block(std::move(f));
+    benchmark::DoNotOptimize(block.hash());
+  }
+}
+BENCHMARK(BM_BlockHash)->Arg(100)->Arg(400)->Arg(800);
+
+void BM_ForestChainAddCommitPrune(benchmark::State& state) {
+  for (auto _ : state) {
+    forest::BlockForest forest;
+    types::BlockPtr tip = types::Block::genesis();
+    for (types::View v = 1; v <= 256; ++v) {
+      types::Block::Fields f;
+      f.parent_hash = tip->hash();
+      f.view = v;
+      f.height = tip->height() + 1;
+      f.justify.view = tip->view();
+      f.justify.block_hash = tip->hash();
+      tip = std::make_shared<const types::Block>(std::move(f));
+      forest.add(tip);
+    }
+    benchmark::DoNotOptimize(forest.commit(tip->hash()));
+    benchmark::DoNotOptimize(forest.prune());
+  }
+}
+BENCHMARK(BM_ForestChainAddCommitPrune);
+
+void BM_MempoolAddTake(benchmark::State& state) {
+  mempool::Mempool pool(100000);
+  types::TxId next = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 400; ++i) {
+      types::Transaction tx;
+      tx.id = next++;
+      pool.add_new(tx);
+    }
+    benchmark::DoNotOptimize(pool.take(400));
+  }
+}
+BENCHMARK(BM_MempoolAddTake);
+
+void BM_VoteAggregationToQc(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto hash = crypto::Sha256::hash("block");
+  types::View view = 1;
+  quorum::VoteAggregator agg(n);
+  for (auto _ : state) {
+    ++view;
+    for (types::NodeId voter = 0; voter < n; ++voter) {
+      types::VoteMsg vote;
+      vote.view = view;
+      vote.block_hash = hash;
+      vote.sig.signer = voter;
+      benchmark::DoNotOptimize(agg.add(vote));
+    }
+    if (view % 64 == 0) agg.gc_below(view - 32);
+  }
+}
+BENCHMARK(BM_VoteAggregationToQc)->Arg(4)->Arg(32);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(t + (i * 37) % 1000, [] {});
+    }
+    while (!queue.empty()) {
+      auto fired = queue.pop();
+      t = fired.at;
+    }
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_RngGaussian(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.gaussian(1.0, 0.1));
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_NormalOrderStatistic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::normal_order_statistic(
+        static_cast<std::uint32_t>(2 * state.range(0) / 3),
+        static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_NormalOrderStatistic)->Arg(7)->Arg(31)->Arg(63);
+
+}  // namespace
+
+BENCHMARK_MAIN();

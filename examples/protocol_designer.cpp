@@ -1,0 +1,155 @@
+// Protocol designer: Bamboo's core promise is that a new chained-BFT
+// protocol is just four rules — Proposing, Voting, State-Updating, Commit
+// (paper §III-C). This example writes one from scratch, registers it, and
+// races it against the stock protocols on the identical substrate.
+//
+// The new protocol, "OneChain", commits a block the moment it is certified
+// (commit chain length 1). In a fault-free run that makes it the fastest
+// protocol here — and under a forking leader it commits conflicting blocks,
+// which the harness's cross-replica consistency check catches immediately.
+// That failure is the whole reason the real protocols pay for two- and
+// three-chain commit rules.
+
+#include <iostream>
+
+#include "client/workload.h"
+#include "harness/cluster.h"
+#include "harness/table.h"
+#include "protocols/registry.h"
+
+namespace {
+
+using namespace bamboo;
+
+/// A complete cBFT protocol in ~40 lines: the Safety API surface.
+class OneChain final : public core::SafetyProtocol {
+ public:
+  std::string name() const override { return "onechain"; }
+
+  // Proposing rule: extend the highest certified block.
+  std::optional<core::ProposalPlan> plan_proposal(
+      types::View, const core::ProtocolContext& ctx) override {
+    const types::BlockPtr parent = ctx.forest.high_qc_block();
+    if (!parent) return std::nullopt;
+    return core::ProposalPlan{parent, ctx.forest.high_qc()};
+  }
+
+  // Voting rule: one vote per view; the justify must certify the parent.
+  bool should_vote(const types::ProposalMsg& p,
+                   const core::ProtocolContext&) override {
+    return p.block->view() > last_voted_ && p.block->justify_is_parent();
+  }
+  void did_vote(const types::Block& b) override {
+    last_voted_ = std::max(last_voted_, b.view());
+  }
+
+  // State-updating rule: track the highest certified view.
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext&) override {
+    high_view_ = std::max(high_view_, qc.view);
+  }
+
+  // Commit rule: certified == committed. (This is the unsafe part.)
+  std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc,
+      const core::ProtocolContext& ctx) override {
+    const auto block = ctx.forest.get(qc.block_hash);
+    if (!block || block->height() <= ctx.forest.committed_height()) {
+      return std::nullopt;
+    }
+    return qc.block_hash;
+  }
+
+  std::uint32_t fork_depth() const override { return 2; }
+  std::uint32_t commit_chain_length() const override { return 1; }
+  types::View locked_view() const override { return high_view_; }
+  types::View last_voted_view() const override { return last_voted_; }
+
+ private:
+  types::View last_voted_ = 0;
+  types::View high_view_ = 0;
+};
+
+struct Outcome {
+  double thr_ktps = 0;
+  double latency_ms = 0;
+  bool consistent = true;
+  std::uint64_t violations = 0;
+};
+
+Outcome measure(const std::string& protocol, std::uint32_t byz) {
+  core::Config cfg;
+  cfg.protocol = protocol;
+  cfg.n_replicas = 4;
+  cfg.byz_no = byz;
+  cfg.strategy = "forking";
+  cfg.bsize = 100;
+  cfg.seed = 21;
+
+  harness::Cluster cluster(cfg);
+  client::WorkloadConfig wl;
+  wl.concurrency = 256;
+  // Forked-out replicas starve their clients; abandon stuck requests fast
+  // so the throughput column reflects the surviving capacity.
+  wl.session_timeout = sim::milliseconds(200);
+  client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
+                                cluster.config(), wl);
+  driver.install();
+  cluster.start();
+  driver.start();
+  cluster.simulator().run_for(sim::from_seconds(0.2));
+  driver.begin_measurement();
+  cluster.simulator().run_for(sim::from_seconds(0.8));
+  driver.end_measurement();
+
+  Outcome out;
+  out.thr_ktps =
+      driver.measured_completed() / driver.measured_seconds() / 1e3;
+  out.latency_ms = driver.latencies_ms().mean();
+  out.consistent = cluster.check_consistency().consistent;
+  for (types::NodeId id = 0; id < cluster.size(); ++id) {
+    out.violations += cluster.replica(id).stats().safety_violations;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "Protocol designer: a new cBFT protocol is just four rules.\n"
+         "OneChain commits every certified block instantly. Watch it beat\n"
+         "the stock protocols on latency while honest — then break when a\n"
+         "forking leader shows up.\n\n";
+
+  // One call makes the custom protocol a first-class citizen: usable from
+  // Config::protocol, the cluster harness, sweeps, everything.
+  protocols::register_protocol(
+      "onechain", [] { return std::make_unique<OneChain>(); });
+
+  harness::TextTable table({"protocol", "attack", "thr(KTx/s)", "lat(ms)",
+                            "consistent", "violations"});
+  bool onechain_broke = false;
+  bool stock_held = true;
+  for (const std::string protocol : {"onechain", "2chs", "hotstuff"}) {
+    for (std::uint32_t byz : {0u, 1u}) {
+      const Outcome out = measure(protocol, byz);
+      table.add_row({protocol, byz ? "forking" : "none",
+                     harness::TextTable::num(out.thr_ktps, 1),
+                     harness::TextTable::num(out.latency_ms, 1),
+                     out.consistent ? "yes" : "NO",
+                     std::to_string(out.violations)});
+      const bool broke = !out.consistent || out.violations > 0;
+      if (protocol == "onechain" && byz > 0) onechain_broke = broke;
+      if (protocol != "onechain" && broke) stock_held = false;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nThe lesson (paper §II): commit rules trade latency for fork\n"
+         "tolerance. OneChain's one-chain commit is fastest and unsafe;\n"
+         "2CHS pays one extra certified block, HotStuff two — and both\n"
+         "stay consistent under the same attack.\n";
+  return (onechain_broke && stock_held) ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "client/workload.h"
+
+#include "types/messages.h"
+
+namespace bamboo::client {
+
+WorkloadDriver::WorkloadDriver(sim::Simulator& simulator,
+                               net::SimNetwork& network,
+                               const core::Config& config,
+                               WorkloadConfig workload)
+    : sim_(simulator), net_(network), cfg_(config), wl_(workload) {
+  if (wl_.mode == LoadMode::kClosedLoop) {
+    outstanding_.assign(wl_.concurrency, 0);
+    watchdogs_.assign(wl_.concurrency, sim::kInvalidEventId);
+  }
+}
+
+void WorkloadDriver::install() {
+  for (std::uint32_t host = 0; host < cfg_.n_client_hosts; ++host) {
+    const types::NodeId endpoint = cfg_.n_replicas + host;
+    net_.set_handler(endpoint, [this](const net::Envelope& env) {
+      if (env.msg &&
+          std::holds_alternative<types::ClientResponseMsg>(*env.msg)) {
+        on_response(std::get<types::ClientResponseMsg>(*env.msg));
+      }
+    });
+  }
+}
+
+void WorkloadDriver::start() {
+  stopped_ = false;
+  if (wl_.mode == LoadMode::kClosedLoop) {
+    for (std::uint32_t s = 0; s < wl_.concurrency; ++s) {
+      // Stagger session starts across a millisecond to avoid a thundering
+      // herd at t=0.
+      sim_.schedule_after(
+          static_cast<sim::Duration>(sim_.rng().uniform_u64(
+              static_cast<std::uint64_t>(sim::kMillisecond))),
+          [this, s] { issue(s); });
+    }
+  } else {
+    schedule_next_arrival();
+  }
+}
+
+void WorkloadDriver::schedule_next_arrival() {
+  if (stopped_ || wl_.arrival_rate_tps <= 0) return;
+  const double gap_s = sim_.rng().exponential(wl_.arrival_rate_tps);
+  sim_.schedule_after(sim::from_seconds(gap_s), [this] {
+    if (stopped_) return;
+    issue(0);
+    schedule_next_arrival();
+  });
+}
+
+void WorkloadDriver::issue(std::uint32_t session) {
+  if (stopped_) return;
+  types::Transaction tx;
+  tx.id = next_tx_id_++;
+  tx.session = session;
+  tx.serving_replica = static_cast<types::NodeId>(
+      sim_.rng().uniform_u64(cfg_.n_replicas));
+  tx.client_endpoint = cfg_.client_endpoint(session);
+  tx.submitted_at = sim_.now();
+  tx.payload_size = wl_.payload_size;
+  ++stats_.issued;
+
+  if (wl_.mode == LoadMode::kClosedLoop) {
+    outstanding_[session] = tx.id;
+    arm_watchdog(session, tx.id);
+  }
+
+  net_.send(tx.client_endpoint, tx.serving_replica,
+            types::make_message(types::ClientRequestMsg{tx}));
+}
+
+void WorkloadDriver::arm_watchdog(std::uint32_t session, types::TxId tx) {
+  if (wl_.session_timeout <= 0) return;
+  if (watchdogs_[session] != sim::kInvalidEventId) {
+    sim_.cancel(watchdogs_[session]);
+  }
+  watchdogs_[session] =
+      sim_.schedule_after(wl_.session_timeout, [this, session, tx] {
+        watchdogs_[session] = sim::kInvalidEventId;
+        if (stopped_ || outstanding_[session] != tx) return;
+        // Give up on the stuck request and move on (it may still commit
+        // later; such late answers are counted as stale, not completed).
+        ++stats_.abandoned;
+        outstanding_[session] = 0;
+        issue(session);
+      });
+}
+
+void WorkloadDriver::on_response(const types::ClientResponseMsg& resp) {
+  const bool closed = wl_.mode == LoadMode::kClosedLoop;
+  if (closed) {
+    if (resp.session >= outstanding_.size() ||
+        outstanding_[resp.session] != resp.tx_id) {
+      ++stats_.stale_responses;  // answer to an abandoned request
+      return;
+    }
+    outstanding_[resp.session] = 0;
+    if (watchdogs_[resp.session] != sim::kInvalidEventId) {
+      sim_.cancel(watchdogs_[resp.session]);
+      watchdogs_[resp.session] = sim::kInvalidEventId;
+    }
+  }
+
+  if (resp.rejected) {
+    ++stats_.rejected;
+    if (closed && !stopped_) {
+      const std::uint32_t session = resp.session;
+      sim_.schedule_after(wl_.retry_backoff,
+                          [this, session] { issue(session); });
+    }
+    return;
+  }
+
+  ++stats_.completed;
+  const double latency_ms =
+      sim::to_milliseconds(sim_.now() - resp.submitted_at);
+  if (measuring_) {
+    latencies_ms_.add(latency_ms);
+    ++measured_completed_;
+  }
+  if (timeline_ != nullptr) {
+    timeline_->add(sim::to_seconds(sim_.now()));
+  }
+  if (closed && !stopped_) {
+    issue(resp.session);
+  }
+}
+
+void WorkloadDriver::begin_measurement() {
+  measuring_ = true;
+  window_start_ = sim_.now();
+  measured_completed_ = 0;
+  latencies_ms_.clear();
+}
+
+void WorkloadDriver::end_measurement() {
+  measuring_ = false;
+  window_end_ = sim_.now();
+}
+
+double WorkloadDriver::measured_seconds() const {
+  const sim::Time end = window_end_ > 0 ? window_end_ : sim_.now();
+  return sim::to_seconds(end - window_start_);
+}
+
+}  // namespace bamboo::client

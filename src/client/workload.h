@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace bamboo::client {
+
+/// How load is offered to the cluster.
+enum class LoadMode {
+  /// The paper's benchmark mode: `concurrency` client sessions, each with
+  /// one outstanding request; a session issues its next request when the
+  /// previous one is confirmed. Raising concurrency raises offered load
+  /// until the system saturates (§VI: "the clients' concurrency level is
+  /// increased until the network is saturated").
+  kClosedLoop,
+  /// Poisson arrivals at a fixed rate — the arrival process assumed by the
+  /// analytic model (§V-A3); used for the model-validation experiments.
+  kOpenLoop,
+};
+
+struct WorkloadConfig {
+  LoadMode mode = LoadMode::kClosedLoop;
+  std::uint32_t concurrency = 10;   ///< sessions (closed loop)
+  double arrival_rate_tps = 1000;   ///< λ (open loop)
+  std::uint32_t payload_size = 0;   ///< psize
+  sim::Duration retry_backoff = sim::milliseconds(1);
+  /// Closed-loop session watchdog: if a request is unanswered for this
+  /// long, the session abandons it and issues a fresh one (REST client
+  /// timeout). 0 disables. Needed under attacks that starve individual
+  /// replicas, or sessions drain into the starved mempools and offered
+  /// load collapses to zero.
+  sim::Duration session_timeout = 0;
+};
+
+/// Issues transactions from the simulated client hosts, receives commit
+/// confirmations, and records client-side latency — the Bamboo client
+/// library + benchmarker (§III-D), minus HTTP.
+class WorkloadDriver {
+ public:
+  struct Stats {
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t stale_responses = 0;  ///< answers to abandoned requests
+    std::uint64_t abandoned = 0;        ///< session-timeout give-ups
+  };
+
+  WorkloadDriver(sim::Simulator& simulator, net::SimNetwork& network,
+                 const core::Config& config, WorkloadConfig workload);
+
+  /// Register handlers on the client endpoints. Call before start().
+  void install();
+
+  /// Begin issuing requests.
+  void start();
+
+  /// Stop issuing new requests (in-flight ones still complete).
+  void stop() { stopped_ = true; }
+
+  /// Latency samples are recorded only between begin/end_measurement
+  /// (warm-up exclusion).
+  void begin_measurement();
+  void end_measurement();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] util::Samples& latencies_ms() { return latencies_ms_; }
+  /// Transactions confirmed inside the measurement window.
+  [[nodiscard]] std::uint64_t measured_completed() const {
+    return measured_completed_;
+  }
+  [[nodiscard]] double measured_seconds() const;
+
+  /// Optional: count every confirmation into a timeline (Fig. 15).
+  void set_timeline(util::TimelineCounter* timeline) { timeline_ = timeline; }
+
+ private:
+  void issue(std::uint32_t session);
+  void schedule_next_arrival();
+  void on_response(const types::ClientResponseMsg& resp);
+  void arm_watchdog(std::uint32_t session, types::TxId tx);
+
+  sim::Simulator& sim_;
+  net::SimNetwork& net_;
+  const core::Config& cfg_;
+  WorkloadConfig wl_;
+
+  bool stopped_ = false;
+  bool measuring_ = false;
+  sim::Time window_start_ = 0;
+  sim::Time window_end_ = 0;
+  std::uint64_t measured_completed_ = 0;
+  std::uint64_t next_tx_id_ = 1;
+  Stats stats_;
+  util::Samples latencies_ms_;
+  util::TimelineCounter* timeline_ = nullptr;
+  /// Closed loop: the tx id each session is currently waiting on (0 = not
+  /// waiting) and its watchdog timer.
+  std::vector<types::TxId> outstanding_;
+  std::vector<sim::EventId> watchdogs_;
+};
+
+}  // namespace bamboo::client

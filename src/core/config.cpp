@@ -1,0 +1,104 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+namespace bamboo::core {
+
+ByzStrategy parse_strategy(const std::string& name) {
+  if (name == "silence") return ByzStrategy::kSilence;
+  if (name == "forking") return ByzStrategy::kForking;
+  if (name == "crash") return ByzStrategy::kCrash;
+  if (name == "honest" || name.empty()) return ByzStrategy::kHonest;
+  throw std::invalid_argument("unknown Byzantine strategy: " + name);
+}
+
+const char* strategy_name(ByzStrategy s) {
+  switch (s) {
+    case ByzStrategy::kHonest: return "honest";
+    case ByzStrategy::kSilence: return "silence";
+    case ByzStrategy::kForking: return "forking";
+    case ByzStrategy::kCrash: return "crash";
+  }
+  return "?";
+}
+
+void Config::validate() const {
+  if (n_replicas < 1) throw std::invalid_argument("n_replicas must be >= 1");
+  if (byz_no > n_replicas)
+    throw std::invalid_argument("byz_no exceeds n_replicas");
+  if (bsize == 0) throw std::invalid_argument("bsize must be >= 1");
+  if (bandwidth_bps <= 0)
+    throw std::invalid_argument("bandwidth must be positive");
+  if (timeout <= 0) throw std::invalid_argument("timeout must be positive");
+  if (n_client_hosts == 0)
+    throw std::invalid_argument("need at least one client host");
+  (void)parse_strategy(strategy);  // throws on unknown strategy
+}
+
+Config Config::from_json(const util::Json& j) {
+  Config c;
+  c.n_replicas = static_cast<std::uint32_t>(j.get_int("n", c.n_replicas));
+  c.election = j.get_string("election", c.election);
+  // Table I compatibility: "master" 0 = rotating, otherwise a static leader.
+  if (const util::Json* master = j.find("master");
+      master != nullptr && master->is_number()) {
+    const auto id = master->as_int();
+    c.election = id == 0 ? "roundrobin" : "static:" + std::to_string(id);
+  }
+  c.strategy = j.get_string("strategy", c.strategy);
+  c.byz_no = static_cast<std::uint32_t>(j.get_int("byzNo", c.byz_no));
+  c.bsize = static_cast<std::uint32_t>(j.get_int("bsize", c.bsize));
+  c.memsize = static_cast<std::uint32_t>(j.get_int("memsize", c.memsize));
+  c.psize = static_cast<std::uint32_t>(j.get_int("psize", c.psize));
+  c.delay = sim::from_milliseconds(j.get_number(
+      "delay", sim::to_milliseconds(c.delay)));
+  c.delay_jitter = sim::from_milliseconds(j.get_number(
+      "delay_jitter", sim::to_milliseconds(c.delay_jitter)));
+  c.timeout = sim::from_milliseconds(j.get_number(
+      "timeout", sim::to_milliseconds(c.timeout)));
+  c.runtime_s = j.get_number("runtime", c.runtime_s);
+  c.concurrency =
+      static_cast<std::uint32_t>(j.get_int("concurrency", c.concurrency));
+  c.protocol = j.get_string("protocol", c.protocol);
+  c.propose_wait_after_vc = sim::from_milliseconds(j.get_number(
+      "propose_wait_ms", sim::to_milliseconds(c.propose_wait_after_vc)));
+  c.timeout_backoff = j.get_number("timeout_backoff", c.timeout_backoff);
+  c.seed = static_cast<std::uint64_t>(j.get_int("seed", static_cast<std::int64_t>(c.seed)));
+  c.bandwidth_bps = j.get_number("bandwidth_bps", c.bandwidth_bps);
+  c.rtt_mean = sim::from_milliseconds(
+      j.get_number("rtt_ms", sim::to_milliseconds(c.rtt_mean)));
+  c.rtt_stddev = sim::from_milliseconds(j.get_number(
+      "rtt_stddev_ms", sim::to_milliseconds(c.rtt_stddev)));
+  c.cpu_sign = sim::microseconds(j.get_int(
+      "cpu_sign_us", c.cpu_sign / sim::kMicrosecond));
+  c.cpu_verify = sim::microseconds(j.get_int(
+      "cpu_verify_us", c.cpu_verify / sim::kMicrosecond));
+  c.cpu_ingest_per_tx = sim::microseconds(j.get_int(
+      "cpu_ingest_us", c.cpu_ingest_per_tx / sim::kMicrosecond));
+  c.cpu_validate_per_tx = sim::microseconds(j.get_int(
+      "cpu_validate_us", c.cpu_validate_per_tx / sim::kMicrosecond));
+  c.validate();
+  return c;
+}
+
+util::Json Config::to_json() const {
+  util::Json::Object o;
+  o.emplace("n", util::Json(static_cast<std::int64_t>(n_replicas)));
+  o.emplace("election", util::Json(election));
+  o.emplace("strategy", util::Json(strategy));
+  o.emplace("byzNo", util::Json(static_cast<std::int64_t>(byz_no)));
+  o.emplace("bsize", util::Json(static_cast<std::int64_t>(bsize)));
+  o.emplace("memsize", util::Json(static_cast<std::int64_t>(memsize)));
+  o.emplace("psize", util::Json(static_cast<std::int64_t>(psize)));
+  o.emplace("delay", util::Json(sim::to_milliseconds(delay)));
+  o.emplace("timeout", util::Json(sim::to_milliseconds(timeout)));
+  o.emplace("runtime", util::Json(runtime_s));
+  o.emplace("concurrency", util::Json(static_cast<std::int64_t>(concurrency)));
+  o.emplace("protocol", util::Json(protocol));
+  o.emplace("seed", util::Json(static_cast<std::int64_t>(seed)));
+  o.emplace("bandwidth_bps", util::Json(bandwidth_bps));
+  o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
+  return util::Json(std::move(o));
+}
+
+}  // namespace bamboo::core

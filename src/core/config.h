@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+#include "types/ids.h"
+#include "util/json.h"
+
+namespace bamboo::core {
+
+/// Byzantine strategies (paper §IV-A). Both are implemented by modifying the
+/// Proposing rule, exactly as in Bamboo; `kCrash` additionally drops all
+/// traffic (used by the responsiveness study, §VI-D).
+enum class ByzStrategy {
+  kHonest,
+  kSilence,  ///< stay silent when selected as leader (withholds the QC it
+             ///< gathered as the previous view's vote collector)
+  kForking,  ///< propose from the deepest ancestor honest replicas still
+             ///< accept, overwriting uncommitted blocks
+  kCrash,    ///< full fail-stop
+};
+
+[[nodiscard]] ByzStrategy parse_strategy(const std::string& name);
+[[nodiscard]] const char* strategy_name(ByzStrategy s);
+
+/// One experiment's complete configuration: the paper's Table I parameters
+/// plus the simulation-substrate parameters that replace the physical
+/// testbed (see DESIGN.md §1 and §5).
+struct Config {
+  // --- Table I -----------------------------------------------------------
+  std::uint32_t n_replicas = 4;   ///< "address": number of peers
+  /// "master": 0 means rotating leaders; here expressed as an election spec
+  /// ("roundrobin", "static:<id>", "hash").
+  std::string election = "roundrobin";
+  std::string strategy = "silence";  ///< Byzantine strategy for byz nodes
+  std::uint32_t byz_no = 0;          ///< number of Byzantine nodes
+  std::uint32_t bsize = 400;         ///< transactions per block
+  /// "memsize": transactions held in the memory pool. Table I defaults to
+  /// 1000; we default higher so the pool is not the bottleneck at the
+  /// concurrency levels the paper sweeps to (documented in DESIGN.md).
+  std::uint32_t memsize = 20000;
+  std::uint32_t psize = 0;              ///< transaction payload bytes
+  sim::Duration delay = 0;              ///< added one-way network delay
+  sim::Duration delay_jitter = 0;       ///< stddev of the added delay
+  sim::Duration timeout = sim::milliseconds(100);  ///< view timeout
+  double runtime_s = 30.0;              ///< client run period (simulated)
+  std::uint32_t concurrency = 10;       ///< closed-loop client sessions
+
+  // --- protocol ----------------------------------------------------------
+  std::string protocol = "hotstuff";  ///< hotstuff | 2chs | streamlet |
+                                      ///< fasthotstuff | ohs
+  /// Wait Δ after a timeout-driven view change before proposing
+  /// (non-responsive mode; 0 = propose as soon as the TC forms).
+  sim::Duration propose_wait_after_vc = 0;
+  double timeout_backoff = 1.0;  ///< multiplier per consecutive timeout
+  sim::Duration max_timeout = sim::seconds(10);
+
+  // --- simulation substrate (model parameters, §V) ------------------------
+  std::uint64_t seed = 1;
+  double bandwidth_bps = 1e9;                         ///< NIC bandwidth b
+  sim::Duration rtt_mean = sim::milliseconds(1);      ///< µ
+  sim::Duration rtt_stddev = sim::microseconds(100);  ///< σ
+  sim::Duration min_one_way_delay = sim::microseconds(20);
+  sim::Duration cpu_sign = sim::microseconds(50);     ///< secp256k1 sign
+  sim::Duration cpu_verify = sim::microseconds(80);   ///< secp256k1 verify
+  /// Per-transaction server-side request handling (HTTP parse, mempool
+  /// insert, response write). Dominates t_CPU at large block sizes; the
+  /// `ohs` profile lowers it (TCP pipelining in libhotstuff).
+  sim::Duration cpu_ingest_per_tx = sim::microseconds(18);
+  /// Per-transaction batching/validation cost inside proposals.
+  sim::Duration cpu_validate_per_tx = sim::microseconds(1);
+  /// Backpressure limit on a replica's CPU work queue; client requests
+  /// beyond it are rejected (TCP accept-queue analogue).
+  std::size_t cpu_queue_limit = 200000;
+
+  std::uint32_t n_client_hosts = 2;  ///< paper: "2 VMs as clients"
+
+  // --- derived -----------------------------------------------------------
+  [[nodiscard]] std::uint32_t f() const { return types::max_faulty(n_replicas); }
+  [[nodiscard]] std::uint32_t quorum() const {
+    return types::quorum_size(n_replicas);
+  }
+  /// Network endpoint ids: replicas [0, n), client hosts [n, n + hosts).
+  [[nodiscard]] std::uint32_t num_endpoints() const {
+    return n_replicas + n_client_hosts;
+  }
+  [[nodiscard]] types::NodeId client_endpoint(std::uint32_t session) const {
+    return n_replicas + (session % n_client_hosts);
+  }
+  /// Replicas [n_replicas - byz_no, n_replicas) are Byzantine; replica 0 is
+  /// always honest and serves as the metrics observer.
+  [[nodiscard]] bool is_byzantine(types::NodeId id) const {
+    return id < n_replicas && id >= n_replicas - byz_no && byz_no > 0;
+  }
+
+  /// Validate invariants (byz_no <= f is NOT required — the paper sweeps
+  /// beyond f — but structural bounds are).
+  void validate() const;
+
+  /// Load overrides from a Bamboo-style JSON object; unknown keys ignored.
+  static Config from_json(const util::Json& j);
+  [[nodiscard]] util::Json to_json() const;
+};
+
+}  // namespace bamboo::core

@@ -1,0 +1,607 @@
+#include "core/replica.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bamboo::core {
+
+using types::BlockPtr;
+using types::MessagePtr;
+using types::NodeId;
+using types::View;
+
+Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
+                 const crypto::KeyStore& keys, const Config& config,
+                 NodeId id, std::unique_ptr<SafetyProtocol> safety,
+                 const election::LeaderElection& election, Hooks hooks)
+    : sim_(simulator),
+      net_(network),
+      keys_(keys),
+      cfg_(config),
+      id_(id),
+      safety_(std::move(safety)),
+      election_(election),
+      hooks_(std::move(hooks)),
+      strategy_(config.is_byzantine(id) ? parse_strategy(config.strategy)
+                                        : ByzStrategy::kHonest),
+      mempool_(config.memsize),
+      votes_(config.n_replicas),
+      timeouts_(config.n_replicas),
+      pacemaker_(
+          simulator,
+          pacemaker::Pacemaker::Settings{config.timeout,
+                                         config.timeout_backoff,
+                                         config.max_timeout},
+          pacemaker::Pacemaker::Callbacks{
+              [this](View v) { broadcast_timeout(v); },
+              [this](View v, pacemaker::AdvanceReason r) {
+                enter_view(v, r);
+              }}) {}
+
+void Replica::start() {
+  net_.set_handler(id_, [this](const net::Envelope& env) {
+    handle_envelope(env);
+  });
+  if (strategy_ == ByzStrategy::kCrash) {
+    crash();
+    return;
+  }
+  pacemaker_.start(1);
+}
+
+void Replica::crash() {
+  crashed_ = true;
+  pacemaker_.stop();
+  cpu_queue_.clear();
+  net_.set_down(id_, true);
+}
+
+ProtocolContext Replica::context() {
+  return ProtocolContext{id_, pacemaker_.current_view(), forest_, cfg_};
+}
+
+// --------------------------------------------------------------------------
+// CPU queue
+// --------------------------------------------------------------------------
+
+void Replica::enqueue_cpu(sim::Duration cost, std::function<void()> fn) {
+  if (crashed_) return;
+  cpu_queue_.push_back(CpuWork{cost, std::move(fn)});
+  if (!cpu_busy_) cpu_run_next();
+}
+
+void Replica::cpu_run_next() {
+  if (crashed_ || cpu_queue_.empty()) {
+    cpu_busy_ = false;
+    return;
+  }
+  cpu_busy_ = true;
+  const sim::Duration cost = cpu_queue_.front().cost;
+  stats_.cpu_busy += cost;
+  sim_.schedule_after(cost, [this] {
+    if (crashed_ || cpu_queue_.empty()) {
+      cpu_busy_ = false;
+      return;
+    }
+    CpuWork work = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    work.fn();
+    cpu_run_next();
+  });
+}
+
+sim::Duration Replica::cost_of(const types::Message& msg) const {
+  struct Visitor {
+    const Config& cfg;
+    sim::Duration operator()(const types::ClientRequestMsg&) const {
+      return cfg.cpu_ingest_per_tx;
+    }
+    sim::Duration operator()(const types::ProposalMsg& p) const {
+      const auto ntx =
+          static_cast<sim::Duration>(p.block ? p.block->txns().size() : 0);
+      // proposer signature + QC batch verification + per-tx validation
+      return 2 * cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+    }
+    sim::Duration operator()(const types::VoteMsg&) const {
+      return cfg.cpu_verify;
+    }
+    sim::Duration operator()(const types::TimeoutMsg&) const {
+      return cfg.cpu_verify;
+    }
+    sim::Duration operator()(const types::TcMsg&) const {
+      return cfg.cpu_verify;
+    }
+    sim::Duration operator()(const types::ClientResponseMsg&) const {
+      return sim::microseconds(1);
+    }
+    sim::Duration operator()(const types::BlockRequestMsg&) const {
+      return sim::microseconds(2);
+    }
+    sim::Duration operator()(const types::BlockResponseMsg& r) const {
+      const auto ntx =
+          static_cast<sim::Duration>(r.block ? r.block->txns().size() : 0);
+      return cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+    }
+  };
+  return std::visit(Visitor{cfg_}, msg);
+}
+
+// --------------------------------------------------------------------------
+// Inbound path
+// --------------------------------------------------------------------------
+
+void Replica::handle_envelope(const net::Envelope& env) {
+  if (crashed_ || !env.msg) return;
+  ++stats_.msgs_handled;
+
+  // Backpressure: overloaded replicas refuse new client work instead of
+  // queueing unboundedly (TCP accept-queue analogue).
+  if (std::holds_alternative<types::ClientRequestMsg>(*env.msg) &&
+      cpu_queue_.size() >= cfg_.cpu_queue_limit) {
+    const auto& req = std::get<types::ClientRequestMsg>(*env.msg);
+    ++stats_.client_rejections;
+    send_client_response(req.tx, /*rejected=*/true);
+    return;
+  }
+
+  enqueue_cpu(cost_of(*env.msg), [this, env] { dispatch(env); });
+}
+
+void Replica::dispatch(const net::Envelope& env) {
+  const types::Message& msg = *env.msg;
+  if (std::holds_alternative<types::ClientRequestMsg>(msg)) {
+    on_client_request(std::get<types::ClientRequestMsg>(msg));
+  } else if (std::holds_alternative<types::ProposalMsg>(msg)) {
+    if (safety_->echo_messages() &&
+        std::get<types::ProposalMsg>(msg).block) {
+      echo(env.msg, std::get<types::ProposalMsg>(msg).block->view(),
+           std::get<types::ProposalMsg>(msg).block->hash());
+    }
+    on_proposal(std::get<types::ProposalMsg>(msg), env.from, false);
+  } else if (std::holds_alternative<types::VoteMsg>(msg)) {
+    const auto& vote = std::get<types::VoteMsg>(msg);
+    if (safety_->echo_messages()) echo(env.msg, vote.view, vote.sig.tag);
+    on_vote(vote, env.from);
+  } else if (std::holds_alternative<types::TimeoutMsg>(msg)) {
+    const auto& t = std::get<types::TimeoutMsg>(msg);
+    if (safety_->echo_messages()) echo(env.msg, t.view, t.sig.tag);
+    on_timeout_msg(t, env.from);
+  } else if (std::holds_alternative<types::TcMsg>(msg)) {
+    on_tc_msg(std::get<types::TcMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::BlockRequestMsg>(msg)) {
+    on_block_request(std::get<types::BlockRequestMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::BlockResponseMsg>(msg)) {
+    on_block_response(std::get<types::BlockResponseMsg>(msg), env.from);
+  }
+}
+
+void Replica::echo(const MessagePtr& msg, View view,
+                   const crypto::Digest& dedup_key) {
+  auto& seen = echo_seen_[view];
+  if (!seen.insert(dedup_key).second) return;
+  // Forward once to every other replica (Streamlet's O(n^3) pattern). The
+  // forward itself is cheap on CPU; the cost is NIC bytes, which the
+  // network model charges in full.
+  net_.broadcast(id_, cfg_.n_replicas, msg);
+}
+
+void Replica::on_client_request(const types::ClientRequestMsg& req) {
+  if (!mempool_.add_new(req.tx)) {
+    ++stats_.client_rejections;
+    send_client_response(req.tx, /*rejected=*/true);
+  }
+}
+
+void Replica::send_client_response(const types::Transaction& tx,
+                                   bool rejected) {
+  types::ClientResponseMsg resp;
+  resp.tx_id = tx.id;
+  resp.session = tx.session;
+  resp.submitted_at = tx.submitted_at;
+  resp.rejected = rejected;
+  net_.send(id_, tx.client_endpoint,
+            types::make_message(std::move(resp)));
+}
+
+// --------------------------------------------------------------------------
+// Proposals and voting
+// --------------------------------------------------------------------------
+
+void Replica::on_proposal(const types::ProposalMsg& p, NodeId from,
+                          bool self) {
+  if (!p.block) return;
+  const BlockPtr& block = p.block;
+
+  if (!self) {
+    // Authenticity + leadership checks.
+    if (p.sig.signer != block->proposer() ||
+        block->proposer() != election_.leader(block->view()) ||
+        !keys_.verify(p.sig, block->hash())) {
+      return;
+    }
+  }
+
+  if (p.tc) handle_tc(*p.tc);
+  if (!self) note_public_qc(block->justify());
+  process_qc(block->justify(), from);
+
+  const forest::AddResult result = forest_.add(block);
+  switch (result) {
+    case forest::AddResult::kAdded: {
+      ++stats_.blocks_received;
+      // A QC may have arrived before the block (votes travel fast under
+      // broadcast); apply it now that the block is connected.
+      if (const types::QuorumCert* qc = forest_.qc_for(block->hash());
+          qc != nullptr && !qc->is_genesis()) {
+        apply_qc(*qc);
+      }
+      maybe_vote(p);
+      retry_pending_proposals();
+      break;
+    }
+    case forest::AddResult::kOrphaned:
+      pending_proposals_.emplace(block->hash(), p);
+      request_block(block->parent_hash(), from);
+      break;
+    case forest::AddResult::kDuplicate:
+    case forest::AddResult::kInvalid:
+      break;
+  }
+}
+
+void Replica::retry_pending_proposals() {
+  // Orphans connected by the forest may now be votable.
+  if (pending_proposals_.empty()) return;
+  std::vector<crypto::Digest> ready;
+  for (const auto& [hash, proposal] : pending_proposals_) {
+    if (forest_.contains(hash)) ready.push_back(hash);
+  }
+  for (const crypto::Digest& hash : ready) {
+    const auto it = pending_proposals_.find(hash);
+    if (it == pending_proposals_.end()) continue;
+    types::ProposalMsg p = it->second;
+    pending_proposals_.erase(it);
+    ++stats_.blocks_received;
+    if (const types::QuorumCert* qc = forest_.qc_for(hash);
+        qc != nullptr && !qc->is_genesis()) {
+      apply_qc(*qc);
+    }
+    maybe_vote(p);
+  }
+}
+
+void Replica::maybe_vote(const types::ProposalMsg& p) {
+  if (crashed_) return;
+  const BlockPtr& block = p.block;
+  // Stale proposals are never votable. Proposals *ahead* of our pacemaker
+  // are: the paper's voting rule gates only on lastVotedView and the lock
+  // (§II-B), and the Fig. 5 forking attack depends on it — the attacker
+  // holds the only QC that would advance honest pacemakers, so honest
+  // replicas necessarily vote from the previous view.
+  if (block->view() < pacemaker_.current_view()) return;
+
+  const ProtocolContext ctx = context();
+  if (!safety_->should_vote(p, ctx)) return;
+  safety_->did_vote(*block);
+
+  types::VoteMsg vote;
+  vote.view = block->view();
+  vote.height = block->height();
+  vote.block_hash = block->hash();
+
+  enqueue_cpu(cfg_.cpu_sign, [this, vote]() mutable {
+    vote.sig = keys_.sign(id_, types::vote_digest(vote.view, vote.block_hash));
+    ++stats_.votes_sent;
+    if (safety_->broadcast_votes()) {
+      const MessagePtr msg = types::make_message(vote);
+      net_.broadcast(id_, cfg_.n_replicas, msg);
+      on_vote(vote, id_);  // count our own vote
+    } else {
+      const NodeId next_leader = election_.leader(vote.view + 1);
+      if (next_leader == id_) {
+        on_vote(vote, id_);
+      } else {
+        net_.send(id_, next_leader, types::make_message(vote));
+      }
+    }
+  });
+}
+
+void Replica::on_vote(const types::VoteMsg& v, NodeId from) {
+  if (from != id_ &&
+      !keys_.verify(v.sig, types::vote_digest(v.view, v.block_hash))) {
+    return;
+  }
+  if (auto qc = votes_.add(v)) {
+    process_qc(*qc, from);
+  }
+}
+
+// --------------------------------------------------------------------------
+// QCs, state updates, commits
+// --------------------------------------------------------------------------
+
+void Replica::process_qc(const types::QuorumCert& qc, NodeId from) {
+  if (qc.is_genesis()) return;
+  const bool fresh = forest_.add_qc(qc);
+  // Advance the view before running the commit rule: a QC for view v is
+  // what carries us into view v+1, and commits it unlocks are observed
+  // *during* that view (this ordering is what makes measured block
+  // intervals start at 3 for HotStuff and 2 for 2CHS, as in Fig. 13).
+  pacemaker_.on_qc(qc.view);
+  if (forest_.contains(qc.block_hash)) {
+    if (fresh) apply_qc(qc);
+  } else {
+    request_block(qc.block_hash, from);
+  }
+}
+
+void Replica::apply_qc(const types::QuorumCert& qc) {
+  const ProtocolContext ctx = context();
+  safety_->update_state(qc, ctx);
+  if (const auto target = safety_->commit_target(qc, ctx)) {
+    do_commit(*target);
+  }
+}
+
+void Replica::do_commit(const crypto::Digest& target) {
+  auto chain = forest_.commit(target);
+  if (!chain) {
+    // The protocol asked to commit a block that conflicts with the main
+    // chain: a safety violation (never happens for the shipped protocols;
+    // counted so tests and the protocol_designer example can observe it).
+    ++stats_.safety_violations;
+    return;
+  }
+  for (const BlockPtr& block : *chain) {
+    ++stats_.blocks_committed;
+    if (hooks_.on_commit_block) {
+      hooks_.on_commit_block(block, pacemaker_.current_view(), sim_.now());
+    }
+    for (const types::Transaction& tx : block->txns()) {
+      if (tx.serving_replica != id_) continue;
+      mempool_.mark_committed(tx.id);
+      ++stats_.txs_committed;
+      send_client_response(tx, /*rejected=*/false);
+      if (hooks_.on_tx_committed) hooks_.on_tx_committed(tx, sim_.now());
+    }
+  }
+  if (chain->empty()) return;
+
+  // Garbage-collect forked-out branches; recycle our own transactions to
+  // the front of the mempool (paper §III-E).
+  const std::vector<BlockPtr> dropped = forest_.prune();
+  for (const BlockPtr& block : dropped) {
+    ++stats_.blocks_forked;
+    if (block->proposer() != id_) continue;
+    std::vector<types::Transaction> mine;
+    mine.reserve(block->txns().size());
+    for (const types::Transaction& tx : block->txns()) {
+      if (tx.serving_replica == id_) mine.push_back(tx);
+    }
+    if (!mine.empty()) mempool_.recycle(mine);
+  }
+}
+
+// --------------------------------------------------------------------------
+// View changes
+// --------------------------------------------------------------------------
+
+void Replica::broadcast_timeout(View view) {
+  if (crashed_) return;
+  types::TimeoutMsg msg;
+  msg.view = view;
+  msg.high_qc = reported_high_qc();
+  last_timeout_sent_ = std::max(last_timeout_sent_, view);
+
+  enqueue_cpu(cfg_.cpu_sign, [this, msg]() mutable {
+    msg.sig = keys_.sign(
+        id_, types::timeout_digest(msg.view, msg.high_qc.view));
+    const MessagePtr wire = types::make_message(msg);
+    net_.broadcast(id_, cfg_.n_replicas, wire);
+    on_timeout_msg(msg, id_);  // aggregate our own timeout
+  });
+}
+
+types::QuorumCert Replica::reported_high_qc() const {
+  const types::QuorumCert& hqc = forest_.high_qc();
+  if (strategy_ == ByzStrategy::kHonest) return hqc;
+  // Byzantine replicas under-report: they hide the newest QC (which they
+  // may exclusively hold as the previous view's vote collector) by
+  // advertising its parent's QC instead. Lying low is undetectable —
+  // withholding cannot be proven — and is what makes the silence attack
+  // overwrite the tail block (paper Fig. 6).
+  const BlockPtr hqc_block = forest_.get(hqc.block_hash);
+  if (!hqc_block || hqc_block->is_genesis()) return hqc;
+  return hqc_block->justify();
+}
+
+void Replica::on_timeout_msg(const types::TimeoutMsg& t, NodeId from) {
+  if (from != id_ &&
+      !keys_.verify(t.sig, types::timeout_digest(t.view, t.high_qc.view))) {
+    return;
+  }
+  if (from != id_) note_public_qc(t.high_qc);
+  process_qc(t.high_qc, from);
+
+  if (auto tc = timeouts_.add(t)) {
+    handle_tc(*tc);
+    return;
+  }
+  // Early join: if f+1 peers are timing out at or above our view, our own
+  // timer is likely late — join the view change now.
+  if (t.view >= pacemaker_.current_view() && t.view > last_timeout_sent_ &&
+      timeouts_.count(t.view) > cfg_.f()) {
+    pacemaker_.join_timeout(t.view);
+  }
+}
+
+void Replica::handle_tc(const types::TimeoutCert& tc) {
+  process_qc(tc.high_qc, id_ /*self: high_qc block requests go nowhere*/);
+  if (!last_tc_ || tc.view > last_tc_->view) last_tc_ = tc;
+  pacemaker_.on_tc(tc.view);
+}
+
+void Replica::on_tc_msg(const types::TcMsg& m, NodeId) {
+  handle_tc(m.tc);
+}
+
+void Replica::enter_view(View view, pacemaker::AdvanceReason reason) {
+  // Garbage collection of per-view state.
+  const View gc_horizon = view > 64 ? view - 64 : 0;
+  votes_.gc_below(gc_horizon);
+  timeouts_.gc_below(gc_horizon);
+  echo_seen_.erase(echo_seen_.begin(), echo_seen_.lower_bound(gc_horizon));
+  if (!pending_proposals_.empty()) {
+    for (auto it = pending_proposals_.begin();
+         it != pending_proposals_.end();) {
+      it = (it->second.block->view() + 64 < view)
+               ? pending_proposals_.erase(it)
+               : std::next(it);
+    }
+  }
+  if (requested_blocks_.size() > 1024) requested_blocks_.clear();
+
+  try_propose(view, reason);
+}
+
+void Replica::try_propose(View view, pacemaker::AdvanceReason reason) {
+  if (crashed_ || election_.leader(view) != id_) return;
+  if (view <= last_proposed_view_) return;
+  if (strategy_ == ByzStrategy::kSilence) return;  // the silence attack
+
+  if (reason == pacemaker::AdvanceReason::kTimeoutCert &&
+      cfg_.propose_wait_after_vc > 0) {
+    // Non-responsive mode: wait Δ after a view change so that slow honest
+    // replicas' high QCs reach us (paper §II-C; §VI-D "t100").
+    sim_.schedule_after(cfg_.propose_wait_after_vc, [this, view] {
+      if (!crashed_ && pacemaker_.current_view() == view &&
+          view > last_proposed_view_) {
+        do_propose(view);
+      }
+    });
+    return;
+  }
+  do_propose(view);
+}
+
+void Replica::do_propose(View view) {
+  const std::size_t batch =
+      std::min<std::size_t>(cfg_.bsize, mempool_.size());
+  const sim::Duration cost =
+      cfg_.cpu_sign +
+      static_cast<sim::Duration>(batch) * cfg_.cpu_validate_per_tx;
+
+  enqueue_cpu(cost, [this, view] {
+    if (crashed_ || pacemaker_.current_view() != view ||
+        view <= last_proposed_view_) {
+      return;  // the cluster moved on while we were queued
+    }
+    const auto plan = plan_with_attack(view);
+    if (!plan) return;
+
+    types::Block::Fields fields;
+    fields.parent_hash = plan->parent->hash();
+    fields.view = view;
+    fields.height = plan->parent->height() + 1;
+    fields.proposer = id_;
+    fields.justify = plan->justify;
+    fields.txns = mempool_.take(cfg_.bsize);
+
+    auto block = std::make_shared<const types::Block>(std::move(fields));
+    types::ProposalMsg p;
+    p.block = block;
+    if (last_tc_ && last_tc_->view + 1 == view) p.tc = *last_tc_;
+    p.sig = keys_.sign(id_, block->hash());
+
+    last_proposed_view_ = view;
+    ++stats_.blocks_proposed;
+
+    net_.broadcast(id_, cfg_.n_replicas, types::make_message(p));
+    on_proposal(p, id_, /*self=*/true);
+  });
+}
+
+void Replica::note_public_qc(const types::QuorumCert& qc) {
+  if (qc.view > public_high_qc_.view) public_high_qc_ = qc;
+}
+
+std::optional<ProposalPlan> Replica::plan_with_attack(View view) {
+  const ProtocolContext ctx = context();
+  auto honest = safety_->plan_proposal(view, ctx);
+  if (strategy_ != ByzStrategy::kForking || safety_->fork_depth() == 0) {
+    return honest;
+  }
+  // Forking attack (paper §IV-A1, Fig. 5): build on the head of the honest
+  // replicas' locked chain instead of the tip. Honest locks derive from
+  // *public* QCs only — the freshest QC is private to this attacker, who
+  // gathered it as the previous view's vote collector — so the fork base
+  // is fork_depth-1 ancestors below the public high-QC block: in Fig. 5
+  // the attacker holds QC_3 privately, the public high QC certifies B2,
+  // and B4 is proposed on B1 = parent(B2), overwriting B2 and B3.
+  const BlockPtr public_tip = forest_.get(public_high_qc_.block_hash);
+  if (!public_tip) return honest;
+  const BlockPtr base =
+      forest_.ancestor(public_tip, safety_->fork_depth() - 1);
+  // Note: no check against this replica's own committed chain — a
+  // Byzantine proposer happily forks blocks it has privately committed
+  // (its withheld QC completes commit chains early). For the stock
+  // protocols the base never lies below the attacker's committed tip
+  // anyway; for weaker commit rules (examples/protocol_designer.cpp) the
+  // fork is exactly what exposes their unsafety.
+  if (!base) return honest;
+  const types::QuorumCert* base_qc = forest_.qc_for(base->hash());
+  if (base_qc == nullptr) return honest;
+  return ProposalPlan{base, *base_qc};
+}
+
+// --------------------------------------------------------------------------
+// Chain sync
+// --------------------------------------------------------------------------
+
+void Replica::request_block(const crypto::Digest& hash, NodeId from) {
+  if (from == id_ || from >= cfg_.n_replicas) return;
+  if (forest_.contains(hash)) return;
+  if (!requested_blocks_.insert(hash).second) return;
+  types::BlockRequestMsg req;
+  req.block_hash = hash;
+  net_.send(id_, from, types::make_message(req));
+}
+
+void Replica::on_block_request(const types::BlockRequestMsg& r, NodeId from) {
+  if (from >= cfg_.n_replicas) return;
+  if (const BlockPtr block = forest_.get(r.block_hash)) {
+    types::BlockResponseMsg resp;
+    resp.block = block;
+    net_.send(id_, from, types::make_message(std::move(resp)));
+  }
+}
+
+void Replica::on_block_response(const types::BlockResponseMsg& r,
+                                NodeId from) {
+  if (!r.block) return;
+  const forest::AddResult result = forest_.add(r.block);
+  switch (result) {
+    case forest::AddResult::kAdded: {
+      ++stats_.blocks_received;
+      requested_blocks_.erase(r.block->hash());
+      note_public_qc(r.block->justify());
+      process_qc(r.block->justify(), from);
+      if (const types::QuorumCert* qc = forest_.qc_for(r.block->hash());
+          qc != nullptr && !qc->is_genesis()) {
+        apply_qc(*qc);
+      }
+      retry_pending_proposals();
+      break;
+    }
+    case forest::AddResult::kOrphaned:
+      request_block(r.block->parent_hash(), from);
+      break;
+    case forest::AddResult::kDuplicate:
+    case forest::AddResult::kInvalid:
+      break;
+  }
+}
+
+}  // namespace bamboo::core

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/config.h"
+#include "core/safety.h"
+#include "crypto/signer.h"
+#include "election/leader_election.h"
+#include "forest/block_forest.h"
+#include "mempool/mempool.h"
+#include "net/network.h"
+#include "pacemaker/pacemaker.h"
+#include "quorum/vote_aggregator.h"
+#include "sim/simulator.h"
+
+namespace bamboo::core {
+
+/// Counters exported by a replica (inputs to the paper's metrics: CGR, BI,
+/// fork counts; plus engine health numbers asserted by tests).
+struct ReplicaStats {
+  std::uint64_t blocks_proposed = 0;
+  std::uint64_t blocks_received = 0;  ///< connected into the forest
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t blocks_forked = 0;  ///< pruned off the main chain
+  std::uint64_t txs_committed = 0;  ///< txs this replica served & committed
+  std::uint64_t votes_sent = 0;
+  std::uint64_t msgs_handled = 0;
+  std::uint64_t client_rejections = 0;
+  std::uint64_t safety_violations = 0;  ///< commit target off the main chain
+  sim::Duration cpu_busy = 0;
+};
+
+/// The protocol-agnostic replica engine. It wires the shared modules —
+/// block forest, mempool, pacemaker, vote/timeout aggregation, simulated
+/// network and CPU — around a SafetyProtocol that supplies the four
+/// protocol-specific rules. Byzantine strategies modify the Proposing rule
+/// (and, for crash, drop all traffic), as in the paper.
+///
+/// CPU model: every inbound message and every signing action is serviced by
+/// a single-server FIFO queue whose service times come from Config
+/// (cpu_verify, cpu_sign, cpu_ingest_per_tx, ...). This is the t_CPU of the
+/// paper's queuing model; together with the network's NIC queues it
+/// produces the M/D/1 behaviour the model predicts.
+class Replica {
+ public:
+  struct Hooks {
+    /// A block was committed at this replica (once per block, ascending).
+    std::function<void(const types::BlockPtr&, types::View commit_view,
+                       sim::Time when)>
+        on_commit_block;
+    /// A transaction served by this replica committed.
+    std::function<void(const types::Transaction&, sim::Time when)>
+        on_tx_committed;
+  };
+
+  Replica(sim::Simulator& simulator, net::SimNetwork& network,
+          const crypto::KeyStore& keys, const Config& config,
+          types::NodeId id, std::unique_ptr<SafetyProtocol> safety,
+          const election::LeaderElection& election, Hooks hooks = {});
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Register the network handler and enter view 1.
+  void start();
+
+  /// Fail-stop this replica (responsiveness experiment). A crashed replica
+  /// drops all traffic and fires no timers.
+  void crash();
+
+  /// Switch the Byzantine strategy at runtime (the Fig. 15 experiment
+  /// turns one replica silent mid-run). Not valid on a crashed replica.
+  void set_strategy(ByzStrategy strategy) { strategy_ = strategy; }
+
+  // --- accessors ----------------------------------------------------------
+  [[nodiscard]] types::NodeId id() const { return id_; }
+  [[nodiscard]] types::View current_view() const {
+    return pacemaker_.current_view();
+  }
+  [[nodiscard]] const forest::BlockForest& forest() const { return forest_; }
+  [[nodiscard]] mempool::Mempool& pool() { return mempool_; }
+  [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
+  [[nodiscard]] const SafetyProtocol& safety() const { return *safety_; }
+  [[nodiscard]] const pacemaker::Pacemaker& pm() const { return pacemaker_; }
+  [[nodiscard]] ByzStrategy strategy() const { return strategy_; }
+  [[nodiscard]] bool is_byzantine() const {
+    return strategy_ != ByzStrategy::kHonest;
+  }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+ private:
+  // --- CPU queue ----------------------------------------------------------
+  struct CpuWork {
+    sim::Duration cost;
+    std::function<void()> fn;
+  };
+  void enqueue_cpu(sim::Duration cost, std::function<void()> fn);
+  void cpu_run_next();
+  [[nodiscard]] sim::Duration cost_of(const types::Message& msg) const;
+
+  // --- inbound dispatch ----------------------------------------------------
+  void handle_envelope(const net::Envelope& env);
+  void dispatch(const net::Envelope& env);
+  void on_client_request(const types::ClientRequestMsg& req);
+  void on_proposal(const types::ProposalMsg& p, types::NodeId from,
+                   bool self);
+  void on_vote(const types::VoteMsg& v, types::NodeId from);
+  /// Track the highest QC that travelled over the wire (i.e. is known to
+  /// honest replicas) separately from QCs this replica formed itself as a
+  /// vote collector — the distinction the forking attacker exploits.
+  void note_public_qc(const types::QuorumCert& qc);
+  void on_timeout_msg(const types::TimeoutMsg& t, types::NodeId from);
+  void on_tc_msg(const types::TcMsg& m, types::NodeId from);
+  void on_block_request(const types::BlockRequestMsg& r, types::NodeId from);
+  void on_block_response(const types::BlockResponseMsg& r,
+                         types::NodeId from);
+
+  // --- consensus actions ---------------------------------------------------
+  void enter_view(types::View view, pacemaker::AdvanceReason reason);
+  void try_propose(types::View view, pacemaker::AdvanceReason reason);
+  void do_propose(types::View view);
+  [[nodiscard]] std::optional<ProposalPlan> plan_with_attack(types::View view);
+  void maybe_vote(const types::ProposalMsg& p);
+  void process_qc(const types::QuorumCert& qc, types::NodeId from);
+  void apply_qc(const types::QuorumCert& qc);
+  void do_commit(const crypto::Digest& target);
+  void broadcast_timeout(types::View view);
+  void handle_tc(const types::TimeoutCert& tc);
+  void request_block(const crypto::Digest& hash, types::NodeId from);
+  void echo(const types::MessagePtr& msg, types::View view,
+            const crypto::Digest& dedup_key);
+  void retry_pending_proposals();
+  void send_client_response(const types::Transaction& tx, bool rejected);
+  [[nodiscard]] types::QuorumCert reported_high_qc() const;
+  [[nodiscard]] ProtocolContext context();
+
+  sim::Simulator& sim_;
+  net::SimNetwork& net_;
+  const crypto::KeyStore& keys_;
+  const Config& cfg_;
+  types::NodeId id_;
+  std::unique_ptr<SafetyProtocol> safety_;
+  const election::LeaderElection& election_;
+  Hooks hooks_;
+  ByzStrategy strategy_ = ByzStrategy::kHonest;
+
+  forest::BlockForest forest_;
+  mempool::Mempool mempool_;
+  quorum::VoteAggregator votes_;
+  quorum::TimeoutAggregator timeouts_;
+  pacemaker::Pacemaker pacemaker_;
+
+  // CPU
+  std::deque<CpuWork> cpu_queue_;
+  bool cpu_busy_ = false;
+  bool crashed_ = false;
+
+  // consensus bookkeeping
+  types::View last_proposed_view_ = 0;
+  types::View last_timeout_sent_ = 0;
+  types::QuorumCert public_high_qc_;  ///< highest QC seen on the wire
+  std::optional<types::TimeoutCert> last_tc_;
+  std::unordered_map<crypto::Digest, types::ProposalMsg> pending_proposals_;
+  std::unordered_set<crypto::Digest> requested_blocks_;
+  std::map<types::View, std::unordered_set<crypto::Digest>> echo_seen_;
+
+  ReplicaStats stats_;
+};
+
+}  // namespace bamboo::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.h"
+#include "forest/block_forest.h"
+#include "types/block.h"
+#include "types/messages.h"
+
+namespace bamboo::core {
+
+/// What a leader should build on (Proposing rule output).
+struct ProposalPlan {
+  types::BlockPtr parent;
+  types::QuorumCert justify;
+};
+
+/// Read-only view of replica state handed to the safety rules.
+struct ProtocolContext {
+  types::NodeId id;
+  types::View current_view;
+  forest::BlockForest& forest;
+  const Config& config;
+};
+
+/// The paper's Safety module (§III-C): a chained-BFT protocol is fully
+/// specified by its Proposing, Voting, State-Updating, and Commit rules.
+/// Everything else (block forest, pacemaker, quorum, network, mempool) is
+/// shared infrastructure provided by the Replica engine — which is what
+/// makes cross-protocol comparisons apples-to-apples.
+///
+/// Implementations: protocols/hotstuff.h, protocols/twochain.h,
+/// protocols/streamlet.h, protocols/fast_hotstuff.h. See
+/// examples/protocol_designer.cpp for a walkthrough of writing a new one.
+class SafetyProtocol {
+ public:
+  virtual ~SafetyProtocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Proposing rule: choose the parent block and justification for a
+  /// proposal in `view`. Returns nullopt when the replica cannot propose
+  /// (e.g. the high-QC block has not been synced yet).
+  [[nodiscard]] virtual std::optional<ProposalPlan> plan_proposal(
+      types::View view, const ProtocolContext& ctx) = 0;
+
+  /// Voting rule: whether to vote for this proposal. Must be side-effect
+  /// free; the engine calls did_vote() after it actually votes.
+  [[nodiscard]] virtual bool should_vote(const types::ProposalMsg& proposal,
+                                         const ProtocolContext& ctx) = 0;
+
+  /// Record that the replica voted for `block` (updates lastVotedView etc.).
+  virtual void did_vote(const types::Block& block) = 0;
+
+  /// State-Updating rule: a QC certifying a block present in the forest was
+  /// observed (locks move here).
+  virtual void update_state(const types::QuorumCert& qc,
+                            const ProtocolContext& ctx) = 0;
+
+  /// Commit rule: given the newly observed QC, return the hash of the
+  /// highest block that becomes committed (its whole prefix commits with
+  /// it), or nullopt.
+  [[nodiscard]] virtual std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const ProtocolContext& ctx) = 0;
+
+  // --- protocol shape switches -------------------------------------------
+
+  /// Streamlet broadcasts votes; the HotStuff family sends them to the next
+  /// leader.
+  [[nodiscard]] virtual bool broadcast_votes() const { return false; }
+
+  /// Streamlet echoes every first-seen message to all peers (the O(n^3)
+  /// communication pattern).
+  [[nodiscard]] virtual bool echo_messages() const { return false; }
+
+  /// How many uncommitted tail blocks a forking attacker can overwrite
+  /// while still passing honest voting rules (paper §IV-A1): HotStuff 2,
+  /// two-chain HotStuff 1, Streamlet/Fast-HotStuff 0 (immune).
+  [[nodiscard]] virtual std::uint32_t fork_depth() const = 0;
+
+  /// Happy-path commit latency in chained views (block intervals start
+  /// here under no attack): 3 for HotStuff, 2 for two-chain variants.
+  [[nodiscard]] virtual std::uint32_t commit_chain_length() const = 0;
+
+  // --- introspection (tests, metrics) ------------------------------------
+  [[nodiscard]] virtual types::View locked_view() const = 0;
+  [[nodiscard]] virtual types::View last_voted_view() const = 0;
+};
+
+}  // namespace bamboo::core

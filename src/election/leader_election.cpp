@@ -1,0 +1,39 @@
+#include "election/leader_election.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace bamboo::election {
+
+types::NodeId HashElection::leader(types::View view) const {
+  crypto::Sha256 h;
+  h.update("bamboo-election");
+  h.update_u64(seed_);
+  h.update_u64(view);
+  const crypto::Digest d = h.finish();
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | d[static_cast<std::size_t>(i)];
+  return static_cast<types::NodeId>(x % n_);
+}
+
+std::unique_ptr<LeaderElection> make_election(const std::string& spec,
+                                              std::uint32_t num_replicas,
+                                              std::uint64_t seed) {
+  if (spec == "roundrobin" || spec.empty()) {
+    return std::make_unique<RoundRobinElection>(num_replicas);
+  }
+  if (spec == "hash") {
+    return std::make_unique<HashElection>(seed, num_replicas);
+  }
+  if (spec.rfind("static:", 0) == 0) {
+    const auto id = static_cast<types::NodeId>(std::stoul(spec.substr(7)));
+    if (id >= num_replicas) {
+      throw std::invalid_argument("static leader id out of range: " + spec);
+    }
+    return std::make_unique<StaticElection>(id);
+  }
+  throw std::invalid_argument("unknown election spec: " + spec);
+}
+
+}  // namespace bamboo::election

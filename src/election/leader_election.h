@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "types/ids.h"
+
+namespace bamboo::election {
+
+/// Maps a view to its designated leader. Implementations must be pure
+/// functions of the view so that all replicas agree without communication.
+class LeaderElection {
+ public:
+  virtual ~LeaderElection() = default;
+  [[nodiscard]] virtual types::NodeId leader(types::View view) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Rotate through replicas in id order (Table I: master = 0 means rotating).
+class RoundRobinElection final : public LeaderElection {
+ public:
+  explicit RoundRobinElection(std::uint32_t num_replicas)
+      : n_(num_replicas) {}
+  [[nodiscard]] types::NodeId leader(types::View view) const override {
+    return static_cast<types::NodeId>(view % n_);
+  }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// A fixed leader for every view (PBFT-style stable leader).
+class StaticElection final : public LeaderElection {
+ public:
+  explicit StaticElection(types::NodeId leader) : leader_(leader) {}
+  [[nodiscard]] types::NodeId leader(types::View) const override {
+    return leader_;
+  }
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  types::NodeId leader_;
+};
+
+/// Pseudo-random rotation via a hash of the view (the paper §V-E mentions
+/// hash-based election as a design choice the model generalizes to).
+class HashElection final : public LeaderElection {
+ public:
+  HashElection(std::uint64_t seed, std::uint32_t num_replicas)
+      : seed_(seed), n_(num_replicas) {}
+  [[nodiscard]] types::NodeId leader(types::View view) const override;
+  [[nodiscard]] std::string name() const override { return "hash"; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t n_;
+};
+
+/// Factory: "roundrobin" | "static:<id>" | "hash".
+std::unique_ptr<LeaderElection> make_election(const std::string& spec,
+                                              std::uint32_t num_replicas,
+                                              std::uint64_t seed);
+
+}  // namespace bamboo::election

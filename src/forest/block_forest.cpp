@@ -1,0 +1,274 @@
+#include "forest/block_forest.h"
+
+#include <algorithm>
+
+namespace bamboo::forest {
+
+using types::Block;
+using types::BlockPtr;
+using types::QuorumCert;
+
+BlockForest::BlockForest() {
+  BlockPtr genesis = Block::genesis();
+  Vertex v;
+  v.block = genesis;
+  v.committed = true;
+  vertices_.emplace(genesis->hash(), std::move(v));
+  committed_tip_ = genesis;
+  committed_hashes_.push_back(genesis->hash());
+  high_qc_ = Block::genesis_qc();
+  qcs_.emplace(genesis->hash(), high_qc_);
+  longest_certified_ = genesis;
+}
+
+AddResult BlockForest::add(BlockPtr block) {
+  if (!block) return AddResult::kInvalid;
+  if (vertices_.count(block->hash()) > 0) return AddResult::kDuplicate;
+
+  const auto parent_it = vertices_.find(block->parent_hash());
+  if (parent_it == vertices_.end()) {
+    auto& bucket = orphans_[block->parent_hash()];
+    // Avoid unbounded duplicates in the orphan buffer.
+    for (const BlockPtr& existing : bucket) {
+      if (existing->hash() == block->hash()) return AddResult::kOrphaned;
+    }
+    bucket.push_back(std::move(block));
+    return AddResult::kOrphaned;
+  }
+
+  if (block->height() != parent_it->second.block->height() + 1) {
+    return AddResult::kInvalid;
+  }
+
+  connect(std::move(block));
+  return AddResult::kAdded;
+}
+
+void BlockForest::connect(BlockPtr block) {
+  const crypto::Digest hash = block->hash();
+  vertices_[block->parent_hash()].children.push_back(hash);
+  Vertex v;
+  v.block = std::move(block);
+  vertices_.emplace(hash, std::move(v));
+  // If this block was certified before it arrived (QC travelled faster),
+  // refresh the certified-tip tracking now.
+  if (qcs_.count(hash) > 0) {
+    const BlockPtr& b = vertices_[hash].block;
+    if (!longest_certified_ ||
+        b->height() > longest_certified_->height() ||
+        (b->height() == longest_certified_->height() &&
+         b->view() > longest_certified_->view())) {
+      longest_certified_ = b;
+    }
+  }
+  flush_orphans_of(hash);
+}
+
+void BlockForest::flush_orphans_of(const crypto::Digest& parent_hash) {
+  const auto it = orphans_.find(parent_hash);
+  if (it == orphans_.end()) return;
+  std::vector<BlockPtr> pending = std::move(it->second);
+  orphans_.erase(it);
+  for (BlockPtr& orphan : pending) {
+    const auto parent_it = vertices_.find(parent_hash);
+    if (parent_it != vertices_.end() &&
+        orphan->height() == parent_it->second.block->height() + 1 &&
+        vertices_.count(orphan->hash()) == 0) {
+      connect(std::move(orphan));
+    }
+  }
+}
+
+bool BlockForest::contains(const crypto::Digest& hash) const {
+  return vertices_.count(hash) > 0;
+}
+
+BlockPtr BlockForest::get(const crypto::Digest& hash) const {
+  const auto it = vertices_.find(hash);
+  return it == vertices_.end() ? nullptr : it->second.block;
+}
+
+bool BlockForest::add_qc(const QuorumCert& qc) {
+  const auto [it, inserted] = qcs_.emplace(qc.block_hash, qc);
+  if (!inserted && qc.view > it->second.view) it->second = qc;
+  if (qc.view > high_qc_.view) high_qc_ = qc;
+
+  const BlockPtr block = get(qc.block_hash);
+  if (block && inserted) {
+    if (!longest_certified_ ||
+        block->height() > longest_certified_->height() ||
+        (block->height() == longest_certified_->height() &&
+         block->view() > longest_certified_->view())) {
+      longest_certified_ = block;
+    }
+  }
+  return inserted;
+}
+
+bool BlockForest::is_certified(const crypto::Digest& hash) const {
+  return qcs_.count(hash) > 0;
+}
+
+const QuorumCert* BlockForest::qc_for(const crypto::Digest& hash) const {
+  const auto it = qcs_.find(hash);
+  return it == qcs_.end() ? nullptr : &it->second;
+}
+
+BlockPtr BlockForest::high_qc_block() const { return get(high_qc_.block_hash); }
+
+bool BlockForest::extends(const crypto::Digest& descendant,
+                          const crypto::Digest& ancestor) const {
+  const BlockPtr anc = get(ancestor);
+  if (!anc) return false;
+  BlockPtr cursor = get(descendant);
+  while (cursor) {
+    if (cursor->hash() == ancestor) return true;
+    if (cursor->height() <= anc->height()) return false;
+    cursor = get(cursor->parent_hash());
+  }
+  return false;
+}
+
+BlockPtr BlockForest::ancestor(const BlockPtr& block, std::uint32_t k) const {
+  BlockPtr cursor = block;
+  for (std::uint32_t i = 0; i < k && cursor; ++i) {
+    cursor = get(cursor->parent_hash());
+  }
+  return cursor;
+}
+
+std::vector<BlockPtr> BlockForest::children(const crypto::Digest& hash) const {
+  std::vector<BlockPtr> out;
+  const auto it = vertices_.find(hash);
+  if (it == vertices_.end()) return out;
+  out.reserve(it->second.children.size());
+  for (const crypto::Digest& child : it->second.children) {
+    if (const BlockPtr b = get(child)) out.push_back(b);
+  }
+  return out;
+}
+
+std::optional<std::vector<BlockPtr>> BlockForest::commit(
+    const crypto::Digest& target) {
+  const BlockPtr tip = get(target);
+  if (!tip) return std::nullopt;
+  if (tip->height() <= committed_tip_->height()) {
+    // Already committed (or conflicts below the committed tip).
+    if (committed_hash_at(tip->height()) == tip->hash()) {
+      return std::vector<BlockPtr>{};
+    }
+    return std::nullopt;
+  }
+
+  // Walk down from the target to the committed tip, collecting the chain.
+  std::vector<BlockPtr> chain;
+  BlockPtr cursor = tip;
+  while (cursor && cursor->height() > committed_tip_->height()) {
+    chain.push_back(cursor);
+    cursor = get(cursor->parent_hash());
+  }
+  if (!cursor || cursor->hash() != committed_tip_->hash()) {
+    return std::nullopt;  // does not extend the main chain: refuse
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (const BlockPtr& b : chain) {
+    vertices_[b->hash()].committed = true;
+    committed_hashes_.push_back(b->hash());
+  }
+  committed_tip_ = tip;
+  return chain;
+}
+
+std::optional<crypto::Digest> BlockForest::committed_hash_at(
+    types::Height h) const {
+  if (h >= committed_hashes_.size()) return std::nullopt;
+  return committed_hashes_[h];
+}
+
+std::vector<BlockPtr> BlockForest::prune() {
+  // Keep: the committed chain (all heights; bodies of old committed blocks
+  // could move to cold storage, but the simulation keeps hashes only via
+  // committed_hashes_ and may drop old vertices), plus every descendant of
+  // the committed tip.
+  std::vector<BlockPtr> dropped;
+  // Mark descendants of the committed tip.
+  std::unordered_map<crypto::Digest, bool> keep;
+  keep.reserve(vertices_.size());
+  std::vector<crypto::Digest> stack{committed_tip_->hash()};
+  while (!stack.empty()) {
+    const crypto::Digest h = stack.back();
+    stack.pop_back();
+    keep[h] = true;
+    const auto it = vertices_.find(h);
+    if (it == vertices_.end()) continue;
+    for (const crypto::Digest& child : it->second.children) stack.push_back(child);
+  }
+
+  for (auto it = vertices_.begin(); it != vertices_.end();) {
+    const Vertex& v = it->second;
+    if (v.committed || keep.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    dropped.push_back(v.block);
+    qcs_.erase(it->first);
+    it = vertices_.erase(it);
+  }
+
+  // Remove dangling child links and stale orphans below the committed tip.
+  for (auto& [hash, vertex] : vertices_) {
+    auto& ch = vertex.children;
+    ch.erase(std::remove_if(ch.begin(), ch.end(),
+                            [this](const crypto::Digest& c) {
+                              return vertices_.count(c) == 0;
+                            }),
+             ch.end());
+  }
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    auto& bucket = it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [this](const BlockPtr& b) {
+                                  return b->height() <=
+                                         committed_tip_->height();
+                                }),
+                 bucket.end());
+    it = bucket.empty() ? orphans_.erase(it) : std::next(it);
+  }
+
+  // The longest certified tip may have been on a dropped branch.
+  if (!longest_certified_ ||
+      vertices_.count(longest_certified_->hash()) == 0) {
+    longest_certified_ = committed_tip_;
+    for (const auto& [hash, vertex] : vertices_) {
+      if (qcs_.count(hash) == 0) continue;
+      const BlockPtr& b = vertex.block;
+      if (b->height() > longest_certified_->height() ||
+          (b->height() == longest_certified_->height() &&
+           b->view() > longest_certified_->view())) {
+        longest_certified_ = b;
+      }
+    }
+  }
+  return dropped;
+}
+
+BlockPtr BlockForest::longest_certified_tip() const {
+  return longest_certified_ ? longest_certified_ : committed_tip_;
+}
+
+std::vector<crypto::Digest> BlockForest::missing_parents() const {
+  std::vector<crypto::Digest> out;
+  out.reserve(orphans_.size());
+  for (const auto& [parent_hash, bucket] : orphans_) {
+    if (!bucket.empty()) out.push_back(parent_hash);
+  }
+  return out;
+}
+
+std::size_t BlockForest::orphan_count() const {
+  std::size_t n = 0;
+  for (const auto& [parent_hash, bucket] : orphans_) n += bucket.size();
+  return n;
+}
+
+}  // namespace bamboo::forest

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/block.h"
+#include "types/certificates.h"
+
+namespace bamboo::forest {
+
+/// Result of inserting a block.
+enum class AddResult {
+  kAdded,      ///< inserted and connected to its parent
+  kDuplicate,  ///< already present
+  kOrphaned,   ///< parent unknown; buffered until the parent arrives
+  kInvalid,    ///< height does not equal parent height + 1
+};
+
+/// The paper's *data* module: a height-indexed forest of blocks with a QC
+/// store, orphan buffering, main-chain (committed) tracking, and pruning.
+///
+/// Invariants maintained:
+///  * every connected vertex has height == parent height + 1;
+///  * committed blocks form a single chain from genesis (the main chain);
+///  * after prune(), every stored block is the committed tip, one of its
+///    ancestors on the main chain, or a descendant of the committed tip.
+class BlockForest {
+ public:
+  BlockForest();
+
+  /// Insert a block. Orphans (parent not yet known) are buffered and
+  /// connected automatically when the parent arrives; the return value for
+  /// the *triggering* block is still kOrphaned in that case.
+  AddResult add(types::BlockPtr block);
+
+  [[nodiscard]] bool contains(const crypto::Digest& hash) const;
+  [[nodiscard]] types::BlockPtr get(const crypto::Digest& hash) const;
+
+  /// Record a QC. Keeps the highest-view QC reachable via high_qc().
+  /// Returns true if this certifies a block for the first time.
+  bool add_qc(const types::QuorumCert& qc);
+
+  [[nodiscard]] bool is_certified(const crypto::Digest& hash) const;
+  [[nodiscard]] const types::QuorumCert* qc_for(
+      const crypto::Digest& hash) const;
+  [[nodiscard]] const types::QuorumCert& high_qc() const { return high_qc_; }
+
+  /// Block certified by the highest QC, if present in the forest.
+  [[nodiscard]] types::BlockPtr high_qc_block() const;
+
+  /// True if `descendant` has `ancestor` on its parent path (or equals it).
+  /// Unknown hashes yield false.
+  [[nodiscard]] bool extends(const crypto::Digest& descendant,
+                             const crypto::Digest& ancestor) const;
+
+  /// k-th ancestor of a block (k=0 returns the block itself); nullptr when
+  /// the walk leaves the forest.
+  [[nodiscard]] types::BlockPtr ancestor(const types::BlockPtr& block,
+                                         std::uint32_t k) const;
+
+  /// Direct children currently known.
+  [[nodiscard]] std::vector<types::BlockPtr> children(
+      const crypto::Digest& hash) const;
+
+  /// Commit `target` and all its uncommitted ancestors. Returns the newly
+  /// committed blocks in ascending height order. Returns nullopt — and
+  /// commits nothing — if target does not extend the committed tip
+  /// (a safety violation in the calling protocol).
+  std::optional<std::vector<types::BlockPtr>> commit(
+      const crypto::Digest& target);
+
+  [[nodiscard]] types::BlockPtr committed_tip() const { return committed_tip_; }
+  [[nodiscard]] types::Height committed_height() const {
+    return committed_tip_->height();
+  }
+
+  /// Hash of the committed block at a height (consistency checks across
+  /// replicas, paper §III-A); nullopt if not yet committed that far.
+  [[nodiscard]] std::optional<crypto::Digest> committed_hash_at(
+      types::Height h) const;
+
+  /// Drop every block that is not on the main chain and not a descendant of
+  /// the committed tip. Returns the dropped blocks (the forked-out blocks
+  /// whose transactions the replica recycles into its mempool).
+  std::vector<types::BlockPtr> prune();
+
+  /// Tip of the longest certified ("notarized") chain — Streamlet's
+  /// proposing base. Ties break toward the higher view, then lower hash.
+  [[nodiscard]] types::BlockPtr longest_certified_tip() const;
+
+  /// Hashes whose parents are missing (targets for chain sync).
+  [[nodiscard]] std::vector<crypto::Digest> missing_parents() const;
+
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t orphan_count() const;
+
+ private:
+  struct Vertex {
+    types::BlockPtr block;
+    std::vector<crypto::Digest> children;
+    bool committed = false;
+  };
+
+  void connect(types::BlockPtr block);
+  void flush_orphans_of(const crypto::Digest& parent_hash);
+
+  std::unordered_map<crypto::Digest, Vertex> vertices_;
+  std::unordered_map<crypto::Digest, types::QuorumCert> qcs_;
+  std::unordered_map<crypto::Digest, std::vector<types::BlockPtr>> orphans_;
+  types::QuorumCert high_qc_;
+  types::BlockPtr committed_tip_;
+  std::vector<crypto::Digest> committed_hashes_;  // indexed by height
+  types::BlockPtr longest_certified_;
+};
+
+}  // namespace bamboo::forest

@@ -1,0 +1,221 @@
+#include "harness/experiment.h"
+
+#include <memory>
+
+#include "util/stats.h"
+
+namespace bamboo::harness {
+
+namespace {
+
+/// Observer-side accumulators for CGR and block intervals.
+struct ObserverState {
+  bool measuring = false;
+  util::RunningStats block_intervals;
+  std::uint64_t committed_in_window = 0;
+};
+
+struct Snapshot {
+  std::uint64_t blocks_received = 0;
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t blocks_forked = 0;
+  types::View view = 0;
+  std::uint64_t timeouts = 0;
+
+  static Snapshot of(const Cluster& cluster) {
+    const core::Replica& obs = cluster.replica(0);
+    Snapshot s;
+    s.blocks_received = obs.stats().blocks_received;
+    s.blocks_committed = obs.stats().blocks_committed;
+    s.blocks_forked = obs.stats().blocks_forked;
+    s.view = obs.current_view();
+    s.timeouts = cluster.total_timeouts();
+    return s;
+  }
+};
+
+RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
+                   const ObserverState& obs, const Snapshot& before,
+                   const Snapshot& after) {
+  RunResult r;
+  r.measured_s = driver.measured_seconds();
+  r.throughput_tps =
+      r.measured_s > 0
+          ? static_cast<double>(driver.measured_completed()) / r.measured_s
+          : 0.0;
+  auto& lat = driver.latencies_ms();
+  r.latency_samples = lat.count();
+  if (!lat.empty()) {
+    r.latency_ms_mean = lat.mean();
+    r.latency_ms_p50 = lat.percentile(50);
+    r.latency_ms_p99 = lat.percentile(99);
+  }
+
+  r.views = after.view - before.view;
+  r.blocks_committed = after.blocks_committed - before.blocks_committed;
+  r.blocks_received = after.blocks_received - before.blocks_received;
+  r.blocks_forked = after.blocks_forked - before.blocks_forked;
+  r.timeouts = after.timeouts - before.timeouts;
+  r.rejected = driver.stats().rejected;
+
+  r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /
+                                     static_cast<double>(r.views)
+                               : 0.0;
+  r.cgr_per_block =
+      r.blocks_received > 0
+          ? static_cast<double>(r.blocks_committed) /
+                static_cast<double>(r.blocks_received)
+          : 0.0;
+  r.block_interval = obs.block_intervals.mean();
+
+  r.consistent = cluster.check_consistency().consistent;
+  for (types::NodeId id = 0; id < cluster.size(); ++id) {
+    r.safety_violations += cluster.replica(id).stats().safety_violations;
+  }
+  return r;
+}
+
+client::WorkloadConfig with_payload(const client::WorkloadConfig& wl,
+                                    const core::Config& cfg) {
+  client::WorkloadConfig out = wl;
+  out.payload_size = cfg.psize;
+  return out;
+}
+
+}  // namespace
+
+RunResult run_experiment(const core::Config& cfg,
+                         const client::WorkloadConfig& wl,
+                         const RunOptions& opts) {
+  Cluster cluster(cfg);
+  auto obs = std::make_shared<ObserverState>();
+
+  core::Replica::Hooks hooks;
+  hooks.on_commit_block = [obs](const types::BlockPtr& block,
+                                types::View commit_view, sim::Time) {
+    if (!obs->measuring) return;
+    ++obs->committed_in_window;
+    if (commit_view > block->view()) {
+      obs->block_intervals.add(
+          static_cast<double>(commit_view - block->view()));
+    }
+  };
+  cluster.set_hooks(0, std::move(hooks));
+
+  client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
+                                cluster.config(), with_payload(wl, cfg));
+  driver.install();
+  cluster.start();
+  driver.start();
+
+  cluster.simulator().run_for(sim::from_seconds(opts.warmup_s));
+  const Snapshot before = Snapshot::of(cluster);
+  driver.begin_measurement();
+  obs->measuring = true;
+
+  cluster.simulator().run_for(sim::from_seconds(opts.measure_s));
+  obs->measuring = false;
+  driver.end_measurement();
+  const Snapshot after = Snapshot::of(cluster);
+  driver.stop();
+
+  return finalize(cluster, driver, *obs, before, after);
+}
+
+std::vector<SweepPoint> sweep_closed_loop(
+    const core::Config& cfg, const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies, const RunOptions& opts) {
+  std::vector<SweepPoint> points;
+  points.reserve(concurrencies.size());
+  for (std::uint32_t c : concurrencies) {
+    client::WorkloadConfig wl = base_wl;
+    wl.mode = client::LoadMode::kClosedLoop;
+    wl.concurrency = c;
+    points.push_back(SweepPoint{static_cast<double>(c),
+                                run_experiment(cfg, wl, opts)});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_open_loop(const core::Config& cfg,
+                                        const client::WorkloadConfig& base_wl,
+                                        const std::vector<double>& rates_tps,
+                                        const RunOptions& opts) {
+  std::vector<SweepPoint> points;
+  points.reserve(rates_tps.size());
+  for (double rate : rates_tps) {
+    client::WorkloadConfig wl = base_wl;
+    wl.mode = client::LoadMode::kOpenLoop;
+    wl.arrival_rate_tps = rate;
+    points.push_back(SweepPoint{rate, run_experiment(cfg, wl, opts)});
+  }
+  return points;
+}
+
+TimelineResult run_responsiveness_timeline(
+    const core::Config& cfg, const client::WorkloadConfig& wl,
+    double horizon_s, double bucket_s, double fluct_start_s,
+    double fluct_end_s, sim::Duration fluct_lo, sim::Duration fluct_hi,
+    double crash_at_s, types::NodeId crash_replica, FaultKind fault) {
+  Cluster cluster(cfg);
+  auto obs = std::make_shared<ObserverState>();
+  obs->measuring = true;
+
+  core::Replica::Hooks hooks;
+  hooks.on_commit_block = [obs](const types::BlockPtr& block,
+                                types::View commit_view, sim::Time) {
+    if (commit_view > block->view()) {
+      obs->block_intervals.add(
+          static_cast<double>(commit_view - block->view()));
+    }
+  };
+  cluster.set_hooks(0, std::move(hooks));
+
+  client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
+                                cluster.config(), with_payload(wl, cfg));
+  util::TimelineCounter timeline(bucket_s, horizon_s);
+  driver.set_timeline(&timeline);
+  driver.install();
+
+  auto& simulator = cluster.simulator();
+  simulator.schedule_at(sim::from_seconds(fluct_start_s),
+                        [&cluster, fluct_lo, fluct_hi] {
+                          cluster.network().set_fluctuation(fluct_lo,
+                                                            fluct_hi);
+                        });
+  simulator.schedule_at(sim::from_seconds(fluct_end_s), [&cluster] {
+    cluster.network().set_fluctuation(0, 0);
+  });
+  if (crash_at_s > 0) {
+    simulator.schedule_at(sim::from_seconds(crash_at_s),
+                          [&cluster, crash_replica, fault] {
+                            if (fault == FaultKind::kCrash) {
+                              cluster.crash_replica(crash_replica);
+                            } else {
+                              cluster.silence_replica(crash_replica);
+                            }
+                          });
+  }
+
+  cluster.start();
+  driver.start();
+  driver.begin_measurement();
+  const Snapshot before{};  // zero: whole run counted
+  simulator.run_for(sim::from_seconds(horizon_s));
+  driver.end_measurement();
+  const Snapshot after = Snapshot::of(cluster);
+  driver.stop();
+
+  TimelineResult result;
+  result.summary = finalize(cluster, driver, *obs, before, after);
+  const auto buckets = static_cast<std::size_t>(horizon_s / bucket_s);
+  result.bucket_start_s.reserve(buckets);
+  result.tx_per_s.reserve(buckets);
+  for (std::size_t i = 0; i < buckets && i < timeline.num_buckets(); ++i) {
+    result.bucket_start_s.push_back(timeline.bucket_start(i));
+    result.tx_per_s.push_back(timeline.rate(i));
+  }
+  return result;
+}
+
+}  // namespace bamboo::harness

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "client/workload.h"
+#include "core/config.h"
+#include "harness/cluster.h"
+
+namespace bamboo::harness {
+
+/// Everything one benchmark run produces — the paper's four metrics
+/// (throughput, latency, chain growth rate, block interval; §IV-B) plus
+/// engine health numbers.
+struct RunResult {
+  // paper metrics
+  double throughput_tps = 0;  ///< committed tx/s confirmed at clients
+  double latency_ms_mean = 0;
+  double latency_ms_p50 = 0;
+  double latency_ms_p99 = 0;
+  /// Committed blocks per elapsed view (Eq. 1 read literally).
+  double cgr_per_view = 0;
+  /// Committed blocks per block appended to the chain (the reading that
+  /// matches the Fig. 13/14 narratives; DESIGN.md §1).
+  double cgr_per_block = 0;
+  /// Mean views from a block's proposal to its commitment (Eq. 2).
+  double block_interval = 0;
+
+  // run accounting
+  double measured_s = 0;
+  std::uint64_t latency_samples = 0;
+  std::uint64_t views = 0;
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t blocks_received = 0;
+  std::uint64_t blocks_forked = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rejected = 0;
+
+  // invariants
+  bool consistent = true;
+  std::uint64_t safety_violations = 0;
+};
+
+struct RunOptions {
+  double warmup_s = 0.5;
+  double measure_s = 1.5;
+};
+
+/// Build a cluster + workload from `cfg`/`wl`, run warm-up then the
+/// measurement window, and compute all metrics (observer = replica 0).
+RunResult run_experiment(const core::Config& cfg,
+                         const client::WorkloadConfig& wl,
+                         const RunOptions& opts = {});
+
+/// One point of a latency/throughput curve.
+struct SweepPoint {
+  double offered;  ///< concurrency (closed loop) or λ in tx/s (open loop)
+  RunResult result;
+};
+
+/// The paper's saturation methodology: raise closed-loop concurrency until
+/// throughput stops improving; each level is an independent run.
+std::vector<SweepPoint> sweep_closed_loop(
+    const core::Config& cfg, const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies,
+    const RunOptions& opts = {});
+
+/// Open-loop λ sweep (model validation, Table II / Fig. 8).
+std::vector<SweepPoint> sweep_open_loop(const core::Config& cfg,
+                                        const client::WorkloadConfig& base_wl,
+                                        const std::vector<double>& rates_tps,
+                                        const RunOptions& opts = {});
+
+/// How the Fig. 15 fault is injected at crash_at_s.
+enum class FaultKind {
+  kSilence,  ///< the paper's "silence attack (crash)": stops proposing
+  kCrash,    ///< hard fail-stop
+};
+
+/// The Fig. 15 responsiveness timeline: run for `horizon_s`, injecting
+/// network fluctuation during [fluct_start_s, fluct_end_s] (extra one-way
+/// delay uniform in [fluct_lo, fluct_hi]) and faulting `crash_replica` at
+/// crash_at_s (negative disables). Returns committed-transaction rate per
+/// `bucket_s` bucket.
+struct TimelineResult {
+  std::vector<double> bucket_start_s;
+  std::vector<double> tx_per_s;
+  RunResult summary;  ///< whole-run totals (latency window = whole run)
+};
+TimelineResult run_responsiveness_timeline(
+    const core::Config& cfg, const client::WorkloadConfig& wl,
+    double horizon_s, double bucket_s, double fluct_start_s,
+    double fluct_end_s, sim::Duration fluct_lo, sim::Duration fluct_hi,
+    double crash_at_s, types::NodeId crash_replica,
+    FaultKind fault = FaultKind::kSilence);
+
+}  // namespace bamboo::harness

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bamboo::harness {
+
+/// Fixed-width text table used by the bench binaries to print the rows and
+/// series of the paper's tables and figures.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& out) const;
+
+  /// Format a double with fixed precision.
+  static std::string num(double value, int precision = 1);
+  /// Format an integer with thousands separators (e.g. "19,992").
+  static std::string count(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bamboo::harness

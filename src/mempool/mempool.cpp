@@ -1,0 +1,58 @@
+#include "mempool/mempool.h"
+
+namespace bamboo::mempool {
+
+bool Mempool::add_new(types::Transaction tx) {
+  if (live_ >= capacity_ || present_.count(tx.id) > 0) {
+    ++rejected_;
+    return false;
+  }
+  present_.insert(tx.id);
+  queue_.push_back(std::move(tx));
+  ++live_;
+  return true;
+}
+
+std::size_t Mempool::recycle(const std::vector<types::Transaction>& txns) {
+  // Insert at the front preserving order: walk the batch backwards and
+  // push_front each element.
+  std::size_t inserted = 0;
+  for (auto it = txns.rbegin(); it != txns.rend(); ++it) {
+    const types::Transaction& tx = *it;
+    if (present_.count(tx.id) > 0 || tombstoned_.count(tx.id) > 0) continue;
+    if (live_ >= capacity_) {
+      ++rejected_;
+      continue;
+    }
+    present_.insert(tx.id);
+    queue_.push_front(tx);
+    ++live_;
+    ++inserted;
+  }
+  recycled_ += inserted;
+  return inserted;
+}
+
+std::vector<types::Transaction> Mempool::take(std::size_t max_n) {
+  std::vector<types::Transaction> out;
+  out.reserve(max_n < live_ ? max_n : live_);
+  while (out.size() < max_n && !queue_.empty()) {
+    types::Transaction tx = std::move(queue_.front());
+    queue_.pop_front();
+    present_.erase(tx.id);
+    if (tombstoned_.erase(tx.id) > 0) {
+      continue;  // committed while pooled; drop silently
+    }
+    --live_;
+    out.push_back(std::move(tx));
+  }
+  return out;
+}
+
+void Mempool::mark_committed(types::TxId id) {
+  if (present_.count(id) > 0 && tombstoned_.insert(id).second) {
+    --live_;
+  }
+}
+
+}  // namespace bamboo::mempool

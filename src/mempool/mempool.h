@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "types/transaction.h"
+
+namespace bamboo::mempool {
+
+/// The paper's memory pool (§III-E): a bidirectional queue. New transactions
+/// enter at the back; transactions recovered from forked-out blocks re-enter
+/// at the front so they are re-proposed first. Each replica owns one local
+/// pool (clients submit to exactly one replica), which makes duplicate
+/// checks local.
+class Mempool {
+ public:
+  /// capacity = Table I "memsize" (maximum transactions held).
+  explicit Mempool(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Append a fresh client transaction. Returns false (rejected) when the
+  /// pool is full or the id is already present.
+  bool add_new(types::Transaction tx);
+
+  /// Re-insert transactions from forked-out blocks at the *front*, keeping
+  /// their relative order. Already-present or already-committed ids are
+  /// skipped. Returns how many were re-inserted.
+  std::size_t recycle(const std::vector<types::Transaction>& txns);
+
+  /// Remove and return up to `max_n` transactions from the front.
+  std::vector<types::Transaction> take(std::size_t max_n);
+
+  /// Record that a transaction committed; if it is still pooled it will be
+  /// dropped instead of proposed again.
+  void mark_committed(types::TxId id);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t rejected_count() const { return rejected_; }
+  [[nodiscard]] std::uint64_t recycled_count() const { return recycled_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<types::Transaction> queue_;
+  std::unordered_set<types::TxId> present_;     // ids currently in queue_
+  std::unordered_set<types::TxId> tombstoned_;  // committed while pooled
+  std::size_t live_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+}  // namespace bamboo::mempool

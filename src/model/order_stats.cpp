@@ -1,0 +1,90 @@
+#include "model/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bamboo::model {
+
+namespace {
+
+double std_normal_pdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014326779399461;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double std_normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double normal_order_statistic(std::uint32_t k, std::uint32_t n) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("order statistic index out of range");
+  }
+  // log of the coefficient n! / ((k-1)! (n-k)!)
+  const double log_coeff = std::lgamma(static_cast<double>(n) + 1.0) -
+                           std::lgamma(static_cast<double>(k)) -
+                           std::lgamma(static_cast<double>(n - k) + 1.0);
+
+  // Simpson's rule over [-8, 8]; the integrand decays like the normal tail.
+  const double lo = -8.0;
+  const double hi = 8.0;
+  const std::uint32_t intervals = 16000;  // even
+  const double h = (hi - lo) / intervals;
+
+  auto integrand = [&](double x) {
+    const double cdf = std_normal_cdf(x);
+    const double sf = 1.0 - cdf;
+    if (cdf <= 0.0 || sf <= 0.0) return 0.0;
+    const double log_density = log_coeff +
+                               static_cast<double>(k - 1) * std::log(cdf) +
+                               static_cast<double>(n - k) * std::log(sf);
+    return x * std::exp(log_density) * std_normal_pdf(x);
+  };
+
+  double sum = integrand(lo) + integrand(hi);
+  for (std::uint32_t i = 1; i < intervals; ++i) {
+    const double x = lo + h * i;
+    sum += integrand(x) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double normal_order_statistic(std::uint32_t k, std::uint32_t n, double mean,
+                              double stddev) {
+  return mean + stddev * normal_order_statistic(k, n);
+}
+
+double normal_order_statistic_mc(std::uint32_t k, std::uint32_t n,
+                                 double mean, double stddev,
+                                 std::uint32_t trials, util::Rng& rng) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("order statistic index out of range");
+  }
+  std::vector<double> sample(n);
+  double total = 0.0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sample[i] = rng.gaussian(mean, stddev);
+    }
+    std::nth_element(sample.begin(), sample.begin() + (k - 1), sample.end());
+    total += sample[k - 1];
+  }
+  return total / trials;
+}
+
+double quorum_delay(std::uint32_t n_replicas, double rtt_mean,
+                    double rtt_stddev) {
+  if (n_replicas < 2) return 0.0;
+  // k = ceil(2N/3) - 1 votes still needed out of n = N-1 peers (§V-B2).
+  const auto k = static_cast<std::uint32_t>(
+      (2 * n_replicas + 2) / 3 - 1);  // ceil(2N/3) - 1
+  const std::uint32_t n = n_replicas - 1;
+  const std::uint32_t k_clamped = std::min(std::max<std::uint32_t>(k, 1), n);
+  return normal_order_statistic(k_clamped, n, rtt_mean, rtt_stddev);
+}
+
+}  // namespace bamboo::model

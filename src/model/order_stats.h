@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace bamboo::model {
+
+/// Expected value of the k-th order statistic (1-based, k of n) of n i.i.d.
+/// standard normal variables, by numerical integration of
+///   E[X_(k:n)] = ∫ x · C(n,k) · k · Φ(x)^(k-1) · (1-Φ(x))^(n-k) · φ(x) dx.
+/// Used for the paper's t_Q: the time for a leader to gather a quorum of
+/// votes is the (⌈2N/3⌉-1)-th order statistic of N-1 normal delays (§V-B2).
+[[nodiscard]] double normal_order_statistic(std::uint32_t k, std::uint32_t n);
+
+/// Same expectation for Normal(mean, stddev).
+[[nodiscard]] double normal_order_statistic(std::uint32_t k, std::uint32_t n,
+                                            double mean, double stddev);
+
+/// Monte-Carlo estimate (cross-check; the paper suggests this route too).
+[[nodiscard]] double normal_order_statistic_mc(std::uint32_t k,
+                                               std::uint32_t n, double mean,
+                                               double stddev,
+                                               std::uint32_t trials,
+                                               util::Rng& rng);
+
+/// The paper's quorum-delay term t_Q for N replicas with RTT ~ N(µ, σ):
+/// the (⌈2N/3⌉-1)-th order statistic of N-1 i.i.d. Normal(µ, σ) delays
+/// (the leader already holds its own vote).
+[[nodiscard]] double quorum_delay(std::uint32_t n_replicas, double rtt_mean,
+                                  double rtt_stddev);
+
+}  // namespace bamboo::model

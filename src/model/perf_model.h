@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+
+namespace bamboo::model {
+
+/// The paper's §V queuing model, with constants derived from the same
+/// Config that drives the simulator so that Fig. 8 (model vs
+/// implementation) is an honest comparison.
+///
+/// Latency of a transaction (Eq. 3):
+///   latency = t_L + t_s + t_commit + w_Q (+ turn-wait, see below)
+/// where
+///   t_L       — client/replica round trip (= µ),
+///   t_s       — block service time: CPU stages + NIC hops + quorum wait
+///               (Eq. 4: 3·t_CPU + 2·t_NIC + t_Q; we expand the three CPU
+///               terms from the config's sign/verify/validate costs and use
+///               the actual wire size per hop),
+///   t_commit  — 2·t_s for HotStuff's three-chain, t_s for two-chain
+///               HotStuff and Streamlet (§V-D),
+///   w_Q       — M/D/1 waiting time ρ/(2u(1-ρ)) with u = 1/(N·S) and
+///               ρ = λ·S/n, S being the per-view bottleneck service time
+///               (leader CPU, leader NIC, or replica CPU — whichever
+///               saturates first).
+///
+/// Refinement over the paper (allowed by §V-E "our analysis can be
+/// generalized"): an explicit *turn-wait* term (N-1)/2 · V for the views a
+/// transaction waits until its serving replica leads; the paper's
+/// empirically-measured t_CPU absorbed this constant.
+class PerfModel {
+ public:
+  explicit PerfModel(const core::Config& cfg, std::string protocol = "");
+
+  // --- building blocks (milliseconds) -------------------------------------
+  [[nodiscard]] double block_bytes() const;
+  [[nodiscard]] double t_nic_block_ms() const;  ///< 2m/b for a proposal hop
+  [[nodiscard]] double t_nic_vote_ms() const;   ///< 2m/b for a vote hop
+  [[nodiscard]] double t_q_ms() const;          ///< quorum-wait order stat
+  [[nodiscard]] double t_cpu_propose_ms() const;
+  [[nodiscard]] double t_cpu_replica_ms() const;
+  [[nodiscard]] double t_cpu_quorum_ms() const;
+
+  /// Block pipeline latency t_s (Eq. 4 expanded).
+  [[nodiscard]] double t_s_ms() const;
+  /// Time from certification to commitment (protocol dependent, §V-C3/D).
+  [[nodiscard]] double t_commit_ms() const;
+  /// Per-view bottleneck service time S (drives saturation).
+  [[nodiscard]] double service_ms() const;
+  /// Saturation throughput n/S in tx/s.
+  [[nodiscard]] double saturation_tps() const;
+  /// M/D/1 waiting time at arrival rate λ (tx/s); infinite past saturation.
+  [[nodiscard]] double w_q_ms(double lambda_tps) const;
+  /// Mean wait for the serving replica's turn to lead.
+  [[nodiscard]] double turn_wait_ms() const;
+
+  /// End-to-end predicted latency at arrival rate λ (tx/s).
+  [[nodiscard]] double latency_ms(double lambda_tps) const;
+
+ private:
+  core::Config cfg_;
+  std::string protocol_;
+  bool echo_ = false;         // Streamlet message pattern
+  std::uint32_t commit_multiplier_ = 2;  // t_commit = multiplier * t_s
+};
+
+}  // namespace bamboo::model

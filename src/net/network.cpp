@@ -1,0 +1,174 @@
+#include "net/network.h"
+
+#include <cmath>
+
+namespace bamboo::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, std::uint32_t num_endpoints,
+                       NetConfig config)
+    : sim_(simulator), cfg_(config), endpoints_(num_endpoints) {}
+
+void SimNetwork::set_handler(types::NodeId endpoint, Handler handler) {
+  endpoints_.at(endpoint).handler = std::move(handler);
+}
+
+sim::Duration SimNetwork::serialization_delay(std::uint64_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / cfg_.bandwidth_bps;
+  return sim::from_seconds(seconds);
+}
+
+sim::Duration SimNetwork::sample_one_way_delay() {
+  // RTT ~ Normal(µ, σ); a one-way hop gets half the mean and σ/√2 so two
+  // hops compose back to the modeled RTT distribution.
+  const double mean = static_cast<double>(cfg_.rtt_mean) / 2.0;
+  const double sd = static_cast<double>(cfg_.rtt_stddev) / std::sqrt(2.0);
+  auto delay = static_cast<sim::Duration>(sim_.rng().gaussian(mean, sd));
+
+  if (cfg_.added_delay > 0 || cfg_.added_delay_jitter > 0) {
+    delay += static_cast<sim::Duration>(
+        sim_.rng().gaussian(static_cast<double>(cfg_.added_delay),
+                            static_cast<double>(cfg_.added_delay_jitter)));
+  }
+  if (fluct_hi_ > fluct_lo_) {
+    delay += sim_.rng().uniform_int(fluct_lo_, fluct_hi_);
+  } else if (fluct_hi_ > 0 && fluct_hi_ == fluct_lo_) {
+    delay += fluct_hi_;
+  }
+  return delay < cfg_.min_one_way ? cfg_.min_one_way : delay;
+}
+
+void SimNetwork::send(types::NodeId from, types::NodeId to,
+                      types::MessagePtr msg) {
+  Endpoint& src = endpoints_.at(from);
+  if (src.down) {
+    ++messages_dropped_;
+    return;
+  }
+  if (!partition_.empty() && from < partition_.size() &&
+      to < partition_.size() && partition_[from] != partition_[to]) {
+    ++messages_dropped_;
+    return;
+  }
+
+  const std::uint64_t bytes = types::wire_size(*msg);
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+
+  if (from == to) {
+    // Loopback: deliver through the scheduler (keeps handler reentrancy
+    // simple) but skip the NIC queues and the link.
+    Envelope env{from, to, sim_.now(), bytes, std::move(msg)};
+    sim_.schedule_after(0, [this, env = std::move(env)] {
+      Endpoint& ep = endpoints_[env.to];
+      if (!ep.down && ep.handler) ep.handler(env);
+    });
+    return;
+  }
+
+  src.egress.push_back(Outgoing{to, bytes, std::move(msg), sim_.now()});
+  if (!src.egress_busy) start_egress(from);
+}
+
+void SimNetwork::broadcast(types::NodeId from, std::uint32_t n_replicas,
+                           const types::MessagePtr& msg) {
+  for (types::NodeId to = 0; to < n_replicas; ++to) {
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+void SimNetwork::start_egress(types::NodeId id) {
+  Endpoint& ep = endpoints_[id];
+  if (ep.egress.empty()) {
+    ep.egress_busy = false;
+    return;
+  }
+  ep.egress_busy = true;
+  const sim::Duration tx_time = serialization_delay(ep.egress.front().bytes);
+  sim_.schedule_after(tx_time, [this, id] { finish_egress(id); });
+}
+
+void SimNetwork::finish_egress(types::NodeId id) {
+  Endpoint& ep = endpoints_[id];
+  if (ep.egress.empty()) {
+    ep.egress_busy = false;
+    return;
+  }
+  Outgoing out = std::move(ep.egress.front());
+  ep.egress.pop_front();
+
+  if (!ep.down) {
+    Envelope env{id, out.to, out.queued_at, out.bytes, std::move(out.msg)};
+    const sim::Duration link = sample_one_way_delay();
+    sim_.schedule_after(link, [this, env = std::move(env)]() mutable {
+      arrive(std::move(env));
+    });
+  } else {
+    ++messages_dropped_;
+  }
+  start_egress(id);
+}
+
+void SimNetwork::arrive(Envelope env) {
+  const types::NodeId to = env.to;
+  Endpoint& dst = endpoints_.at(to);
+  if (dst.down) {
+    ++messages_dropped_;
+    return;
+  }
+  dst.ingress.push_back(std::move(env));
+  if (!dst.ingress_busy) start_ingress(to);
+}
+
+void SimNetwork::start_ingress(types::NodeId id) {
+  Endpoint& ep = endpoints_[id];
+  if (ep.ingress.empty()) {
+    ep.ingress_busy = false;
+    return;
+  }
+  ep.ingress_busy = true;
+  const sim::Duration rx_time = serialization_delay(ep.ingress.front().bytes);
+  sim_.schedule_after(rx_time, [this, id] { finish_ingress(id); });
+}
+
+void SimNetwork::finish_ingress(types::NodeId id) {
+  Endpoint& ep = endpoints_[id];
+  if (ep.ingress.empty()) {
+    ep.ingress_busy = false;
+    return;
+  }
+  Envelope env = std::move(ep.ingress.front());
+  ep.ingress.pop_front();
+  if (!ep.down && ep.handler) {
+    ep.handler(env);
+  } else if (ep.down) {
+    ++messages_dropped_;
+  }
+  start_ingress(id);
+}
+
+void SimNetwork::set_down(types::NodeId endpoint, bool down) {
+  Endpoint& ep = endpoints_.at(endpoint);
+  ep.down = down;
+  if (down) {
+    messages_dropped_ += ep.egress.size() + ep.ingress.size();
+    ep.egress.clear();
+    ep.ingress.clear();
+  }
+}
+
+bool SimNetwork::is_down(types::NodeId endpoint) const {
+  return endpoints_.at(endpoint).down;
+}
+
+void SimNetwork::set_fluctuation(sim::Duration lo, sim::Duration hi) {
+  fluct_lo_ = lo;
+  fluct_hi_ = hi;
+}
+
+void SimNetwork::set_partition(std::vector<int> group_of_endpoint) {
+  partition_ = std::move(group_of_endpoint);
+}
+
+}  // namespace bamboo::net

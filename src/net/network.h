@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "types/messages.h"
+
+namespace bamboo::net {
+
+/// Network-level parameters (a subset of core::Config, duplicated here so
+/// the transport has no dependency on the consensus configuration).
+struct NetConfig {
+  double bandwidth_bps = 1e9;       ///< per-endpoint NIC, each direction
+  sim::Duration rtt_mean = sim::milliseconds(1);      ///< µ (round trip)
+  sim::Duration rtt_stddev = sim::microseconds(100);  ///< σ (round trip)
+  sim::Duration added_delay = 0;         ///< Table I "delay" (one-way)
+  sim::Duration added_delay_jitter = 0;  ///< stddev of the added delay
+  sim::Duration min_one_way = sim::microseconds(20);
+};
+
+/// A delivered message with its transport metadata.
+struct Envelope {
+  types::NodeId from = 0;
+  types::NodeId to = 0;
+  sim::Time sent_at = 0;
+  std::uint64_t bytes = 0;
+  types::MessagePtr msg;
+};
+
+/// Simulated message-passing transport (replaces Bamboo's Paxi-derived
+/// TCP/Go-channel network; DESIGN.md §1). Per endpoint it models a
+/// single-server egress queue and ingress queue at NIC bandwidth — giving
+/// t_NIC = 2m/b exactly as in the paper's model — plus a per-message one-way
+/// link delay ~ Normal(µ/2, σ/√2), runtime-adjustable extra delays (the
+/// "slow" command / network fluctuation), partitions, and crash drops.
+///
+/// Broadcast fans out as unicast copies through the sender's egress queue,
+/// which is what makes leader bandwidth the scalability bottleneck.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  SimNetwork(sim::Simulator& simulator, std::uint32_t num_endpoints,
+             NetConfig config);
+
+  void set_handler(types::NodeId endpoint, Handler handler);
+
+  /// Queue a message from -> to. Self-sends bypass the NIC and the link.
+  void send(types::NodeId from, types::NodeId to, types::MessagePtr msg);
+
+  /// Send to every replica in [0, n_replicas) except `from`.
+  void broadcast(types::NodeId from, std::uint32_t n_replicas,
+                 const types::MessagePtr& msg);
+
+  /// Crash / recover an endpoint: a down endpoint neither sends nor
+  /// receives; in-flight messages to it are dropped on arrival.
+  void set_down(types::NodeId endpoint, bool down);
+  [[nodiscard]] bool is_down(types::NodeId endpoint) const;
+
+  /// Inject symmetric extra one-way delay sampled uniformly from [lo, hi]
+  /// per message (the paper's 10–100 ms network fluctuation). Pass (0, 0)
+  /// to clear.
+  void set_fluctuation(sim::Duration lo, sim::Duration hi);
+
+  /// Assign endpoints to partition groups; messages across groups are
+  /// dropped. Empty vector = no partition.
+  void set_partition(std::vector<int> group_of_endpoint);
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
+
+  [[nodiscard]] std::uint32_t num_endpoints() const {
+    return static_cast<std::uint32_t>(endpoints_.size());
+  }
+
+ private:
+  struct Outgoing {
+    types::NodeId to = 0;
+    std::uint64_t bytes = 0;
+    types::MessagePtr msg;
+    sim::Time queued_at = 0;
+  };
+  struct Endpoint {
+    Handler handler;
+    std::deque<Outgoing> egress;
+    bool egress_busy = false;
+    std::deque<Envelope> ingress;
+    bool ingress_busy = false;
+    bool down = false;
+  };
+
+  [[nodiscard]] sim::Duration serialization_delay(std::uint64_t bytes) const;
+  [[nodiscard]] sim::Duration sample_one_way_delay();
+
+  void start_egress(types::NodeId id);
+  void finish_egress(types::NodeId id);
+  void arrive(Envelope env);
+  void start_ingress(types::NodeId id);
+  void finish_ingress(types::NodeId id);
+
+  sim::Simulator& sim_;
+  NetConfig cfg_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> partition_;
+  sim::Duration fluct_lo_ = 0;
+  sim::Duration fluct_hi_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace bamboo::net

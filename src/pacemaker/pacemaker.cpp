@@ -1,0 +1,92 @@
+#include "pacemaker/pacemaker.h"
+
+#include <cmath>
+
+namespace bamboo::pacemaker {
+
+void Pacemaker::start(types::View initial_view) {
+  running_ = true;
+  view_ = initial_view;
+  arm_timer();
+  if (callbacks_.on_enter_view) {
+    callbacks_.on_enter_view(view_, AdvanceReason::kInitial);
+  }
+}
+
+void Pacemaker::stop() {
+  running_ = false;
+  cancel_timer();
+}
+
+void Pacemaker::on_qc(types::View qc_view) {
+  if (!running_) return;
+  consecutive_timeouts_ = 0;
+  if (qc_view + 1 > view_) {
+    ++views_via_qc_;
+    advance_to(qc_view + 1, AdvanceReason::kQuorumCert);
+  }
+}
+
+void Pacemaker::on_tc(types::View tc_view) {
+  if (!running_) return;
+  if (tc_view + 1 > view_) {
+    ++views_via_tc_;
+    advance_to(tc_view + 1, AdvanceReason::kTimeoutCert);
+  }
+}
+
+void Pacemaker::join_timeout(types::View view) {
+  if (!running_ || view < view_) return;
+  // Fire our own timeout for that view immediately.
+  if (view > view_) {
+    // We lag: jump our view forward so the timeout we broadcast matches the
+    // cluster's. Entering the view proper still requires a QC/TC.
+    view_ = view;
+    arm_timer();
+  }
+  local_timeout();
+}
+
+void Pacemaker::advance_to(types::View view, AdvanceReason reason) {
+  view_ = view;
+  arm_timer();
+  if (callbacks_.on_enter_view) callbacks_.on_enter_view(view_, reason);
+}
+
+sim::Duration Pacemaker::current_timeout() const {
+  double t = static_cast<double>(settings_.base_timeout);
+  if (settings_.backoff > 1.0 && consecutive_timeouts_ > 0) {
+    t *= std::pow(settings_.backoff,
+                  static_cast<double>(consecutive_timeouts_));
+  }
+  const auto d = static_cast<sim::Duration>(t);
+  return d > settings_.max_timeout ? settings_.max_timeout : d;
+}
+
+void Pacemaker::arm_timer() {
+  cancel_timer();
+  if (!running_) return;
+  timer_ = sim_.schedule_after(current_timeout(), [this] {
+    timer_ = sim::kInvalidEventId;
+    local_timeout();
+  });
+}
+
+void Pacemaker::cancel_timer() {
+  if (timer_ != sim::kInvalidEventId) {
+    sim_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+void Pacemaker::local_timeout() {
+  if (!running_) return;
+  ++timeouts_fired_;
+  ++consecutive_timeouts_;
+  if (callbacks_.broadcast_timeout) callbacks_.broadcast_timeout(view_);
+  // Stay in the view; re-arm so we re-broadcast the timeout if the cluster
+  // stays stuck (lost messages, lagging peers).
+  arm_timer();
+}
+
+}  // namespace bamboo::pacemaker

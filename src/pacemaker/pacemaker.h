@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/simulator.h"
+#include "types/certificates.h"
+#include "types/ids.h"
+
+namespace bamboo::pacemaker {
+
+/// Why a view was entered — drives the proposing mode (responsive protocols
+/// propose immediately after a timeout view-change; non-responsive ones wait
+/// Δ to hear from all honest replicas, paper §II-C / §VI-D).
+enum class AdvanceReason { kInitial, kQuorumCert, kTimeoutCert };
+
+/// The paper's Pacemaker module (§III-B), after LibraBFT: keeps enough
+/// honest replicas in the same view for long enough to make progress.
+/// On local timeout it asks the replica to broadcast ⟨TIMEOUT, v⟩; the
+/// replica aggregates 2f+1 of them into a TC and calls on_tc(). Catch-up
+/// happens via on_qc()/on_tc() from any received message.
+///
+/// The pacemaker owns only timers and the current view; signing,
+/// aggregation, and transport live in the replica.
+class Pacemaker {
+ public:
+  struct Settings {
+    sim::Duration base_timeout = sim::milliseconds(100);
+    double backoff = 1.0;  ///< multiplier per consecutive timeout (>= 1)
+    sim::Duration max_timeout = sim::seconds(10);
+  };
+  struct Callbacks {
+    /// Broadcast a ⟨TIMEOUT, view⟩ message (the replica signs and attaches
+    /// its high QC).
+    std::function<void(types::View)> broadcast_timeout;
+    /// The view changed; the replica proposes if it leads `view`.
+    std::function<void(types::View, AdvanceReason)> on_enter_view;
+  };
+
+  Pacemaker(sim::Simulator& simulator, Settings settings, Callbacks callbacks)
+      : sim_(simulator),
+        settings_(settings),
+        callbacks_(std::move(callbacks)) {}
+
+  ~Pacemaker() { cancel_timer(); }
+  Pacemaker(const Pacemaker&) = delete;
+  Pacemaker& operator=(const Pacemaker&) = delete;
+
+  /// Enter the first view and arm the timer.
+  void start(types::View initial_view = 1);
+
+  /// Halt all timers (crash simulation / end of run).
+  void stop();
+
+  [[nodiscard]] types::View current_view() const { return view_; }
+
+  /// A QC for `qc_view` was observed: advance to qc_view + 1 if that is
+  /// ahead. Resets the timeout backoff (progress!).
+  void on_qc(types::View qc_view);
+
+  /// A TC for `tc_view` formed or was received: advance to tc_view + 1.
+  void on_tc(types::View tc_view);
+
+  /// f+1 distinct replicas are timing out at `view` >= ours: join them
+  /// early (Bracha-style amplification) so slow replicas do not lag one
+  /// timeout behind the cluster.
+  void join_timeout(types::View view);
+
+  [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_fired_; }
+  [[nodiscard]] std::uint64_t views_via_qc() const { return views_via_qc_; }
+  [[nodiscard]] std::uint64_t views_via_tc() const { return views_via_tc_; }
+
+ private:
+  void advance_to(types::View view, AdvanceReason reason);
+  void arm_timer();
+  void cancel_timer();
+  void local_timeout();
+  [[nodiscard]] sim::Duration current_timeout() const;
+
+  sim::Simulator& sim_;
+  Settings settings_;
+  Callbacks callbacks_;
+  types::View view_ = 0;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint32_t consecutive_timeouts_ = 0;
+  bool running_ = false;
+  std::uint64_t timeouts_fired_ = 0;
+  std::uint64_t views_via_qc_ = 0;
+  std::uint64_t views_via_tc_ = 0;
+};
+
+}  // namespace bamboo::pacemaker

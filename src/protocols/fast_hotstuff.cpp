@@ -1,0 +1,60 @@
+#include "protocols/fast_hotstuff.h"
+
+#include <algorithm>
+
+namespace bamboo::protocols {
+
+using types::BlockPtr;
+using types::QuorumCert;
+
+std::optional<core::ProposalPlan> FastHotStuff::plan_proposal(
+    types::View, const core::ProtocolContext& ctx) {
+  const BlockPtr parent = ctx.forest.high_qc_block();
+  if (!parent) return std::nullopt;
+  return core::ProposalPlan{parent, ctx.forest.high_qc()};
+}
+
+bool FastHotStuff::should_vote(const types::ProposalMsg& proposal,
+                               const core::ProtocolContext&) {
+  const BlockPtr& b = proposal.block;
+  if (b->view() <= last_voted_view_) return false;
+  // The justify must certify the direct parent in both paths.
+  if (!b->justify_is_parent()) return false;
+
+  if (b->view() == b->justify().view + 1) {
+    return true;  // happy path: fresh QC from the immediately prior view
+  }
+  // View-change path: the proposal must carry a TC for view-1 whose
+  // aggregated high-QC views prove the parent is the freshest certified
+  // block any of 2f+1 replicas know.
+  if (!proposal.tc || proposal.tc->view + 1 != b->view()) return false;
+  const auto& reported = proposal.tc->reported_qc_views;
+  if (reported.empty()) return false;
+  const types::View max_reported =
+      *std::max_element(reported.begin(), reported.end());
+  return b->justify().view >= max_reported;
+}
+
+void FastHotStuff::did_vote(const types::Block& block) {
+  if (block.view() > last_voted_view_) last_voted_view_ = block.view();
+}
+
+void FastHotStuff::update_state(const QuorumCert& qc,
+                                const core::ProtocolContext&) {
+  if (qc.view > high_qc_view_) high_qc_view_ = qc.view;
+}
+
+std::optional<crypto::Digest> FastHotStuff::commit_target(
+    const QuorumCert& qc, const core::ProtocolContext& ctx) {
+  // Two-chain commit with consecutive views: QC on b1 where b1.justify
+  // certifies the direct parent from view-1 commits the parent.
+  const BlockPtr b1 = ctx.forest.get(qc.block_hash);
+  if (!b1 || !b1->justify_is_parent()) return std::nullopt;
+  if (b1->view() != b1->justify().view + 1) return std::nullopt;
+  const BlockPtr b2 = ctx.forest.get(b1->parent_hash());
+  if (!b2) return std::nullopt;
+  if (b2->height() <= ctx.forest.committed_height()) return std::nullopt;
+  return b2->hash();
+}
+
+}  // namespace bamboo::protocols

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "core/safety.h"
+
+namespace bamboo::protocols {
+
+/// Fast-HotStuff (Jalalzai, Niu & Feng, 2020) — one of the protocols the
+/// paper built with Bamboo (§I). Two-chain commits like 2CHS, but it keeps
+/// responsiveness: after a view change the proposal carries the TC as an
+/// aggregated-QC proof that its parent is the highest QC among 2f+1
+/// replicas, so voters do not need a lock-based wait. The price is a
+/// stricter happy-path voting rule (the justify must certify the direct
+/// parent from the immediately preceding view), which also closes the
+/// forking attack.
+class FastHotStuff final : public core::SafetyProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "fasthotstuff"; }
+
+  [[nodiscard]] std::optional<core::ProposalPlan> plan_proposal(
+      types::View view, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool should_vote(const types::ProposalMsg& proposal,
+                                 const core::ProtocolContext& ctx) override;
+
+  void did_vote(const types::Block& block) override;
+
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const core::ProtocolContext& ctx) override;
+
+  /// Happy-path voting requires parent certification from the directly
+  /// preceding view, so stale-ancestor forks are rejected outright.
+  [[nodiscard]] std::uint32_t fork_depth() const override { return 0; }
+  [[nodiscard]] std::uint32_t commit_chain_length() const override {
+    return 2;
+  }
+
+  [[nodiscard]] types::View locked_view() const override {
+    return high_qc_view_;
+  }
+  [[nodiscard]] types::View last_voted_view() const override {
+    return last_voted_view_;
+  }
+
+ private:
+  types::View last_voted_view_ = 0;
+  types::View high_qc_view_ = 0;
+};
+
+}  // namespace bamboo::protocols

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "core/safety.h"
+
+namespace bamboo::protocols {
+
+/// Shared machinery of the HotStuff lineage (paper §II-B/§II-C): propose on
+/// the highest QC; vote if the block is newer than the last voted view and
+/// either extends the locked block or carries a justify QC from a higher
+/// view than the lock. Subclasses choose where the lock lives and how long
+/// the commit chain is.
+class HotStuffFamily : public core::SafetyProtocol {
+ public:
+  HotStuffFamily();
+
+  [[nodiscard]] std::optional<core::ProposalPlan> plan_proposal(
+      types::View view, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool should_vote(const types::ProposalMsg& proposal,
+                                 const core::ProtocolContext& ctx) override;
+
+  void did_vote(const types::Block& block) override;
+
+  [[nodiscard]] types::View locked_view() const override { return lock_view_; }
+  [[nodiscard]] types::View last_voted_view() const override {
+    return last_voted_view_;
+  }
+
+ protected:
+  /// Move the lock to `block` if it is newer than the current lock.
+  void maybe_lock(const types::BlockPtr& block);
+
+  types::View last_voted_view_ = 0;
+  types::View lock_view_ = 0;
+  crypto::Digest lock_hash_{};
+};
+
+/// Chained HotStuff (Yin et al., PODC'19): three-chain commit rule, lock on
+/// the head of the highest two-chain. One round slower to commit than the
+/// two-chain variant but optimistically responsive — leaders make progress
+/// at network speed after a view change (paper §II-B, §VI-D).
+class HotStuff final : public HotStuffFamily {
+ public:
+  [[nodiscard]] std::string name() const override { return "hotstuff"; }
+
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const core::ProtocolContext& ctx) override;
+
+  /// The forking attack can overwrite the two uncommitted blocks above the
+  /// honest lock (Fig. 5).
+  [[nodiscard]] std::uint32_t fork_depth() const override { return 2; }
+  [[nodiscard]] std::uint32_t commit_chain_length() const override {
+    return 3;
+  }
+};
+
+/// Two-chain HotStuff (paper §II-C): two-chain commit rule, lock on the
+/// head of the highest one-chain (the highest certified block). One round
+/// of voting faster than HotStuff, but not responsive: after a view change
+/// the leader must wait for the maximal network delay to learn the highest
+/// lock, or risk proposals that locked replicas reject.
+class TwoChainHotStuff final : public HotStuffFamily {
+ public:
+  [[nodiscard]] std::string name() const override { return "2chs"; }
+
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const core::ProtocolContext& ctx) override;
+
+  /// The forking attack can overwrite one uncommitted block (Fig. 5).
+  [[nodiscard]] std::uint32_t fork_depth() const override { return 1; }
+  [[nodiscard]] std::uint32_t commit_chain_length() const override {
+    return 2;
+  }
+};
+
+}  // namespace bamboo::protocols

@@ -1,0 +1,67 @@
+#include "protocols/registry.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "protocols/fast_hotstuff.h"
+#include "protocols/hotstuff.h"
+#include "protocols/streamlet.h"
+
+namespace bamboo::protocols {
+
+namespace {
+
+std::map<std::string, ProtocolFactory>& custom_registry() {
+  static std::map<std::string, ProtocolFactory> registry;
+  return registry;
+}
+
+bool is_builtin(const std::string& name) {
+  return name == "hotstuff" || name == "hs" || name == "ohs" ||
+         name == "2chs" || name == "twochain" || name == "2-chain" ||
+         name == "streamlet" || name == "sl" || name == "fasthotstuff" ||
+         name == "fhs" || name == "fast-hotstuff";
+}
+
+}  // namespace
+
+std::unique_ptr<core::SafetyProtocol> make_protocol(const std::string& name) {
+  if (name == "hotstuff" || name == "hs" || name == "ohs") {
+    return std::make_unique<HotStuff>();
+  }
+  if (name == "2chs" || name == "twochain" || name == "2-chain") {
+    return std::make_unique<TwoChainHotStuff>();
+  }
+  if (name == "streamlet" || name == "sl") {
+    return std::make_unique<Streamlet>();
+  }
+  if (name == "fasthotstuff" || name == "fhs" || name == "fast-hotstuff") {
+    return std::make_unique<FastHotStuff>();
+  }
+  const auto it = custom_registry().find(name);
+  if (it != custom_registry().end()) {
+    return it->second();
+  }
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+std::vector<std::string> protocol_names() {
+  std::vector<std::string> names = {"hotstuff", "2chs", "streamlet",
+                                    "fasthotstuff"};
+  for (const auto& [name, factory] : custom_registry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void register_protocol(const std::string& name, ProtocolFactory factory) {
+  if (is_builtin(name)) {
+    throw std::invalid_argument("cannot shadow built-in protocol: " + name);
+  }
+  if (!factory) {
+    throw std::invalid_argument("protocol factory must not be empty");
+  }
+  custom_registry()[name] = std::move(factory);
+}
+
+}  // namespace bamboo::protocols

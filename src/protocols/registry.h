@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/safety.h"
+
+namespace bamboo::protocols {
+
+/// Instantiate a protocol by name: "hotstuff", "2chs" (or "twochain"),
+/// "streamlet", "fasthotstuff" ("fhs"), "ohs" (HotStuff rules; the
+/// libhotstuff cost profile is applied by the harness), or any name
+/// registered via register_protocol. Throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<core::SafetyProtocol> make_protocol(
+    const std::string& name);
+
+/// Names accepted by make_protocol (canonical spellings).
+[[nodiscard]] std::vector<std::string> protocol_names();
+
+/// Factory for a user-defined protocol (one fresh instance per replica).
+using ProtocolFactory =
+    std::function<std::unique_ptr<core::SafetyProtocol>()>;
+
+/// Register a custom protocol under `name` so that Config::protocol and the
+/// whole harness can drive it — the prototyping workflow the paper builds
+/// Bamboo for (see examples/protocol_designer.cpp). Re-registering a name
+/// replaces the previous factory; built-in names cannot be shadowed.
+void register_protocol(const std::string& name, ProtocolFactory factory);
+
+}  // namespace bamboo::protocols

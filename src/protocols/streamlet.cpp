@@ -1,0 +1,88 @@
+#include "protocols/streamlet.h"
+
+namespace bamboo::protocols {
+
+using types::BlockPtr;
+using types::QuorumCert;
+
+std::optional<core::ProposalPlan> Streamlet::plan_proposal(
+    types::View, const core::ProtocolContext& ctx) {
+  // Proposing rule: extend the tip of the longest notarized chain.
+  const BlockPtr parent = ctx.forest.longest_certified_tip();
+  if (!parent) return std::nullopt;
+  const QuorumCert* qc = ctx.forest.qc_for(parent->hash());
+  if (qc == nullptr) return std::nullopt;
+  return core::ProposalPlan{parent, *qc};
+}
+
+bool Streamlet::should_vote(const types::ProposalMsg& proposal,
+                            const core::ProtocolContext& ctx) {
+  const BlockPtr& b = proposal.block;
+  // One vote per view ("vote for the first proposal").
+  if (b->view() <= last_voted_view_) return false;
+  // The parent must be notarized and a tip of a longest notarized chain
+  // (>= allows ties between equal-length notarized chains).
+  const BlockPtr parent = ctx.forest.get(b->parent_hash());
+  if (!parent || !ctx.forest.is_certified(parent->hash())) return false;
+  return parent->height() >= ctx.forest.longest_certified_tip()->height();
+}
+
+void Streamlet::did_vote(const types::Block& block) {
+  if (block.view() > last_voted_view_) last_voted_view_ = block.view();
+}
+
+void Streamlet::update_state(const QuorumCert& qc,
+                             const core::ProtocolContext&) {
+  // State-Updating rule: maintain the notarized chain. The forest already
+  // indexes certified blocks and the longest notarized tip; we only track
+  // the highest certified view for introspection.
+  if (qc.view > highest_certified_view_) highest_certified_view_ = qc.view;
+}
+
+bool Streamlet::consecutive_trio(const BlockPtr& a, const BlockPtr& b,
+                                 const BlockPtr& c,
+                                 const core::ProtocolContext& ctx) {
+  if (!a || !b || !c) return false;
+  if (b->parent_hash() != a->hash() || c->parent_hash() != b->hash()) {
+    return false;
+  }
+  if (b->view() != a->view() + 1 || c->view() != b->view() + 1) return false;
+  return ctx.forest.is_certified(a->hash()) &&
+         ctx.forest.is_certified(b->hash()) &&
+         ctx.forest.is_certified(c->hash());
+}
+
+std::optional<crypto::Digest> Streamlet::commit_target(
+    const QuorumCert& qc, const core::ProtocolContext& ctx) {
+  // Commit rule: three blocks certified in consecutive views commit the
+  // first two. The newly certified block can be the tail, middle, or head
+  // of such a trio (votes are broadcast, so QCs can complete out of order).
+  const BlockPtr x = ctx.forest.get(qc.block_hash);
+  if (!x) return std::nullopt;
+
+  const BlockPtr parent = ctx.forest.get(x->parent_hash());
+  const BlockPtr grandparent =
+      parent ? ctx.forest.get(parent->parent_hash()) : nullptr;
+
+  BlockPtr target;  // the middle block of the best satisfied trio
+  if (consecutive_trio(grandparent, parent, x, ctx)) target = parent;
+
+  for (const BlockPtr& child : ctx.forest.children(x->hash())) {
+    if (consecutive_trio(parent, x, child, ctx) &&
+        (!target || x->height() > target->height())) {
+      target = x;
+    }
+    for (const BlockPtr& grandchild : ctx.forest.children(child->hash())) {
+      if (consecutive_trio(x, child, grandchild, ctx) &&
+          (!target || child->height() > target->height())) {
+        target = child;
+      }
+    }
+  }
+
+  if (!target) return std::nullopt;
+  if (target->height() <= ctx.forest.committed_height()) return std::nullopt;
+  return target->hash();
+}
+
+}  // namespace bamboo::protocols

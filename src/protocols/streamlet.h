@@ -1,0 +1,64 @@
+#pragma once
+
+#include "core/safety.h"
+
+namespace bamboo::protocols {
+
+/// Streamlet (Chan & Shi, 2020), adapted as in the paper §II-D: the
+/// synchronized 2Δ clock is replaced by the shared Pacemaker so that all
+/// three protocols ride identical view-synchronization machinery.
+///
+/// Rules: propose on the tip of the longest notarized (certified) chain;
+/// vote for the first proposal of the view iff it extends a longest
+/// notarized chain; commit the first two of any three blocks certified in
+/// consecutive views. Votes are broadcast and every first-seen message is
+/// echoed — O(n^3) communication, in exchange for immunity to the forking
+/// attack (honest replicas never vote off the longest chain).
+class Streamlet final : public core::SafetyProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "streamlet"; }
+
+  [[nodiscard]] std::optional<core::ProposalPlan> plan_proposal(
+      types::View view, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool should_vote(const types::ProposalMsg& proposal,
+                                 const core::ProtocolContext& ctx) override;
+
+  void did_vote(const types::Block& block) override;
+
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool broadcast_votes() const override { return true; }
+  [[nodiscard]] bool echo_messages() const override { return true; }
+
+  /// Honest replicas only vote on the longest notarized chain, so a forking
+  /// proposal can never gather a quorum: immune (paper Fig. 13).
+  [[nodiscard]] std::uint32_t fork_depth() const override { return 0; }
+  [[nodiscard]] std::uint32_t commit_chain_length() const override {
+    return 2;
+  }
+
+  [[nodiscard]] types::View locked_view() const override {
+    return highest_certified_view_;
+  }
+  [[nodiscard]] types::View last_voted_view() const override {
+    return last_voted_view_;
+  }
+
+ private:
+  /// True when (a, b, c) are certified blocks in three consecutive views
+  /// linked by direct parent edges; commits b (and the prefix).
+  [[nodiscard]] static bool consecutive_trio(const types::BlockPtr& a,
+                                             const types::BlockPtr& b,
+                                             const types::BlockPtr& c,
+                                             const core::ProtocolContext& ctx);
+
+  types::View last_voted_view_ = 0;
+  types::View highest_certified_view_ = 0;
+};
+
+}  // namespace bamboo::protocols

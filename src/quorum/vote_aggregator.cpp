@@ -1,0 +1,77 @@
+#include "quorum/vote_aggregator.h"
+
+namespace bamboo::quorum {
+
+std::optional<types::QuorumCert> VoteAggregator::add(
+    const types::VoteMsg& vote) {
+  const types::NodeId voter = vote.voter();
+
+  auto& by_voter = votes_by_voter_[vote.view];
+  const auto [voter_it, first_vote_this_view] =
+      by_voter.emplace(voter, vote.block_hash);
+  if (!first_vote_this_view) {
+    if (voter_it->second != vote.block_hash) {
+      ++equivocations_;
+    } else {
+      ++duplicates_;
+    }
+    return std::nullopt;
+  }
+
+  Bucket& bucket = buckets_[vote.view][vote.block_hash];
+  bucket.height = vote.height;
+  bucket.voters.emplace(voter, true);
+  bucket.sigs.push_back(vote.sig);
+
+  if (!bucket.formed && bucket.sigs.size() >= quorum_) {
+    bucket.formed = true;
+    types::QuorumCert qc;
+    qc.view = vote.view;
+    qc.height = vote.height;
+    qc.block_hash = vote.block_hash;
+    qc.sigs = bucket.sigs;
+    return qc;
+  }
+  return std::nullopt;
+}
+
+void VoteAggregator::gc_below(types::View view) {
+  buckets_.erase(buckets_.begin(), buckets_.lower_bound(view));
+  votes_by_voter_.erase(votes_by_voter_.begin(),
+                        votes_by_voter_.lower_bound(view));
+}
+
+std::optional<types::TimeoutCert> TimeoutAggregator::add(
+    const types::TimeoutMsg& msg) {
+  Bucket& bucket = buckets_[msg.view];
+  const auto [it, inserted] = bucket.senders.emplace(msg.sender(), true);
+  if (!inserted) return std::nullopt;
+
+  bucket.sigs.push_back(msg.sig);
+  bucket.reported_qc_views.push_back(msg.high_qc.view);
+  if (bucket.sigs.size() == 1 || msg.high_qc.view > bucket.high_qc.view) {
+    bucket.high_qc = msg.high_qc;
+  }
+
+  if (!bucket.formed && bucket.sigs.size() >= quorum_) {
+    bucket.formed = true;
+    types::TimeoutCert tc;
+    tc.view = msg.view;
+    tc.sigs = bucket.sigs;
+    tc.reported_qc_views = bucket.reported_qc_views;
+    tc.high_qc = bucket.high_qc;
+    return tc;
+  }
+  return std::nullopt;
+}
+
+std::size_t TimeoutAggregator::count(types::View view) const {
+  const auto it = buckets_.find(view);
+  return it == buckets_.end() ? 0 : it->second.senders.size();
+}
+
+void TimeoutAggregator::gc_below(types::View view) {
+  buckets_.erase(buckets_.begin(), buckets_.lower_bound(view));
+}
+
+}  // namespace bamboo::quorum

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "types/certificates.h"
+#include "types/messages.h"
+
+namespace bamboo::quorum {
+
+/// The paper's Quorum component: collects votes (voted()) and produces QCs
+/// (certified()) once n-f matching votes arrive. Duplicate votes are
+/// ignored; equivocating votes (same voter, same view, different blocks)
+/// are counted as Byzantine evidence.
+class VoteAggregator {
+ public:
+  explicit VoteAggregator(std::uint32_t num_replicas)
+      : quorum_(types::quorum_size(num_replicas)) {}
+
+  /// Add a vote. Returns a freshly formed QC exactly once per (view, block)
+  /// when the quorum threshold is crossed.
+  std::optional<types::QuorumCert> add(const types::VoteMsg& vote);
+
+  /// True if this (view, voter) pair was already seen for a different block.
+  [[nodiscard]] std::uint64_t equivocation_count() const {
+    return equivocations_;
+  }
+  [[nodiscard]] std::uint64_t duplicate_count() const { return duplicates_; }
+
+  /// Drop all state for views strictly below `view` (garbage collection).
+  void gc_below(types::View view);
+
+  [[nodiscard]] std::uint32_t quorum() const { return quorum_; }
+
+ private:
+  struct Bucket {
+    types::Height height = 0;
+    std::vector<crypto::Signature> sigs;
+    std::unordered_map<types::NodeId, bool> voters;
+    bool formed = false;
+  };
+
+  std::uint32_t quorum_;
+  // view -> block hash -> bucket. std::map gives cheap ordered GC by view.
+  std::map<types::View, std::unordered_map<crypto::Digest, Bucket>> buckets_;
+  std::map<types::View, std::unordered_map<types::NodeId, crypto::Digest>>
+      votes_by_voter_;
+  std::uint64_t equivocations_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Collects ⟨TIMEOUT, view⟩ messages into timeout certificates, tracking the
+/// highest QC reported by the timing-out replicas (the view-change
+/// justification / Fast-HotStuff AggQC).
+class TimeoutAggregator {
+ public:
+  explicit TimeoutAggregator(std::uint32_t num_replicas)
+      : quorum_(types::quorum_size(num_replicas)) {}
+
+  /// Add a timeout message. Returns a TC exactly once per view when the
+  /// threshold is crossed.
+  std::optional<types::TimeoutCert> add(const types::TimeoutMsg& msg);
+
+  /// Distinct senders seen timing out at `view` (f+1 triggers early join).
+  [[nodiscard]] std::size_t count(types::View view) const;
+
+  void gc_below(types::View view);
+
+  [[nodiscard]] std::uint32_t quorum() const { return quorum_; }
+
+ private:
+  struct Bucket {
+    std::vector<crypto::Signature> sigs;
+    std::vector<types::View> reported_qc_views;
+    std::unordered_map<types::NodeId, bool> senders;
+    types::QuorumCert high_qc;
+    bool formed = false;
+  };
+
+  std::uint32_t quorum_;
+  std::map<types::View, Bucket> buckets_;
+};
+
+}  // namespace bamboo::quorum

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bamboo::sim {
+
+EventId EventQueue::schedule(Time at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Cancelled entries stay in the heap as tombstones; pop() and next_time()
+  // skip anything whose id is no longer pending.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out of the head before popping
+  // (the entry is discarded by the pop, so the move is safe).
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.at, top.id, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace bamboo::sim

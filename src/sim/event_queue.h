@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bamboo::sim {
+
+/// Identifier of a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Priority queue of timestamped callbacks with deterministic tie-breaking
+/// (FIFO among events scheduled for the same instant) and lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at`. Returns an id for cancel().
+  EventId schedule(Time at, Callback fn);
+
+  /// Cancel a pending event. Returns false (no-op) if the event already
+  /// fired, was already cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Earliest pending event time; only valid when !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pop the earliest live event and return it. Precondition: !empty().
+  struct Fired {
+    Time at;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (statistics).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace bamboo::sim

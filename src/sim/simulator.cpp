@@ -1,0 +1,26 @@
+#include "sim/simulator.h"
+
+namespace bamboo::sim {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.at;
+  ++events_executed_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace bamboo::sim

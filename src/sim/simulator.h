@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace bamboo::sim {
+
+/// Single-threaded discrete-event simulator: a clock, an event queue, and a
+/// deterministic RNG. Every component in a simulated cluster shares one
+/// Simulator; all nondeterminism flows from its seed.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Schedule at an absolute simulated time (clamped to now).
+  EventId schedule_at(Time at, EventQueue::Callback fn) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  /// Schedule after a relative delay (clamped to non-negative).
+  EventId schedule_after(Duration delay, EventQueue::Callback fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Execute the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue empties or the clock passes `deadline`.
+  /// Events at exactly `deadline` are executed. The clock is advanced to
+  /// `deadline` on return if the queue drained earlier.
+  void run_until(Time deadline);
+
+  /// Run for a relative duration.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Run until the queue is completely empty (use with care in open systems).
+  void run_all();
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  util::Rng rng_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace bamboo::sim

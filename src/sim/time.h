@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace bamboo::sim {
+
+/// Simulated time in integer nanoseconds. Integer time keeps event ordering
+/// exact and runs reproducible; doubles are used only at the metrics edge.
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr Duration microseconds(std::int64_t n) {
+  return n * kMicrosecond;
+}
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t n) {
+  return n * kMillisecond;
+}
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+[[nodiscard]] constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Convert a floating-point quantity of seconds to simulated time,
+/// rounding to the nearest nanosecond.
+[[nodiscard]] constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+[[nodiscard]] constexpr Time from_milliseconds(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+}  // namespace bamboo::sim

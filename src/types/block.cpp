@@ -1,0 +1,41 @@
+#include "types/block.h"
+
+namespace bamboo::types {
+
+crypto::Digest Block::compute_hash(const crypto::Digest& parent_hash,
+                                   View view, Height height, NodeId proposer,
+                                   const QuorumCert& justify,
+                                   const std::vector<Transaction>& txns) {
+  crypto::Sha256 h;
+  h.update("bamboo-block");
+  h.update(parent_hash);
+  h.update_u64(view);
+  h.update_u64(height);
+  h.update_u32(proposer);
+  h.update_u64(justify.view);
+  h.update(justify.block_hash);
+  h.update_u64(txns.size());
+  for (const Transaction& tx : txns) tx.absorb_into(h);
+  return h.finish();
+}
+
+BlockPtr Block::genesis() {
+  static const BlockPtr g = [] {
+    Fields f;
+    f.view = kGenesisView;
+    f.height = 0;
+    f.proposer = kNoNode;
+    return std::make_shared<const Block>(std::move(f));
+  }();
+  return g;
+}
+
+QuorumCert Block::genesis_qc() {
+  QuorumCert qc;
+  qc.view = kGenesisView;
+  qc.height = 0;
+  qc.block_hash = genesis()->hash();
+  return qc;
+}
+
+}  // namespace bamboo::types

@@ -1,0 +1,21 @@
+#include "types/certificates.h"
+
+namespace bamboo::types {
+
+crypto::Digest vote_digest(View view, const crypto::Digest& block_hash) {
+  crypto::Sha256 h;
+  h.update("bamboo-vote");
+  h.update_u64(view);
+  h.update(block_hash);
+  return h.finish();
+}
+
+crypto::Digest timeout_digest(View view, View high_qc_view) {
+  crypto::Sha256 h;
+  h.update("bamboo-timeout");
+  h.update_u64(view);
+  h.update_u64(high_qc_view);
+  return h.finish();
+}
+
+}  // namespace bamboo::types

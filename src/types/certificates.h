@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/signer.h"
+#include "types/ids.h"
+
+namespace bamboo::types {
+
+/// Quorum certificate: n-f matching votes for one block in one view.
+/// A block with a valid QC is *certified* (Streamlet: *notarized*).
+struct QuorumCert {
+  View view = kGenesisView;
+  Height height = 0;
+  crypto::Digest block_hash{};
+  std::vector<crypto::Signature> sigs;
+
+  /// Genesis QC carries no signatures and is valid by convention.
+  [[nodiscard]] bool is_genesis() const { return view == kGenesisView; }
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 48 + crypto::kSignatureWireBytes * sigs.size();
+  }
+
+  friend bool operator==(const QuorumCert&, const QuorumCert&) = default;
+};
+
+/// Timeout certificate: n-f ⟨TIMEOUT, v⟩ messages. Carries the highest QC
+/// seen among the aggregated timeout messages (the view-change justification;
+/// Fast-HotStuff's AggQC additionally exposes the per-sender QC views).
+struct TimeoutCert {
+  View view = 0;
+  std::vector<crypto::Signature> sigs;
+  QuorumCert high_qc;
+  /// QC view reported by each aggregated timeout (parallel to sigs);
+  /// Fast-HotStuff uses this as the AggQC proof.
+  std::vector<View> reported_qc_views;
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + crypto::kSignatureWireBytes * sigs.size() +
+           high_qc.wire_size() + 8 * reported_qc_views.size();
+  }
+
+  friend bool operator==(const TimeoutCert&, const TimeoutCert&) = default;
+};
+
+/// Digest a replica signs when voting for (view, block).
+[[nodiscard]] crypto::Digest vote_digest(View view,
+                                         const crypto::Digest& block_hash);
+
+/// Digest a replica signs for a ⟨TIMEOUT, view⟩ message; binds the reported
+/// high-QC view so AggQC proofs cannot be spoofed in-simulation.
+[[nodiscard]] crypto::Digest timeout_digest(View view, View high_qc_view);
+
+}  // namespace bamboo::types

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bamboo::types {
+
+/// Index of a replica within the cluster [0, N). Client hosts get ids
+/// >= N in the network's endpoint space.
+using NodeId = std::uint32_t;
+
+/// Protocol view number. Views start at 1; view 0 is reserved for genesis.
+using View = std::uint64_t;
+
+/// Block height (genesis = 0). Height increases by one per parent link;
+/// views may skip numbers (timeouts) but heights never do.
+using Height = std::uint64_t;
+
+/// Globally unique transaction id, assigned by the workload driver.
+using TxId = std::uint64_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr View kGenesisView = 0;
+
+/// Byzantine fault budget for a cluster of n replicas: f = floor((n-1)/3).
+[[nodiscard]] constexpr std::uint32_t max_faulty(std::uint32_t n) {
+  return (n - 1) / 3;
+}
+
+/// Quorum size n - f (equals 2f+1 when n = 3f+1; stays safe for other n).
+[[nodiscard]] constexpr std::uint32_t quorum_size(std::uint32_t n) {
+  return n - max_faulty(n);
+}
+
+}  // namespace bamboo::types

@@ -1,0 +1,55 @@
+#include "types/messages.h"
+
+namespace bamboo::types {
+
+namespace {
+
+struct WireSizeVisitor {
+  std::uint64_t operator()(const ProposalMsg& m) const {
+    std::uint64_t bytes = 16 + crypto::kSignatureWireBytes;
+    if (m.block) bytes += m.block->wire_size();
+    if (m.tc) bytes += m.tc->wire_size();
+    return bytes;
+  }
+  std::uint64_t operator()(const VoteMsg&) const {
+    // view + height + hash + signature + framing
+    return 16 + 32 + crypto::kSignatureWireBytes + 16;
+  }
+  std::uint64_t operator()(const TimeoutMsg& m) const {
+    return 16 + m.high_qc.wire_size() + crypto::kSignatureWireBytes;
+  }
+  std::uint64_t operator()(const TcMsg& m) const {
+    return 8 + m.tc.wire_size();
+  }
+  std::uint64_t operator()(const ClientRequestMsg& m) const {
+    return m.tx.wire_size();
+  }
+  std::uint64_t operator()(const ClientResponseMsg&) const { return 64; }
+  std::uint64_t operator()(const BlockRequestMsg&) const { return 48; }
+  std::uint64_t operator()(const BlockResponseMsg& m) const {
+    return 16 + (m.block ? m.block->wire_size() : 0);
+  }
+};
+
+struct KindVisitor {
+  const char* operator()(const ProposalMsg&) const { return "proposal"; }
+  const char* operator()(const VoteMsg&) const { return "vote"; }
+  const char* operator()(const TimeoutMsg&) const { return "timeout"; }
+  const char* operator()(const TcMsg&) const { return "tc"; }
+  const char* operator()(const ClientRequestMsg&) const { return "request"; }
+  const char* operator()(const ClientResponseMsg&) const { return "response"; }
+  const char* operator()(const BlockRequestMsg&) const { return "blockreq"; }
+  const char* operator()(const BlockResponseMsg&) const { return "blockresp"; }
+};
+
+}  // namespace
+
+std::uint64_t wire_size(const Message& msg) {
+  return std::visit(WireSizeVisitor{}, msg);
+}
+
+const char* kind_name(const Message& msg) {
+  return std::visit(KindVisitor{}, msg);
+}
+
+}  // namespace bamboo::types

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+
+#include "crypto/signer.h"
+#include "types/block.h"
+#include "types/certificates.h"
+#include "types/ids.h"
+#include "types/transaction.h"
+
+namespace bamboo::types {
+
+/// Leader's block proposal for a view. After a timeout-driven view change
+/// the proposal carries the TC that justifies entering the view.
+struct ProposalMsg {
+  BlockPtr block;
+  std::optional<TimeoutCert> tc;
+  crypto::Signature sig;
+};
+
+/// A replica's vote for (view, block). Routed to the next leader in the
+/// HotStuff family; broadcast in Streamlet.
+struct VoteMsg {
+  View view = 0;
+  Height height = 0;
+  crypto::Digest block_hash{};
+  crypto::Signature sig;
+
+  [[nodiscard]] NodeId voter() const { return sig.signer; }
+};
+
+/// ⟨TIMEOUT, view⟩, broadcast when a replica's view timer fires. Carries
+/// the sender's highest QC so a new leader can adopt the freshest state.
+struct TimeoutMsg {
+  View view = 0;
+  QuorumCert high_qc;
+  crypto::Signature sig;
+
+  [[nodiscard]] NodeId sender() const { return sig.signer; }
+};
+
+/// A formed timeout certificate, forwarded to the leader of view+1 (and
+/// broadcast so lagging replicas catch up).
+struct TcMsg {
+  TimeoutCert tc;
+};
+
+/// Client -> replica transaction submission.
+struct ClientRequestMsg {
+  Transaction tx;
+};
+
+/// Replica -> client commit confirmation (or mempool rejection).
+struct ClientResponseMsg {
+  TxId tx_id = 0;
+  std::uint32_t session = 0;
+  sim::Time submitted_at = 0;
+  bool rejected = false;
+};
+
+/// Ask a peer for a block missing from the local forest (chain sync).
+struct BlockRequestMsg {
+  crypto::Digest block_hash{};
+};
+
+/// Answer to BlockRequestMsg.
+struct BlockResponseMsg {
+  BlockPtr block;
+};
+
+using Message =
+    std::variant<ProposalMsg, VoteMsg, TimeoutMsg, TcMsg, ClientRequestMsg,
+                 ClientResponseMsg, BlockRequestMsg, BlockResponseMsg>;
+
+/// Messages are immutable and shared between broadcast recipients.
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Wire size of a message in bytes (drives the NIC/bandwidth model).
+[[nodiscard]] std::uint64_t wire_size(const Message& msg);
+
+/// Human-readable message kind for logs and statistics.
+[[nodiscard]] const char* kind_name(const Message& msg);
+
+template <typename T>
+MessagePtr make_message(T msg) {
+  return std::make_shared<const Message>(std::move(msg));
+}
+
+}  // namespace bamboo::types

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bamboo::util {
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decode hex (upper or lower case). Returns nullopt on odd length or
+/// non-hex characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(
+    std::string_view hex);
+
+}  // namespace bamboo::util

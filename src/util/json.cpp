@@ -1,0 +1,329 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace bamboo::util {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what, line_, pos_ - line_start_ + 1);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (at_end() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    advance();
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': return parse_literal("true", Json(true));
+      case 'f': return parse_literal("false", Json(false));
+      case 'n': return parse_literal("null", Json(nullptr));
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  Json parse_literal(std::string_view word, Json value) {
+    for (char expected : word) {
+      if (at_end() || text_[pos_] != expected) fail("invalid literal");
+      advance();
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && text_[pos_] == '-') advance();
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      advance();
+    if (!at_end() && text_[pos_] == '.') {
+      advance();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number: expected digit after '.'");
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        advance();
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      advance();
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) advance();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number: empty exponent");
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        advance();
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) fail("unterminated escape");
+        const char e = advance();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (at_end()) fail("truncated \\u escape");
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are rejected — config files do not need them).
+            if (code >= 0xd800 && code <= 0xdfff)
+              fail("surrogate pairs are not supported");
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array items;
+    skip_whitespace();
+    if (!at_end() && text_[pos_] == ']') {
+      advance();
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        advance();
+      } else if (c == ']') {
+        advance();
+        break;
+      } else {
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Json(std::move(items));
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    skip_whitespace();
+    if (!at_end() && text_[pos_] == '}') {
+      advance();
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        advance();
+      } else if (c == '}') {
+        advance();
+        break;
+      } else {
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Json(std::move(members));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+void dump_string(const std::string& s, std::ostringstream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* digits = "0123456789abcdef";
+          out << "\\u00" << digits[(c >> 4) & 0xf] << digits[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::move(fallback);
+}
+
+std::string Json::dump() const {
+  std::ostringstream out;
+  struct Visitor {
+    std::ostringstream& out;
+    void operator()(std::nullptr_t) const { out << "null"; }
+    void operator()(bool b) const { out << (b ? "true" : "false"); }
+    void operator()(double d) const {
+      if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+          std::abs(d) < 1e15) {
+        out << static_cast<std::int64_t>(d);
+      } else {
+        out.precision(17);
+        out << d;
+      }
+    }
+    void operator()(const std::string& s) const { dump_string(s, out); }
+    void operator()(const Json::Array& a) const {
+      out << '[';
+      bool first = true;
+      for (const Json& item : a) {
+        if (!first) out << ',';
+        first = false;
+        out << item.dump();
+      }
+      out << ']';
+    }
+    void operator()(const Json::Object& o) const {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out << ',';
+        first = false;
+        dump_string(key, out);
+        out << ':' << value.dump();
+      }
+      out << '}';
+    }
+  };
+  // dump() recursion goes through the public API, so rebuild the visitor on
+  // each level; fine for config-sized documents.
+  std::visit(Visitor{out}, value_);
+  return out.str();
+}
+
+}  // namespace bamboo::util

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace bamboo::util {
+
+/// Error thrown by the JSON parser, with 1-based line/column info.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t line, std::size_t col)
+      : std::runtime_error(what + " at line " + std::to_string(line) +
+                           ", column " + std::to_string(col)),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return col_; }
+
+ private:
+  std::size_t line_;
+  std::size_t col_;
+};
+
+/// A parsed JSON value. Bamboo configurations are JSON files distributed to
+/// every node (paper §III-D); this is a dependency-free subset parser:
+/// objects, arrays, strings (with escapes), numbers, booleans, null.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  static Json parse(std::string_view text);
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(std::get<double>(value_));
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(value_);
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults (for config loading).
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+
+  /// Serialize (compact; stable key order because Object is a std::map).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace bamboo::util

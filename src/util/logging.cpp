@@ -1,0 +1,24 @@
+#include "util/logging.h"
+
+namespace bamboo::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (!enabled(level)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kTrace: tag = "TRACE"; break;
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+}  // namespace bamboo::util

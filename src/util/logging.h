@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bamboo::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger. Single-threaded by design (the simulator is
+/// single-threaded); benches set the level to kWarn to keep hot paths quiet.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bamboo::util
+
+#define BAMBOO_LOG(level)                                       \
+  if (!::bamboo::util::Logger::instance().enabled(level)) {     \
+  } else                                                        \
+    ::bamboo::util::LogLine(level)
+
+#define LOG_TRACE BAMBOO_LOG(::bamboo::util::LogLevel::kTrace)
+#define LOG_DEBUG BAMBOO_LOG(::bamboo::util::LogLevel::kDebug)
+#define LOG_INFO BAMBOO_LOG(::bamboo::util::LogLevel::kInfo)
+#define LOG_WARN BAMBOO_LOG(::bamboo::util::LogLevel::kWarn)
+#define LOG_ERROR BAMBOO_LOG(::bamboo::util::LogLevel::kError)

@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bamboo::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::clear() {
+  count_ = 0;
+  mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+void Samples::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double p) {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return values_.front();
+  if (p >= 100.0) return values_.back();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+TimelineCounter::TimelineCounter(double bucket_width, double horizon)
+    : width_(bucket_width) {
+  const auto n = static_cast<std::size_t>(horizon / bucket_width) + 1;
+  buckets_.assign(n, 0.0);
+}
+
+void TimelineCounter::add(double t, double amount) {
+  if (t < 0.0 || width_ <= 0.0) return;
+  const auto i = static_cast<std::size_t>(t / width_);
+  if (i < buckets_.size()) buckets_[i] += amount;
+}
+
+double TimelineCounter::rate(std::size_t i) const {
+  if (i >= buckets_.size() || width_ <= 0.0) return 0.0;
+  return buckets_[i] / width_;
+}
+
+double TimelineCounter::bucket_start(std::size_t i) const {
+  return static_cast<double>(i) * width_;
+}
+
+}  // namespace bamboo::util

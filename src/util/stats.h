@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bamboo::util {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void clear();
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample container with exact percentile queries (sorts lazily).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Exact percentile by linear interpolation; p in [0, 100].
+  [[nodiscard]] double percentile(double p);
+
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double p99() { return percentile(99.0); }
+
+  void clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width time-bucket counter used for throughput timelines
+/// (e.g. the responsiveness experiment, Fig. 15).
+class TimelineCounter {
+ public:
+  /// bucket_width and horizon share whatever unit the caller uses.
+  TimelineCounter(double bucket_width, double horizon);
+
+  /// Add `amount` events at time t (ignored if outside the horizon).
+  void add(double t, double amount = 1.0);
+
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] double bucket_width() const { return width_; }
+  /// Events per unit time within bucket i.
+  [[nodiscard]] double rate(std::size_t i) const;
+  /// Start time of bucket i.
+  [[nodiscard]] double bucket_start(std::size_t i) const;
+
+ private:
+  double width_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace bamboo::util

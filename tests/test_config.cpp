@@ -1,0 +1,128 @@
+// Tests for Config: defaults mirroring Table I, JSON round trip,
+// validation, derived quantities, Byzantine assignment.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace bamboo {
+namespace {
+
+TEST(Config, TableIDefaults) {
+  const core::Config cfg;
+  EXPECT_EQ(cfg.n_replicas, 4u);
+  EXPECT_EQ(cfg.election, "roundrobin");  // master 0 = rotating
+  EXPECT_EQ(cfg.strategy, "silence");
+  EXPECT_EQ(cfg.byz_no, 0u);
+  EXPECT_EQ(cfg.bsize, 400u);
+  EXPECT_EQ(cfg.psize, 0u);
+  EXPECT_EQ(cfg.delay, 0);
+  EXPECT_EQ(cfg.timeout, sim::milliseconds(100));
+  EXPECT_DOUBLE_EQ(cfg.runtime_s, 30.0);
+  EXPECT_EQ(cfg.concurrency, 10u);
+}
+
+TEST(Config, DerivedQuantities) {
+  core::Config cfg;
+  cfg.n_replicas = 7;
+  EXPECT_EQ(cfg.f(), 2u);
+  EXPECT_EQ(cfg.quorum(), 5u);
+  EXPECT_EQ(cfg.num_endpoints(), 7u + cfg.n_client_hosts);
+  EXPECT_EQ(cfg.client_endpoint(0), 7u);
+  EXPECT_EQ(cfg.client_endpoint(1), 8u);
+  EXPECT_EQ(cfg.client_endpoint(2), 7u);  // wraps over the 2 hosts
+}
+
+TEST(Config, ByzantineAssignmentSparesObserver) {
+  core::Config cfg;
+  cfg.n_replicas = 4;
+  cfg.byz_no = 2;
+  EXPECT_FALSE(cfg.is_byzantine(0));  // replica 0 is the observer
+  EXPECT_FALSE(cfg.is_byzantine(1));
+  EXPECT_TRUE(cfg.is_byzantine(2));
+  EXPECT_TRUE(cfg.is_byzantine(3));
+  cfg.byz_no = 0;
+  for (types::NodeId id = 0; id < 4; ++id) EXPECT_FALSE(cfg.is_byzantine(id));
+}
+
+TEST(Config, ValidationCatchesNonsense) {
+  core::Config cfg;
+  cfg.n_replicas = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = core::Config{};
+  cfg.byz_no = 5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = core::Config{};
+  cfg.bsize = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = core::Config{};
+  cfg.strategy = "teleport";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = core::Config{};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, StrategyParsing) {
+  EXPECT_EQ(core::parse_strategy("silence"), core::ByzStrategy::kSilence);
+  EXPECT_EQ(core::parse_strategy("forking"), core::ByzStrategy::kForking);
+  EXPECT_EQ(core::parse_strategy("crash"), core::ByzStrategy::kCrash);
+  EXPECT_EQ(core::parse_strategy("honest"), core::ByzStrategy::kHonest);
+  EXPECT_THROW(core::parse_strategy("nope"), std::invalid_argument);
+  EXPECT_STREQ(core::strategy_name(core::ByzStrategy::kForking), "forking");
+}
+
+TEST(Config, FromJsonOverrides) {
+  const auto j = util::Json::parse(R"({
+    "n": 8, "bsize": 100, "psize": 128, "delay": 5.0, "timeout": 50,
+    "strategy": "forking", "byzNo": 2, "protocol": "streamlet",
+    "concurrency": 64, "seed": 77, "rtt_ms": 2.0
+  })");
+  const auto cfg = core::Config::from_json(j);
+  EXPECT_EQ(cfg.n_replicas, 8u);
+  EXPECT_EQ(cfg.bsize, 100u);
+  EXPECT_EQ(cfg.psize, 128u);
+  EXPECT_EQ(cfg.delay, sim::milliseconds(5));
+  EXPECT_EQ(cfg.timeout, sim::milliseconds(50));
+  EXPECT_EQ(cfg.strategy, "forking");
+  EXPECT_EQ(cfg.byz_no, 2u);
+  EXPECT_EQ(cfg.protocol, "streamlet");
+  EXPECT_EQ(cfg.concurrency, 64u);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.rtt_mean, sim::milliseconds(2));
+}
+
+TEST(Config, FromJsonMasterCompatibility) {
+  // Table I: master 0 means rotating leaders; nonzero pins a static leader.
+  const auto rotating =
+      core::Config::from_json(util::Json::parse(R"({"master": 0})"));
+  EXPECT_EQ(rotating.election, "roundrobin");
+  const auto pinned =
+      core::Config::from_json(util::Json::parse(R"({"master": 2})"));
+  EXPECT_EQ(pinned.election, "static:2");
+}
+
+TEST(Config, FromJsonDefaultsWhenAbsent) {
+  const auto cfg = core::Config::from_json(util::Json::parse("{}"));
+  EXPECT_EQ(cfg.n_replicas, 4u);
+  EXPECT_EQ(cfg.bsize, 400u);
+}
+
+TEST(Config, FromJsonRejectsInvalid) {
+  EXPECT_THROW(
+      core::Config::from_json(util::Json::parse(R"({"bsize": 0})")),
+      std::invalid_argument);
+}
+
+TEST(Config, ToJsonRoundTrips) {
+  core::Config cfg;
+  cfg.n_replicas = 16;
+  cfg.protocol = "2chs";
+  cfg.bsize = 800;
+  const auto back = core::Config::from_json(cfg.to_json());
+  EXPECT_EQ(back.n_replicas, 16u);
+  EXPECT_EQ(back.protocol, "2chs");
+  EXPECT_EQ(back.bsize, 800u);
+}
+
+}  // namespace
+}  // namespace bamboo

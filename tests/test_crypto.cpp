@@ -1,0 +1,195 @@
+// SHA-256 against NIST/FIPS 180-4 test vectors, HMAC-SHA256 against RFC
+// 4231, and the simulated signature scheme.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "util/hex.h"
+
+namespace bamboo {
+namespace {
+
+std::string hex_of(const crypto::Digest& d) { return crypto::to_hex(d); }
+
+// ---------------------------------------------------------------------------
+// SHA-256 vectors
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(
+      hex_of(crypto::Sha256::hash("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      hex_of(crypto::Sha256::hash("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_of(crypto::Sha256::hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongerVector) {
+  EXPECT_EQ(
+      hex_of(crypto::Sha256::hash(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  crypto::Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(
+      hex_of(h.finish()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  crypto::Sha256 h;
+  for (char c : msg) {
+    h.update(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(h.finish(), crypto::Sha256::hash(msg));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise the padding edge cases around the 55/56/64 byte boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    crypto::Sha256 a;
+    a.update(msg);
+    crypto::Sha256 b;
+    b.update(msg.substr(0, len / 2));
+    b.update(msg.substr(len / 2));
+    EXPECT_EQ(a.finish(), b.finish()) << "length " << len;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  crypto::Sha256 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(
+      hex_of(h.finish()),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, IntegerAbsorption) {
+  crypto::Sha256 a;
+  a.update_u64(0x0807060504030201ULL);
+  crypto::Sha256 b;
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  b.update(bytes);
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231)
+// ---------------------------------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const auto mac = crypto::hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(
+      hex_of(mac),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const auto mac = crypto::hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(
+      hex_of(mac),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashed) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = crypto::hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(
+      hex_of(mac),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------------------
+// Simulated signatures
+// ---------------------------------------------------------------------------
+
+TEST(KeyStore, SignVerifyRoundTrip) {
+  crypto::KeyStore keys(1234, 4);
+  const auto digest = crypto::Sha256::hash("message");
+  const auto sig = keys.sign(2, digest);
+  EXPECT_EQ(sig.signer, 2u);
+  EXPECT_TRUE(keys.verify(sig, digest));
+}
+
+TEST(KeyStore, RejectsTamperedMessage) {
+  crypto::KeyStore keys(1234, 4);
+  const auto sig = keys.sign(1, crypto::Sha256::hash("message"));
+  EXPECT_FALSE(keys.verify(sig, crypto::Sha256::hash("other message")));
+}
+
+TEST(KeyStore, RejectsForgedSigner) {
+  crypto::KeyStore keys(1234, 4);
+  const auto digest = crypto::Sha256::hash("message");
+  auto sig = keys.sign(1, digest);
+  sig.signer = 3;  // claim someone else signed it
+  EXPECT_FALSE(keys.verify(sig, digest));
+}
+
+TEST(KeyStore, RejectsUnknownSigner) {
+  crypto::KeyStore keys(1234, 4);
+  const auto digest = crypto::Sha256::hash("m");
+  auto sig = keys.sign(0, digest);
+  sig.signer = 17;  // out of range
+  EXPECT_FALSE(keys.verify(sig, digest));
+}
+
+TEST(KeyStore, DistinctNodesDistinctSignatures) {
+  crypto::KeyStore keys(1234, 4);
+  const auto digest = crypto::Sha256::hash("m");
+  EXPECT_NE(keys.sign(0, digest).tag, keys.sign(1, digest).tag);
+}
+
+TEST(KeyStore, DistinctClustersDistinctKeys) {
+  crypto::KeyStore a(1, 4);
+  crypto::KeyStore b(2, 4);
+  const auto digest = crypto::Sha256::hash("m");
+  EXPECT_NE(a.sign(0, digest).tag, b.sign(0, digest).tag);
+  EXPECT_FALSE(b.verify(a.sign(0, digest), digest));
+}
+
+TEST(KeyStore, DeterministicAcrossInstances) {
+  crypto::KeyStore a(7, 4);
+  crypto::KeyStore b(7, 4);
+  const auto digest = crypto::Sha256::hash("m");
+  EXPECT_EQ(a.sign(3, digest).tag, b.sign(3, digest).tag);
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -1,0 +1,82 @@
+// Tests for leader election strategies and the factory.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "election/leader_election.h"
+
+namespace bamboo {
+namespace {
+
+TEST(RoundRobin, RotatesThroughAllReplicas) {
+  election::RoundRobinElection e(4);
+  EXPECT_EQ(e.leader(0), 0u);
+  EXPECT_EQ(e.leader(1), 1u);
+  EXPECT_EQ(e.leader(4), 0u);
+  EXPECT_EQ(e.leader(7), 3u);
+  EXPECT_EQ(e.leader(1000001), 1u);
+}
+
+TEST(RoundRobin, EveryReplicaLeadsEqually) {
+  election::RoundRobinElection e(8);
+  std::map<types::NodeId, int> counts;
+  for (types::View v = 1; v <= 800; ++v) counts[e.leader(v)]++;
+  for (const auto& [id, count] : counts) EXPECT_EQ(count, 100) << id;
+}
+
+TEST(Static, AlwaysSameLeader) {
+  election::StaticElection e(2);
+  for (types::View v = 0; v < 100; ++v) EXPECT_EQ(e.leader(v), 2u);
+}
+
+TEST(Hash, DeterministicAndInRange) {
+  election::HashElection e(42, 8);
+  for (types::View v = 1; v <= 200; ++v) {
+    const auto l1 = e.leader(v);
+    const auto l2 = e.leader(v);
+    EXPECT_EQ(l1, l2);
+    EXPECT_LT(l1, 8u);
+  }
+}
+
+TEST(Hash, RoughlyUniform) {
+  election::HashElection e(7, 4);
+  std::map<types::NodeId, int> counts;
+  for (types::View v = 1; v <= 4000; ++v) counts[e.leader(v)]++;
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [id, count] : counts) {
+    EXPECT_GT(count, 800) << id;  // expected 1000 each
+    EXPECT_LT(count, 1200) << id;
+  }
+}
+
+TEST(Hash, DifferentSeedsDifferentSchedules) {
+  election::HashElection a(1, 8);
+  election::HashElection b(2, 8);
+  int same = 0;
+  for (types::View v = 1; v <= 100; ++v) {
+    if (a.leader(v) == b.leader(v)) ++same;
+  }
+  EXPECT_LT(same, 40);  // ~1/8 expected
+}
+
+TEST(Factory, ParsesSpecs) {
+  EXPECT_EQ(election::make_election("roundrobin", 4, 0)->name(),
+            "round-robin");
+  EXPECT_EQ(election::make_election("", 4, 0)->name(), "round-robin");
+  EXPECT_EQ(election::make_election("hash", 4, 0)->name(), "hash");
+  const auto st = election::make_election("static:2", 4, 0);
+  EXPECT_EQ(st->name(), "static");
+  EXPECT_EQ(st->leader(17), 2u);
+}
+
+TEST(Factory, RejectsBadSpecs) {
+  EXPECT_THROW(election::make_election("bogus", 4, 0),
+               std::invalid_argument);
+  EXPECT_THROW(election::make_election("static:9", 4, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bamboo

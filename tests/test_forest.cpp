@@ -1,0 +1,284 @@
+// Tests for the block forest (the paper's data module): insertion, orphan
+// buffering, QC tracking, commits, pruning, longest-notarized-tip.
+
+#include <gtest/gtest.h>
+
+#include "forest/block_forest.h"
+
+namespace bamboo {
+namespace {
+
+using forest::AddResult;
+using forest::BlockForest;
+using types::BlockPtr;
+
+BlockPtr child_of(const BlockPtr& parent, types::View view,
+                  types::NodeId proposer = 0) {
+  types::Block::Fields f;
+  f.parent_hash = parent->hash();
+  f.view = view;
+  f.height = parent->height() + 1;
+  f.proposer = proposer;
+  f.justify.view = parent->view();
+  f.justify.height = parent->height();
+  f.justify.block_hash = parent->hash();
+  return std::make_shared<const types::Block>(std::move(f));
+}
+
+types::QuorumCert qc_for(const BlockPtr& b) {
+  types::QuorumCert qc;
+  qc.view = b->view();
+  qc.height = b->height();
+  qc.block_hash = b->hash();
+  qc.sigs.resize(3);
+  return qc;
+}
+
+class ForestFixture : public ::testing::Test {
+ protected:
+  BlockForest forest;
+  BlockPtr genesis = types::Block::genesis();
+};
+
+TEST_F(ForestFixture, StartsWithCommittedGenesis) {
+  EXPECT_TRUE(forest.contains(genesis->hash()));
+  EXPECT_EQ(forest.committed_tip()->hash(), genesis->hash());
+  EXPECT_EQ(forest.committed_height(), 0u);
+  EXPECT_EQ(forest.high_qc().view, types::kGenesisView);
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), genesis->hash());
+}
+
+TEST_F(ForestFixture, AddConnectsChild) {
+  const auto b1 = child_of(genesis, 1);
+  EXPECT_EQ(forest.add(b1), AddResult::kAdded);
+  EXPECT_TRUE(forest.contains(b1->hash()));
+  EXPECT_EQ(forest.get(b1->hash())->view(), 1u);
+  const auto children = forest.children(genesis->hash());
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0]->hash(), b1->hash());
+}
+
+TEST_F(ForestFixture, DuplicateAddIsDetected) {
+  const auto b1 = child_of(genesis, 1);
+  EXPECT_EQ(forest.add(b1), AddResult::kAdded);
+  EXPECT_EQ(forest.add(b1), AddResult::kDuplicate);
+}
+
+TEST_F(ForestFixture, WrongHeightIsInvalid) {
+  types::Block::Fields f;
+  f.parent_hash = genesis->hash();
+  f.view = 1;
+  f.height = 5;  // must be 1
+  f.proposer = 0;
+  const auto bad = std::make_shared<const types::Block>(std::move(f));
+  EXPECT_EQ(forest.add(bad), AddResult::kInvalid);
+}
+
+TEST_F(ForestFixture, OrphanBufferedAndFlushed) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  EXPECT_EQ(forest.add(b2), AddResult::kOrphaned);
+  EXPECT_FALSE(forest.contains(b2->hash()));
+  EXPECT_EQ(forest.orphan_count(), 1u);
+  ASSERT_EQ(forest.missing_parents().size(), 1u);
+  EXPECT_EQ(forest.missing_parents()[0], b1->hash());
+
+  EXPECT_EQ(forest.add(b1), AddResult::kAdded);
+  EXPECT_TRUE(forest.contains(b2->hash()));  // flushed automatically
+  EXPECT_EQ(forest.orphan_count(), 0u);
+}
+
+TEST_F(ForestFixture, OrphanChainFlushesRecursively) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  const auto b3 = child_of(b2, 3);
+  EXPECT_EQ(forest.add(b3), AddResult::kOrphaned);
+  EXPECT_EQ(forest.add(b2), AddResult::kOrphaned);
+  EXPECT_EQ(forest.add(b1), AddResult::kAdded);
+  EXPECT_TRUE(forest.contains(b2->hash()));
+  EXPECT_TRUE(forest.contains(b3->hash()));
+}
+
+TEST_F(ForestFixture, ExtendsWalksParents) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  const auto fork = child_of(genesis, 3);
+  forest.add(b1);
+  forest.add(b2);
+  forest.add(fork);
+  EXPECT_TRUE(forest.extends(b2->hash(), genesis->hash()));
+  EXPECT_TRUE(forest.extends(b2->hash(), b1->hash()));
+  EXPECT_TRUE(forest.extends(b1->hash(), b1->hash()));  // reflexive
+  EXPECT_FALSE(forest.extends(b2->hash(), fork->hash()));
+  EXPECT_FALSE(forest.extends(b1->hash(), b2->hash()));  // wrong direction
+}
+
+TEST_F(ForestFixture, AncestorWalk) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  const auto b3 = child_of(b2, 3);
+  forest.add(b1);
+  forest.add(b2);
+  forest.add(b3);
+  EXPECT_EQ(forest.ancestor(b3, 0)->hash(), b3->hash());
+  EXPECT_EQ(forest.ancestor(b3, 1)->hash(), b2->hash());
+  EXPECT_EQ(forest.ancestor(b3, 2)->hash(), b1->hash());
+  EXPECT_EQ(forest.ancestor(b3, 3)->hash(), genesis->hash());
+  EXPECT_EQ(forest.ancestor(b3, 4), nullptr);
+}
+
+TEST_F(ForestFixture, QcTrackingAndHighQc) {
+  const auto b1 = child_of(genesis, 1);
+  forest.add(b1);
+  EXPECT_FALSE(forest.is_certified(b1->hash()));
+  EXPECT_TRUE(forest.add_qc(qc_for(b1)));
+  EXPECT_TRUE(forest.is_certified(b1->hash()));
+  EXPECT_EQ(forest.high_qc().view, 1u);
+  EXPECT_EQ(forest.high_qc_block()->hash(), b1->hash());
+  EXPECT_FALSE(forest.add_qc(qc_for(b1)));  // duplicate
+}
+
+TEST_F(ForestFixture, LongestCertifiedTipFollowsQcs) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  const auto fork = child_of(genesis, 3);
+  forest.add(b1);
+  forest.add(b2);
+  forest.add(fork);
+
+  forest.add_qc(qc_for(fork));
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), fork->hash());
+
+  forest.add_qc(qc_for(b1));
+  // Same height (1): tie breaks toward the higher view (fork, view 3).
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), fork->hash());
+
+  forest.add_qc(qc_for(b2));
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), b2->hash());
+}
+
+TEST_F(ForestFixture, CommitReturnsAscendingChain) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  const auto b3 = child_of(b2, 3);
+  forest.add(b1);
+  forest.add(b2);
+  forest.add(b3);
+
+  const auto chain = forest.commit(b2->hash());
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0]->hash(), b1->hash());
+  EXPECT_EQ((*chain)[1]->hash(), b2->hash());
+  EXPECT_EQ(forest.committed_height(), 2u);
+  EXPECT_EQ(forest.committed_hash_at(1), b1->hash());
+  EXPECT_EQ(forest.committed_hash_at(2), b2->hash());
+  EXPECT_EQ(forest.committed_hash_at(3), std::nullopt);
+}
+
+TEST_F(ForestFixture, RecommitIsEmptyNotError) {
+  const auto b1 = child_of(genesis, 1);
+  forest.add(b1);
+  ASSERT_TRUE(forest.commit(b1->hash()).has_value());
+  const auto again = forest.commit(b1->hash());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->empty());
+}
+
+TEST_F(ForestFixture, ConflictingCommitIsRefused) {
+  const auto b1 = child_of(genesis, 1);
+  const auto fork = child_of(genesis, 2);
+  const auto fork2 = child_of(fork, 3);
+  forest.add(b1);
+  forest.add(fork);
+  forest.add(fork2);
+  ASSERT_TRUE(forest.commit(b1->hash()).has_value());
+  // fork2 does not extend the committed tip b1: must refuse.
+  EXPECT_FALSE(forest.commit(fork2->hash()).has_value());
+  // And a conflicting block at the committed height as well.
+  EXPECT_FALSE(forest.commit(fork->hash()).has_value());
+}
+
+TEST_F(ForestFixture, PruneDropsForkedBranchesAndReturnsThem) {
+  const auto b1 = child_of(genesis, 1);
+  const auto fork = child_of(genesis, 2, /*proposer=*/3);
+  const auto b2 = child_of(b1, 3);
+  forest.add(b1);
+  forest.add(fork);
+  forest.add(b2);
+  forest.commit(b1->hash());
+
+  const auto dropped = forest.prune();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->hash(), fork->hash());
+  EXPECT_FALSE(forest.contains(fork->hash()));
+  EXPECT_TRUE(forest.contains(b1->hash()));  // committed chain kept
+  EXPECT_TRUE(forest.contains(b2->hash()));  // descendant of tip kept
+}
+
+TEST_F(ForestFixture, PruneDropsDescendantsOfForkedBranches) {
+  const auto b1 = child_of(genesis, 1);
+  const auto fork = child_of(genesis, 2);
+  const auto fork_child = child_of(fork, 4);
+  forest.add(b1);
+  forest.add(fork);
+  forest.add(fork_child);
+  forest.commit(b1->hash());
+
+  const auto dropped = forest.prune();
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_FALSE(forest.contains(fork->hash()));
+  EXPECT_FALSE(forest.contains(fork_child->hash()));
+}
+
+TEST_F(ForestFixture, PruneRepairsLongestCertifiedTip) {
+  const auto b1 = child_of(genesis, 1);
+  const auto fork = child_of(genesis, 2);
+  const auto fork_child = child_of(fork, 3);
+  forest.add(b1);
+  forest.add(fork);
+  forest.add(fork_child);
+  forest.add_qc(qc_for(fork_child));  // certified tip is on the fork
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), fork_child->hash());
+
+  forest.add_qc(qc_for(b1));
+  forest.commit(b1->hash());
+  forest.prune();
+  // The certified fork is gone; the tip must fall back to the main chain.
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), b1->hash());
+}
+
+TEST_F(ForestFixture, CommitOfUnknownBlockFails) {
+  const auto b1 = child_of(genesis, 1);
+  EXPECT_FALSE(forest.commit(b1->hash()).has_value());
+}
+
+TEST_F(ForestFixture, QcBeforeBlockIsRememberedOnConnect) {
+  const auto b1 = child_of(genesis, 1);
+  forest.add_qc(qc_for(b1));  // QC arrives first
+  EXPECT_TRUE(forest.is_certified(b1->hash()));
+  EXPECT_EQ(forest.high_qc_block(), nullptr);
+  forest.add(b1);
+  EXPECT_EQ(forest.high_qc_block()->hash(), b1->hash());
+  EXPECT_EQ(forest.longest_certified_tip()->hash(), b1->hash());
+}
+
+TEST_F(ForestFixture, DeepChainCommitCollapsesPrefix) {
+  BlockPtr tip = genesis;
+  std::vector<BlockPtr> blocks;
+  for (types::View v = 1; v <= 50; ++v) {
+    tip = child_of(tip, v);
+    blocks.push_back(tip);
+    forest.add(tip);
+  }
+  const auto chain = forest.commit(tip->hash());
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 50u);
+  EXPECT_EQ(forest.committed_height(), 50u);
+  for (types::Height h = 1; h <= 50; ++h) {
+    EXPECT_EQ(forest.committed_hash_at(h), blocks[h - 1]->hash());
+  }
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -1,0 +1,156 @@
+// Tests for the analytic model (§V): order statistics against Monte-Carlo
+// and known values, M/D/1 behaviour, per-protocol structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/order_stats.h"
+#include "model/perf_model.h"
+#include "util/rng.h"
+
+namespace bamboo {
+namespace {
+
+TEST(OrderStats, MedianOfOddSampleIsZero) {
+  // E[X_(2:3)] of standard normals = 0 by symmetry.
+  EXPECT_NEAR(model::normal_order_statistic(2, 3), 0.0, 1e-6);
+  EXPECT_NEAR(model::normal_order_statistic(3, 5), 0.0, 1e-6);
+}
+
+TEST(OrderStats, KnownTabulatedValues) {
+  // Classic tabulated expectations (Teichroew 1956): E[max of 2] = 1/sqrt(pi),
+  // E[max of 3] ~ 0.84628, E[max of 5] ~ 1.16296.
+  EXPECT_NEAR(model::normal_order_statistic(2, 2), 0.5641895835, 1e-6);
+  EXPECT_NEAR(model::normal_order_statistic(3, 3), 0.8462843753, 1e-6);
+  EXPECT_NEAR(model::normal_order_statistic(5, 5), 1.1629644736, 1e-6);
+}
+
+TEST(OrderStats, SymmetryMinMax) {
+  EXPECT_NEAR(model::normal_order_statistic(1, 4),
+              -model::normal_order_statistic(4, 4), 1e-9);
+}
+
+TEST(OrderStats, MonotonicInK) {
+  double prev = -1e9;
+  for (std::uint32_t k = 1; k <= 7; ++k) {
+    const double v = model::normal_order_statistic(k, 7);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(OrderStats, ScalesWithMeanAndStddev) {
+  const double base = model::normal_order_statistic(3, 4);
+  EXPECT_NEAR(model::normal_order_statistic(3, 4, 10.0, 2.0),
+              10.0 + 2.0 * base, 1e-9);
+}
+
+TEST(OrderStats, MatchesMonteCarlo) {
+  util::Rng rng(5);
+  for (const auto [k, n] : {std::pair{2u, 3u}, {5u, 7u}, {21u, 31u}}) {
+    const double exact = model::normal_order_statistic(k, n, 1.0, 0.25);
+    const double mc =
+        model::normal_order_statistic_mc(k, n, 1.0, 0.25, 200000, rng);
+    EXPECT_NEAR(exact, mc, 0.01) << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(OrderStats, RejectsBadIndices) {
+  EXPECT_THROW(model::normal_order_statistic(0, 3), std::invalid_argument);
+  EXPECT_THROW(model::normal_order_statistic(4, 3), std::invalid_argument);
+}
+
+TEST(QuorumDelay, MatchesPaperFormula) {
+  // N=4: the (ceil(8/3)-1) = 2nd order statistic of 3 delays.
+  const double expected = model::normal_order_statistic(2, 3, 1.0, 0.1);
+  EXPECT_NEAR(model::quorum_delay(4, 1.0, 0.1), expected, 1e-9);
+  // Grows with cluster size (later order statistic of more draws).
+  EXPECT_GT(model::quorum_delay(32, 1.0, 0.1),
+            model::quorum_delay(4, 1.0, 0.1));
+}
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  core::Config base_cfg() {
+    core::Config cfg;
+    cfg.n_replicas = 4;
+    cfg.bsize = 400;
+    return cfg;
+  }
+};
+
+TEST_F(PerfModelTest, CommitLatencyOrdering) {
+  // t_commit: HS = 2*t_s; 2CHS and SL = t_s (§V-C3, §V-D).
+  const model::PerfModel hs(base_cfg(), "hotstuff");
+  const model::PerfModel chs(base_cfg(), "2chs");
+  const model::PerfModel sl(base_cfg(), "streamlet");
+  EXPECT_NEAR(hs.t_commit_ms(), 2.0 * hs.t_s_ms(), 1e-9);
+  EXPECT_NEAR(chs.t_commit_ms(), chs.t_s_ms(), 1e-9);
+  EXPECT_NEAR(sl.t_commit_ms(), sl.t_s_ms(), 1e-9);
+  // Same t_s across HS/2CHS (identical view structure).
+  EXPECT_NEAR(hs.t_s_ms(), chs.t_s_ms(), 1e-9);
+  // HotStuff therefore predicts strictly higher latency at equal load.
+  EXPECT_GT(hs.latency_ms(10000), chs.latency_ms(10000));
+}
+
+TEST_F(PerfModelTest, LatencyMonotonicInLoad) {
+  const model::PerfModel pm(base_cfg(), "hotstuff");
+  double prev = 0;
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double lat = pm.latency_ms(frac * pm.saturation_tps());
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST_F(PerfModelTest, DivergesAtSaturation) {
+  const model::PerfModel pm(base_cfg(), "hotstuff");
+  EXPECT_TRUE(std::isinf(pm.w_q_ms(pm.saturation_tps() * 1.01)));
+  EXPECT_TRUE(std::isinf(pm.latency_ms(pm.saturation_tps() * 1.5)));
+  EXPECT_LT(pm.w_q_ms(pm.saturation_tps() * 0.5), 1e6);
+}
+
+TEST_F(PerfModelTest, BiggerBlocksRaiseSaturation) {
+  auto cfg = base_cfg();
+  cfg.bsize = 100;
+  const model::PerfModel small(cfg, "hotstuff");
+  cfg.bsize = 400;
+  const model::PerfModel large(cfg, "hotstuff");
+  EXPECT_GT(large.saturation_tps(), small.saturation_tps());
+}
+
+TEST_F(PerfModelTest, PayloadLowersSaturation) {
+  auto cfg = base_cfg();
+  const model::PerfModel p0(cfg, "hotstuff");
+  cfg.psize = 1024;
+  const model::PerfModel p1024(cfg, "hotstuff");
+  EXPECT_LT(p1024.saturation_tps(), p0.saturation_tps());
+  EXPECT_GT(p1024.t_nic_block_ms(), p0.t_nic_block_ms());
+}
+
+TEST_F(PerfModelTest, StreamletPaysForEchoes) {
+  const model::PerfModel hs(base_cfg(), "hotstuff");
+  const model::PerfModel sl(base_cfg(), "streamlet");
+  EXPECT_LT(sl.saturation_tps(), hs.saturation_tps());
+}
+
+TEST_F(PerfModelTest, AddedRttRaisesLatencyFloor) {
+  auto cfg = base_cfg();
+  const model::PerfModel fast(cfg, "hotstuff");
+  cfg.rtt_mean = sim::milliseconds(11);  // d5: +5ms each way on the RTT
+  const model::PerfModel slow(cfg, "hotstuff");
+  EXPECT_GT(slow.latency_ms(1000), fast.latency_ms(1000) + 5.0);
+}
+
+TEST_F(PerfModelTest, MoreReplicasMoreTurnWait) {
+  auto cfg = base_cfg();
+  const model::PerfModel n4(cfg, "hotstuff");
+  cfg.n_replicas = 32;
+  const model::PerfModel n32(cfg, "hotstuff");
+  EXPECT_GT(n32.turn_wait_ms(), n4.turn_wait_ms());
+  EXPECT_LT(n32.saturation_tps(), n4.saturation_tps());
+}
+
+}  // namespace
+}  // namespace bamboo

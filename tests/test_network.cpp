@@ -1,0 +1,254 @@
+// Tests for the simulated transport: delay distribution, NIC serialization
+// ordering, bandwidth effects, self-delivery, crash drops, partitions,
+// fluctuation injection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "util/stats.h"
+
+namespace bamboo {
+namespace {
+
+types::MessagePtr small_msg() {
+  return types::make_message(types::VoteMsg{});
+}
+
+types::MessagePtr big_msg(std::uint32_t ntx) {
+  types::Block::Fields f;
+  f.parent_hash = types::Block::genesis()->hash();
+  f.view = 1;
+  f.height = 1;
+  f.txns.resize(ntx);
+  types::ProposalMsg p;
+  p.block = std::make_shared<const types::Block>(std::move(f));
+  return types::make_message(std::move(p));
+}
+
+struct Receiver {
+  std::vector<net::Envelope> got;
+  void attach(net::SimNetwork& n, types::NodeId id) {
+    n.set_handler(id, [this](const net::Envelope& e) { got.push_back(e); });
+  }
+};
+
+TEST(Network, DeliversWithRttDistribution) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.rtt_mean = sim::milliseconds(2);
+  nc.rtt_stddev = sim::microseconds(200);
+  nc.min_one_way = 0;
+  net::SimNetwork n(s, 2, nc);
+
+  util::RunningStats delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.add(sim::to_milliseconds(s.now() - e.sent_at));
+  });
+  // Spaced sends: bursts would measure NIC queueing on top of the link.
+  for (int i = 0; i < 2000; ++i) {
+    s.schedule_at(i * sim::microseconds(50),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+
+  ASSERT_EQ(delays.count(), 2000u);
+  // One-way mean ~ rtt/2 = 1ms (plus negligible NIC time for a tiny msg).
+  EXPECT_NEAR(delays.mean(), 1.0, 0.1);
+  EXPECT_GT(delays.stddev(), 0.05);
+}
+
+TEST(Network, BandwidthSerializesLargeMessages) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.bandwidth_bps = 1e9;
+  nc.rtt_mean = 0;
+  nc.rtt_stddev = 0;
+  nc.min_one_way = sim::microseconds(1);
+  net::SimNetwork n(s, 2, nc);
+
+  sim::Time arrival = 0;
+  n.set_handler(1, [&](const net::Envelope&) { arrival = s.now(); });
+  const auto msg = big_msg(400);  // ~60 KB -> ~0.48 ms per NIC pass
+  const auto bytes = types::wire_size(*msg);
+  n.send(0, 1, msg);
+  s.run_all();
+
+  const double expected_ms = 2.0 * bytes * 8.0 / 1e9 * 1e3;  // both NICs
+  EXPECT_NEAR(sim::to_milliseconds(arrival), expected_ms, 0.1);
+}
+
+TEST(Network, EgressQueueSerializesBackToBackSends) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.bandwidth_bps = 1e9;
+  nc.rtt_mean = 0;
+  nc.rtt_stddev = 0;
+  nc.min_one_way = sim::microseconds(1);
+  net::SimNetwork n(s, 3, nc);
+
+  std::vector<sim::Time> arrivals;
+  Receiver r1;
+  n.set_handler(1, [&](const net::Envelope&) { arrivals.push_back(s.now()); });
+  n.set_handler(2, [&](const net::Envelope&) { arrivals.push_back(s.now()); });
+
+  // Two large messages leave node 0 back to back: the second must wait for
+  // the first to clear the sender NIC (broadcast fan-out cost).
+  const auto msg = big_msg(400);
+  const double per_pass_ms = types::wire_size(*msg) * 8.0 / 1e9 * 1e3;
+  n.send(0, 1, msg);
+  n.send(0, 2, msg);
+  s.run_all();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  const double gap_ms =
+      sim::to_milliseconds(arrivals[1]) - sim::to_milliseconds(arrivals[0]);
+  EXPECT_NEAR(gap_ms, per_pass_ms, 0.05);
+}
+
+TEST(Network, SelfSendSkipsNic) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.rtt_mean = sim::milliseconds(10);
+  net::SimNetwork n(s, 2, nc);
+  sim::Time arrival = -1;
+  n.set_handler(0, [&](const net::Envelope&) { arrival = s.now(); });
+  n.send(0, 0, big_msg(400));
+  s.run_all();
+  EXPECT_EQ(arrival, 0);  // immediate (same instant, next event)
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  sim::Simulator s(1);
+  net::SimNetwork n(s, 5, net::NetConfig{});
+  int received = 0;
+  bool self_received = false;
+  for (types::NodeId id = 0; id < 4; ++id) {
+    n.set_handler(id, [&, id](const net::Envelope&) {
+      ++received;
+      if (id == 2) self_received = true;
+    });
+  }
+  n.broadcast(2, 4, small_msg());  // replicas are [0, 4)
+  s.run_all();
+  EXPECT_EQ(received, 3);
+  EXPECT_FALSE(self_received);
+}
+
+TEST(Network, DownNodeDropsTraffic) {
+  sim::Simulator s(1);
+  net::SimNetwork n(s, 2, net::NetConfig{});
+  Receiver r;
+  r.attach(n, 1);
+  n.set_down(1, true);
+  n.send(0, 1, small_msg());
+  s.run_all();
+  EXPECT_TRUE(r.got.empty());
+  EXPECT_GT(n.messages_dropped(), 0u);
+
+  n.set_down(1, false);
+  n.send(0, 1, small_msg());
+  s.run_all();
+  EXPECT_EQ(r.got.size(), 1u);
+}
+
+TEST(Network, DownSenderDropsTraffic) {
+  sim::Simulator s(1);
+  net::SimNetwork n(s, 2, net::NetConfig{});
+  Receiver r;
+  r.attach(n, 1);
+  n.set_down(0, true);
+  n.send(0, 1, small_msg());
+  s.run_all();
+  EXPECT_TRUE(r.got.empty());
+}
+
+TEST(Network, PartitionBlocksCrossGroupTraffic) {
+  sim::Simulator s(1);
+  net::SimNetwork n(s, 4, net::NetConfig{});
+  Receiver r1;
+  Receiver r3;
+  r1.attach(n, 1);
+  r3.attach(n, 3);
+  n.set_partition({0, 0, 1, 1});  // {0,1} vs {2,3}
+  n.send(0, 1, small_msg());      // same group: delivered
+  n.send(0, 3, small_msg());      // cross group: dropped
+  s.run_all();
+  EXPECT_EQ(r1.got.size(), 1u);
+  EXPECT_TRUE(r3.got.empty());
+
+  n.set_partition({});  // heal
+  n.send(0, 3, small_msg());
+  s.run_all();
+  EXPECT_EQ(r3.got.size(), 1u);
+}
+
+TEST(Network, FluctuationAddsDelay) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.rtt_mean = sim::microseconds(100);
+  nc.rtt_stddev = 0;
+  net::SimNetwork n(s, 2, nc);
+
+  util::RunningStats delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.add(sim::to_milliseconds(s.now() - e.sent_at));
+  });
+  n.set_fluctuation(sim::milliseconds(10), sim::milliseconds(100));
+  for (int i = 0; i < 500; ++i) {
+    s.schedule_at(i * sim::microseconds(50),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+
+  EXPECT_GT(delays.min(), 9.9);
+  EXPECT_LT(delays.max(), 100.5);
+  EXPECT_NEAR(delays.mean(), 55.0, 5.0);
+
+  // Clearing restores fast delivery.
+  n.set_fluctuation(0, 0);
+  util::RunningStats after;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    after.add(sim::to_milliseconds(s.now() - e.sent_at));
+  });
+  n.send(0, 1, small_msg());
+  s.run_all();
+  EXPECT_LT(after.max(), 1.0);
+}
+
+TEST(Network, AddedDelayParameter) {
+  sim::Simulator s(1);
+  net::NetConfig nc;
+  nc.rtt_mean = 0;
+  nc.rtt_stddev = 0;
+  nc.added_delay = sim::milliseconds(5);
+  nc.added_delay_jitter = sim::milliseconds(1);
+  net::SimNetwork n(s, 2, nc);
+
+  util::RunningStats delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.add(sim::to_milliseconds(s.now() - e.sent_at));
+  });
+  for (int i = 0; i < 2000; ++i) {
+    s.schedule_at(i * sim::microseconds(50),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_NEAR(delays.mean(), 5.0, 0.2);   // "d5" = 5ms ± 1ms
+  EXPECT_NEAR(delays.stddev(), 1.0, 0.2);
+}
+
+TEST(Network, ByteAccounting) {
+  sim::Simulator s(1);
+  net::SimNetwork n(s, 2, net::NetConfig{});
+  n.set_handler(1, [](const net::Envelope&) {});
+  const auto msg = small_msg();
+  n.send(0, 1, msg);
+  s.run_all();
+  EXPECT_EQ(n.messages_sent(), 1u);
+  EXPECT_EQ(n.bytes_sent(), types::wire_size(*msg));
+}
+
+}  // namespace
+}  // namespace bamboo

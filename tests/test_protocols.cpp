@@ -1,0 +1,470 @@
+// Unit tests for the four safety protocols' rules on hand-crafted chains,
+// including the paper's Fig. 2 commit scenario and the Fig. 5/6 attack
+// preconditions.
+
+#include <gtest/gtest.h>
+
+#include "core/safety.h"
+#include "protocols/fast_hotstuff.h"
+#include "protocols/hotstuff.h"
+#include "protocols/registry.h"
+#include "protocols/streamlet.h"
+
+namespace bamboo {
+namespace {
+
+using types::BlockPtr;
+using types::QuorumCert;
+using types::View;
+
+/// Builds chains in a forest and exercises the Safety rules directly.
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  forest::BlockForest forest;
+  core::Config cfg;
+  View current_view = 1;
+
+  core::ProtocolContext ctx() {
+    return core::ProtocolContext{0, current_view, forest, cfg};
+  }
+
+  QuorumCert qc_of(const BlockPtr& b) {
+    QuorumCert qc;
+    qc.view = b->view();
+    qc.height = b->height();
+    qc.block_hash = b->hash();
+    qc.sigs.resize(3);
+    return qc;
+  }
+
+  /// Add a child of `parent` at `view` whose justify certifies `justified`
+  /// (defaults to the parent: the honest case). Recording the justify QC in
+  /// the forest — as the replica engine does on receipt — certifies the
+  /// justified block as a side effect; pass record_justify=false to model
+  /// QCs that have not been delivered yet.
+  BlockPtr add_block(const BlockPtr& parent, View view,
+                     BlockPtr justified = nullptr,
+                     bool record_justify = true) {
+    if (!justified) justified = parent;
+    types::Block::Fields f;
+    f.parent_hash = parent->hash();
+    f.view = view;
+    f.height = parent->height() + 1;
+    f.proposer = static_cast<types::NodeId>(view % 4);
+    f.justify = justified->is_genesis() ? types::Block::genesis_qc()
+                                        : qc_of(justified);
+    auto block = std::make_shared<const types::Block>(std::move(f));
+    EXPECT_EQ(forest.add(block), forest::AddResult::kAdded);
+    if (record_justify) forest.add_qc(block->justify());
+    return block;
+  }
+
+  /// Certify a block and feed the QC through the protocol's state-update;
+  /// returns the protocol's commit target for that QC.
+  std::optional<crypto::Digest> certify(core::SafetyProtocol& proto,
+                                        const BlockPtr& b) {
+    const QuorumCert qc = qc_of(b);
+    forest.add_qc(qc);
+    auto context = ctx();
+    proto.update_state(qc, context);
+    return proto.commit_target(qc, context);
+  }
+
+  types::ProposalMsg proposal_of(const BlockPtr& b,
+                                 std::optional<types::TimeoutCert> tc = {}) {
+    types::ProposalMsg p;
+    p.block = b;
+    p.tc = std::move(tc);
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, KnowsAllProtocols) {
+  for (const auto& name : protocols::protocol_names()) {
+    EXPECT_EQ(protocols::make_protocol(name)->name(), name);
+  }
+  EXPECT_EQ(protocols::make_protocol("hs")->name(), "hotstuff");
+  EXPECT_EQ(protocols::make_protocol("ohs")->name(), "hotstuff");
+  EXPECT_EQ(protocols::make_protocol("sl")->name(), "streamlet");
+  EXPECT_EQ(protocols::make_protocol("fhs")->name(), "fasthotstuff");
+  EXPECT_THROW(protocols::make_protocol("pbft"), std::invalid_argument);
+}
+
+TEST(Registry, ForkDepthsMatchPaper) {
+  EXPECT_EQ(protocols::make_protocol("hotstuff")->fork_depth(), 2u);
+  EXPECT_EQ(protocols::make_protocol("2chs")->fork_depth(), 1u);
+  EXPECT_EQ(protocols::make_protocol("streamlet")->fork_depth(), 0u);
+  EXPECT_EQ(protocols::make_protocol("fasthotstuff")->fork_depth(), 0u);
+}
+
+TEST(Registry, MessagePatterns) {
+  EXPECT_FALSE(protocols::make_protocol("hotstuff")->broadcast_votes());
+  EXPECT_TRUE(protocols::make_protocol("streamlet")->broadcast_votes());
+  EXPECT_TRUE(protocols::make_protocol("streamlet")->echo_messages());
+  EXPECT_FALSE(protocols::make_protocol("2chs")->echo_messages());
+}
+
+// ---------------------------------------------------------------------------
+// HotStuff
+// ---------------------------------------------------------------------------
+
+class HotStuffRules : public ProtocolFixture {
+ protected:
+  protocols::HotStuff hs;
+};
+
+TEST_F(HotStuffRules, ProposesOnHighQc) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  forest.add_qc(qc_of(b1));
+  const auto plan = hs.plan_proposal(2, ctx());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->parent->hash(), b1->hash());
+  EXPECT_EQ(plan->justify.block_hash, b1->hash());
+}
+
+TEST_F(HotStuffRules, VotesOnlyOncePerView) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  current_view = 1;
+  EXPECT_TRUE(hs.should_vote(proposal_of(b1), ctx()));
+  hs.did_vote(*b1);
+  EXPECT_EQ(hs.last_voted_view(), 1u);
+  EXPECT_FALSE(hs.should_vote(proposal_of(b1), ctx()));
+}
+
+TEST_F(HotStuffRules, LockMovesToTwoChainHead) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  certify(hs, b1);
+  EXPECT_EQ(hs.locked_view(), 0u);  // one-chain only: no lock yet
+  certify(hs, b2);                  // two-chain b1 <- b2: lock on b1
+  EXPECT_EQ(hs.locked_view(), 1u);
+}
+
+TEST_F(HotStuffRules, VotingRuleEnforcesLock) {
+  // Build and lock on b1: chain b1(v1) <- b2(v2), both certified.
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  certify(hs, b2);
+  ASSERT_EQ(hs.locked_view(), 1u);
+
+  // A fork from genesis with a stale justify must be rejected...
+  const auto fork = add_block(types::Block::genesis(), 3,
+                              types::Block::genesis());
+  EXPECT_FALSE(hs.should_vote(proposal_of(fork), ctx()));
+
+  // ...but a block extending the lock is accepted,
+  const auto b3 = add_block(b2, 4);
+  EXPECT_TRUE(hs.should_vote(proposal_of(b3), ctx()));
+
+  // ...and so is a conflicting block with a *newer* justify (liveness rule:
+  // justify view > lock view).
+  const auto b2b = add_block(b1, 5, b1);  // extends lock b1 itself
+  EXPECT_TRUE(hs.should_vote(proposal_of(b2b), ctx()));
+}
+
+TEST_F(HotStuffRules, Figure2CommitScenario) {
+  // Paper Fig. 2: b_v1 <- b_v2 <- b_v3 <- b_v4 <- b_v5 where view 2's QC
+  // never formed, so b_v3 carries QC_v1 as its justify while its parent is
+  // b_v2. When b_v4 is certified, b_v1 is NOT committed: the three-chain
+  // ending at b_v4 breaks because b_v3's justify does not certify its
+  // direct parent ("b_v3 is not its directed descendent one-chain"). Once
+  // b_v5 is certified, the direct chain b_v3 <- b_v4 <- b_v5 commits b_v3
+  // and all preceding blocks (b_v2, b_v1).
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  const auto b3 = add_block(b2, 3, b1);  // justify skips to QC_v1
+  const auto b4 = add_block(b3, 4);
+  const auto b5 = add_block(b4, 5);
+
+  EXPECT_EQ(certify(hs, b3), std::nullopt);
+  EXPECT_EQ(certify(hs, b4), std::nullopt);  // broken link at b3: no commit
+  const auto target = certify(hs, b5);       // b3 <- b4 <- b5: commit b3
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b3->hash());
+
+  const auto chain = forest.commit(*target);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->size(), 3u);  // b1, b2, b3 commit together
+  EXPECT_EQ((*chain)[0]->hash(), b1->hash());
+  EXPECT_EQ((*chain)[2]->hash(), b3->hash());
+}
+
+TEST_F(HotStuffRules, HappyPathCommitsContinuously) {
+  BlockPtr prev = add_block(types::Block::genesis(), 1);
+  certify(hs, prev);
+  std::size_t commits = 0;
+  for (View v = 2; v <= 10; ++v) {
+    const auto b = add_block(prev, v);
+    const auto target = certify(hs, b);
+    if (target) {
+      const auto chain = forest.commit(*target);
+      ASSERT_TRUE(chain.has_value());
+      commits += chain->size();
+    }
+    prev = b;
+  }
+  // Views 1..10 all certified: blocks 1..8 committed (tail of 2 pending).
+  EXPECT_EQ(commits, 8u);
+}
+
+TEST_F(HotStuffRules, Figure6SilenceAttackTimeline) {
+  // Fig. 6: B1(v1) <- B2(v2) <- B3(v3); the view-4 leader withholds B4 and
+  // QC_3; the view-5 leader builds B5 on B2 (highest public QC). B3 is
+  // overwritten; B1/B2 commit only once the post-fork chain re-establishes
+  // a three-chain on top of B2.
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  const auto b3 = add_block(b2, 3);
+  certify(hs, b2);
+
+  const auto b5 = add_block(b2, 5, b2);  // fork over b3, justify QC_2
+  const auto b6 = add_block(b5, 6);
+  const auto b7 = add_block(b6, 7);
+
+  // B1 <- B2 <- B5 is a direct three-chain: certifying B5 commits B1.
+  const auto t1 = certify(hs, b5);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(*t1, b1->hash());
+  ASSERT_TRUE(forest.commit(*t1).has_value());
+
+  // B2 <- B5 <- B6 then commits B2 (B3, its other child, still lingers).
+  const auto t2 = certify(hs, b6);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(*t2, b2->hash());
+  ASSERT_TRUE(forest.commit(*t2).has_value());
+
+  // Once B5 commits, the conflicting sibling B3 is overwritten for good.
+  const auto t3 = certify(hs, b7);
+  ASSERT_TRUE(t3.has_value());
+  EXPECT_EQ(*t3, b5->hash());
+  ASSERT_TRUE(forest.commit(*t3).has_value());
+  const auto dropped = forest.prune();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->hash(), b3->hash());  // B3 overwritten
+}
+
+// ---------------------------------------------------------------------------
+// Two-chain HotStuff
+// ---------------------------------------------------------------------------
+
+class TwoChainRules : public ProtocolFixture {
+ protected:
+  protocols::TwoChainHotStuff chs;
+};
+
+TEST_F(TwoChainRules, LockMovesToHighestCertified) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  certify(chs, b1);
+  EXPECT_EQ(chs.locked_view(), 1u);  // lock on the one-chain head itself
+}
+
+TEST_F(TwoChainRules, CommitsWithTwoChain) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  EXPECT_EQ(certify(chs, b1), std::nullopt);
+  const auto target = certify(chs, b2);  // two-chain (1,2): commit b1
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b1->hash());
+}
+
+TEST_F(TwoChainRules, GapBlocksCommitUntilConsecutivePair) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b3 = add_block(b1, 3);  // view 2 timed out
+  EXPECT_EQ(certify(chs, b1), std::nullopt);
+  EXPECT_EQ(certify(chs, b3), std::nullopt);  // (1,3): not consecutive
+  const auto b4 = add_block(b3, 4);
+  const auto target = certify(chs, b4);  // (3,4): commits b3 and prefix
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b3->hash());
+}
+
+TEST_F(TwoChainRules, StricterLockThanHotStuff) {
+  // After certifying b2, 2CHS locks on b2 (one-chain head) while HotStuff
+  // locks on b1 (two-chain head) — the source of the fork_depth gap.
+  protocols::HotStuff hs;
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  certify(chs, b2);
+  certify(hs, b2);
+  EXPECT_EQ(chs.locked_view(), 2u);
+  EXPECT_EQ(hs.locked_view(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Streamlet
+// ---------------------------------------------------------------------------
+
+class StreamletRules : public ProtocolFixture {
+ protected:
+  protocols::Streamlet sl;
+};
+
+TEST_F(StreamletRules, ProposesOnLongestNotarizedChain) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  forest.add_qc(qc_of(b1));
+  forest.add_qc(qc_of(b2));
+  const auto fork = add_block(types::Block::genesis(), 3);
+  forest.add_qc(qc_of(fork));  // shorter notarized chain
+
+  const auto plan = sl.plan_proposal(4, ctx());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->parent->hash(), b2->hash());
+}
+
+TEST_F(StreamletRules, RejectsVotesOffTheLongestChain) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  forest.add_qc(qc_of(b1));
+  forest.add_qc(qc_of(b2));
+
+  // A proposal extending genesis (shorter notarized chain) is rejected —
+  // this is what makes Streamlet immune to the forking attack (Fig. 13).
+  const auto fork = add_block(types::Block::genesis(), 3);
+  EXPECT_FALSE(sl.should_vote(proposal_of(fork), ctx()));
+
+  // A proposal on the longest notarized tip is accepted.
+  const auto b3 = add_block(b2, 4);
+  EXPECT_TRUE(sl.should_vote(proposal_of(b3), ctx()));
+}
+
+TEST_F(StreamletRules, RejectsUncertifiedParent) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  // b2 claims to justify b1 but that QC never reached us.
+  const auto b2 = add_block(b1, 2, nullptr, /*record_justify=*/false);
+  ASSERT_FALSE(forest.is_certified(b1->hash()));
+  EXPECT_FALSE(sl.should_vote(proposal_of(b2), ctx()));
+}
+
+TEST_F(StreamletRules, OneVotePerView) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  EXPECT_TRUE(sl.should_vote(proposal_of(b1), ctx()));
+  sl.did_vote(*b1);
+  EXPECT_FALSE(sl.should_vote(proposal_of(b1), ctx()));
+}
+
+TEST_F(StreamletRules, CommitsFirstTwoOfThreeConsecutive) {
+  // Chain at views 2,3,4 (the 0->2 gap keeps genesis out of any trio).
+  // Constructing each block records its justify, so b2 and b3 are already
+  // notarized; notarizing b4 completes (2,3,4) and commits the first two.
+  const auto b2 = add_block(types::Block::genesis(), 2);
+  const auto b3 = add_block(b2, 3);
+  EXPECT_EQ(certify(sl, b3), std::nullopt);  // (0,2,3) has a gap: no commit
+  const auto b4 = add_block(b3, 4);
+  const auto target = certify(sl, b4);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b3->hash());
+  const auto chain = forest.commit(*target);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 2u);  // b2 and b3
+}
+
+TEST_F(StreamletRules, GenesisCountsAsNotarizedEpochZero) {
+  // Streamlet's genesis is notarized at epoch 0, so views (0,1,2) form a
+  // legitimate trio committing b1.
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  certify(sl, b1);
+  const auto target = certify(sl, b2);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b1->hash());
+}
+
+TEST_F(StreamletRules, GapBreaksTheTrio) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  const auto b4 = add_block(b2, 4);  // view 3 silent
+  certify(sl, b1);
+  certify(sl, b2);
+  EXPECT_EQ(certify(sl, b4), std::nullopt);  // (1,2,4): no commit
+  const auto b5 = add_block(b4, 5);
+  const auto b6 = add_block(b5, 6);
+  certify(sl, b5);
+  const auto target = certify(sl, b6);  // (4,5,6): commit b5 & prefix
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b5->hash());
+}
+
+TEST_F(StreamletRules, OutOfOrderQcCompletesTrio) {
+  // The middle QC arriving last must still trigger the commit (votes are
+  // broadcast in Streamlet, so QCs complete in any order). Built at views
+  // 2,3,4 with undelivered justifies, then certified 2, 4, 3.
+  const auto b2 = add_block(types::Block::genesis(), 2, nullptr, false);
+  const auto b3 = add_block(b2, 3, nullptr, false);
+  const auto b4 = add_block(b3, 4, nullptr, false);
+  EXPECT_EQ(certify(sl, b2), std::nullopt);
+  EXPECT_EQ(certify(sl, b4), std::nullopt);  // b3 not certified yet
+  const auto target = certify(sl, b3);       // completes (2,3,4)
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b3->hash());
+}
+
+// ---------------------------------------------------------------------------
+// Fast-HotStuff
+// ---------------------------------------------------------------------------
+
+class FastHotStuffRules : public ProtocolFixture {
+ protected:
+  protocols::FastHotStuff fhs;
+};
+
+TEST_F(FastHotStuffRules, HappyPathNeedsFreshDirectJustify) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  current_view = 2;
+  EXPECT_TRUE(fhs.should_vote(proposal_of(b2), ctx()));
+
+  // A stale-ancestor fork (the forking attack) fails the freshness check:
+  // justify view 1, block view 3 — not consecutive, and no TC.
+  const auto fork = add_block(b1, 3, b1);
+  current_view = 3;
+  EXPECT_FALSE(fhs.should_vote(proposal_of(fork), ctx()));
+}
+
+TEST_F(FastHotStuffRules, ViewChangeNeedsAggQcProof) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b3 = add_block(b1, 3, b1);  // after a timeout of view 2
+  current_view = 3;
+
+  // Without a TC the gap proposal is rejected.
+  EXPECT_FALSE(fhs.should_vote(proposal_of(b3), ctx()));
+
+  // With a TC whose AggQC proves QC_1 was the highest among 2f+1: accept.
+  types::TimeoutCert tc;
+  tc.view = 2;
+  tc.reported_qc_views = {1, 1, 0};
+  tc.high_qc = qc_of(b1);
+  EXPECT_TRUE(fhs.should_vote(proposal_of(b3, tc), ctx()));
+
+  // A TC showing somebody reported a higher QC than the justify: reject.
+  types::TimeoutCert stale_tc;
+  stale_tc.view = 2;
+  stale_tc.reported_qc_views = {1, 2, 0};  // someone saw a QC for view 2
+  EXPECT_FALSE(fhs.should_vote(proposal_of(b3, stale_tc), ctx()));
+
+  // A TC for the wrong view: reject.
+  types::TimeoutCert wrong_view_tc;
+  wrong_view_tc.view = 1;
+  wrong_view_tc.reported_qc_views = {1};
+  EXPECT_FALSE(fhs.should_vote(proposal_of(b3, wrong_view_tc), ctx()));
+}
+
+TEST_F(FastHotStuffRules, TwoChainConsecutiveCommit) {
+  const auto b1 = add_block(types::Block::genesis(), 1);
+  const auto b2 = add_block(b1, 2);
+  EXPECT_EQ(certify(fhs, b1), std::nullopt);
+  const auto target = certify(fhs, b2);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, b1->hash());
+
+  // A gap pair does not commit.
+  const auto b4 = add_block(b2, 4, b2);
+  EXPECT_EQ(certify(fhs, b4), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -1,0 +1,161 @@
+// Tests for vote/timeout aggregation: thresholds, dedup, equivocation
+// evidence, TC high-QC tracking, garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "quorum/vote_aggregator.h"
+
+namespace bamboo {
+namespace {
+
+types::VoteMsg vote(types::NodeId voter, types::View view,
+                    const crypto::Digest& hash, types::Height height = 1) {
+  types::VoteMsg v;
+  v.view = view;
+  v.height = height;
+  v.block_hash = hash;
+  v.sig.signer = voter;
+  return v;
+}
+
+types::TimeoutMsg timeout(types::NodeId sender, types::View view,
+                          types::View qc_view) {
+  types::TimeoutMsg t;
+  t.view = view;
+  t.high_qc.view = qc_view;
+  t.sig.signer = sender;
+  return t;
+}
+
+TEST(VoteAggregator, QcAtQuorum) {
+  quorum::VoteAggregator agg(4);  // quorum 3
+  const auto h = crypto::Sha256::hash("b");
+  EXPECT_FALSE(agg.add(vote(0, 1, h)).has_value());
+  EXPECT_FALSE(agg.add(vote(1, 1, h)).has_value());
+  const auto qc = agg.add(vote(2, 1, h));
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_EQ(qc->view, 1u);
+  EXPECT_EQ(qc->block_hash, h);
+  EXPECT_EQ(qc->sigs.size(), 3u);
+}
+
+TEST(VoteAggregator, QcFormedOnlyOnce) {
+  quorum::VoteAggregator agg(4);
+  const auto h = crypto::Sha256::hash("b");
+  agg.add(vote(0, 1, h));
+  agg.add(vote(1, 1, h));
+  ASSERT_TRUE(agg.add(vote(2, 1, h)).has_value());
+  EXPECT_FALSE(agg.add(vote(3, 1, h)).has_value());  // late vote: no new QC
+}
+
+TEST(VoteAggregator, DuplicateVotesIgnored) {
+  quorum::VoteAggregator agg(4);
+  const auto h = crypto::Sha256::hash("b");
+  agg.add(vote(0, 1, h));
+  agg.add(vote(0, 1, h));
+  agg.add(vote(0, 1, h));
+  EXPECT_EQ(agg.duplicate_count(), 2u);
+  EXPECT_FALSE(agg.add(vote(1, 1, h)).has_value());  // still only 2 voters
+}
+
+TEST(VoteAggregator, EquivocationDetectedAndNotCounted) {
+  quorum::VoteAggregator agg(4);
+  const auto h1 = crypto::Sha256::hash("b1");
+  const auto h2 = crypto::Sha256::hash("b2");
+  agg.add(vote(0, 1, h1));
+  agg.add(vote(0, 1, h2));  // same voter, same view, different block
+  EXPECT_EQ(agg.equivocation_count(), 1u);
+  // The equivocating vote must not count toward the other block's quorum.
+  agg.add(vote(1, 1, h2));
+  EXPECT_FALSE(agg.add(vote(2, 1, h2)).has_value());
+  ASSERT_TRUE(agg.add(vote(3, 1, h2)).has_value());
+}
+
+TEST(VoteAggregator, SameVoterDifferentViewsOk) {
+  quorum::VoteAggregator agg(4);
+  const auto h1 = crypto::Sha256::hash("b1");
+  const auto h2 = crypto::Sha256::hash("b2");
+  agg.add(vote(0, 1, h1));
+  agg.add(vote(0, 2, h2));
+  EXPECT_EQ(agg.equivocation_count(), 0u);
+}
+
+TEST(VoteAggregator, SeparateBucketsPerBlock) {
+  quorum::VoteAggregator agg(7);  // quorum 5
+  const auto h1 = crypto::Sha256::hash("b1");
+  const auto h2 = crypto::Sha256::hash("b2");
+  for (types::NodeId n = 0; n < 4; ++n) agg.add(vote(n, 3, h1));
+  for (types::NodeId n = 4; n < 7; ++n) agg.add(vote(n, 3, h2));
+  // 4 + 3 votes, but no single block reached 5.
+  EXPECT_EQ(agg.quorum(), 5u);
+}
+
+TEST(VoteAggregator, GcDropsOldViews) {
+  quorum::VoteAggregator agg(4);
+  const auto h = crypto::Sha256::hash("b");
+  agg.add(vote(0, 1, h));
+  agg.add(vote(1, 1, h));
+  agg.gc_below(2);
+  // Votes were erased: the third vote alone cannot form a QC.
+  EXPECT_FALSE(agg.add(vote(2, 1, h)).has_value());
+}
+
+TEST(TimeoutAggregator, TcAtQuorumCarriesHighestQc) {
+  quorum::TimeoutAggregator agg(4);
+  EXPECT_FALSE(agg.add(timeout(0, 5, 2)).has_value());
+  EXPECT_FALSE(agg.add(timeout(1, 5, 4)).has_value());
+  const auto tc = agg.add(timeout(2, 5, 3));
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->view, 5u);
+  EXPECT_EQ(tc->high_qc.view, 4u);  // max of the reported QCs
+  EXPECT_EQ(tc->sigs.size(), 3u);
+  ASSERT_EQ(tc->reported_qc_views.size(), 3u);
+}
+
+TEST(TimeoutAggregator, DuplicateSendersIgnored) {
+  quorum::TimeoutAggregator agg(4);
+  agg.add(timeout(0, 5, 1));
+  agg.add(timeout(0, 5, 1));
+  agg.add(timeout(0, 5, 2));
+  EXPECT_EQ(agg.count(5), 1u);
+  EXPECT_FALSE(agg.add(timeout(1, 5, 1)).has_value());
+}
+
+TEST(TimeoutAggregator, TcFormedOncePerView) {
+  quorum::TimeoutAggregator agg(4);
+  agg.add(timeout(0, 5, 1));
+  agg.add(timeout(1, 5, 1));
+  ASSERT_TRUE(agg.add(timeout(2, 5, 1)).has_value());
+  EXPECT_FALSE(agg.add(timeout(3, 5, 1)).has_value());
+}
+
+TEST(TimeoutAggregator, ViewsAreIndependent) {
+  quorum::TimeoutAggregator agg(4);
+  agg.add(timeout(0, 5, 1));
+  agg.add(timeout(1, 5, 1));
+  agg.add(timeout(0, 6, 1));
+  EXPECT_EQ(agg.count(5), 2u);
+  EXPECT_EQ(agg.count(6), 1u);
+  EXPECT_EQ(agg.count(7), 0u);
+}
+
+TEST(TimeoutAggregator, GcDropsOldViews) {
+  quorum::TimeoutAggregator agg(4);
+  agg.add(timeout(0, 5, 1));
+  agg.gc_below(6);
+  EXPECT_EQ(agg.count(5), 0u);
+}
+
+TEST(TimeoutAggregator, LargeClusterQuorum) {
+  quorum::TimeoutAggregator agg(32);  // quorum 22
+  for (types::NodeId n = 0; n < 21; ++n) {
+    EXPECT_FALSE(agg.add(timeout(n, 9, n)).has_value());
+  }
+  const auto tc = agg.add(timeout(21, 9, 0));
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->high_qc.view, 20u);
+}
+
+}  // namespace
+}  // namespace bamboo

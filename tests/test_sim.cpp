@@ -1,0 +1,175 @@
+// Tests for the discrete-event simulation kernel: event ordering,
+// cancellation, clock semantics, determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace bamboo {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(sim::milliseconds(3), 3'000'000);
+  EXPECT_EQ(sim::microseconds(5), 5'000);
+  EXPECT_EQ(sim::seconds(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(sim::to_milliseconds(sim::milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(sim::seconds(4)), 4.0);
+  EXPECT_EQ(sim::from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(sim::from_milliseconds(0.5), 500'000);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  sim::EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  sim::EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));  // already fired
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(999999));  // unknown id
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  const auto id = q.schedule(20, [&] { order.push_back(2); });
+  q.schedule(30, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  sim::EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  sim::Simulator s;
+  sim::Time seen = -1;
+  s.schedule_at(100, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  sim::Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);  // events at exactly the deadline run
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now(), 100);  // clock advances to deadline even if idle
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  sim::Simulator s;
+  std::vector<sim::Time> at;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { at.push_back(s.now()); });
+  });
+  s.run_all();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 75);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  sim::Simulator s;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { EXPECT_EQ(s.now(), 100); });
+  });
+  s.run_all();
+}
+
+TEST(Simulator, NestedSchedulingRunsInOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    s.schedule_after(5, [&] { order.push_back(3); });
+    s.schedule_after(1, [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelViaSimulator) {
+  sim::Simulator s;
+  bool fired = false;
+  const auto id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  sim::Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(5, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulator, DeterministicWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s(seed);
+    std::vector<double> values;
+    for (int i = 0; i < 100; ++i) {
+      s.schedule_after(
+          static_cast<sim::Duration>(s.rng().uniform(0, 1000)),
+          [&values, &s] { values.push_back(s.rng().gaussian()); });
+    }
+    s.run_all();
+    return values;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace bamboo

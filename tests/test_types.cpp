@@ -1,0 +1,182 @@
+// Tests for blocks, certificates, messages, quorum sizing, wire sizes.
+
+#include <gtest/gtest.h>
+
+#include "crypto/signer.h"
+#include "types/block.h"
+#include "types/certificates.h"
+#include "types/ids.h"
+#include "types/messages.h"
+
+namespace bamboo {
+namespace {
+
+types::BlockPtr make_child(const types::BlockPtr& parent, types::View view,
+                           types::NodeId proposer,
+                           std::vector<types::Transaction> txns = {}) {
+  types::Block::Fields f;
+  f.parent_hash = parent->hash();
+  f.view = view;
+  f.height = parent->height() + 1;
+  f.proposer = proposer;
+  f.justify.view = parent->view();
+  f.justify.block_hash = parent->hash();
+  f.txns = std::move(txns);
+  return std::make_shared<const types::Block>(std::move(f));
+}
+
+TEST(QuorumSizing, MatchesBftBounds) {
+  EXPECT_EQ(types::max_faulty(4), 1u);
+  EXPECT_EQ(types::quorum_size(4), 3u);
+  EXPECT_EQ(types::max_faulty(7), 2u);
+  EXPECT_EQ(types::quorum_size(7), 5u);
+  EXPECT_EQ(types::max_faulty(8), 2u);
+  EXPECT_EQ(types::quorum_size(8), 6u);
+  EXPECT_EQ(types::max_faulty(32), 10u);
+  EXPECT_EQ(types::quorum_size(32), 22u);
+  EXPECT_EQ(types::max_faulty(64), 21u);
+  EXPECT_EQ(types::quorum_size(64), 43u);
+}
+
+TEST(QuorumSizing, TwoQuorumsIntersectInHonestNode) {
+  // 2q - n >= f + 1 must hold for safety.
+  for (std::uint32_t n = 4; n <= 100; ++n) {
+    const std::uint32_t q = types::quorum_size(n);
+    const std::uint32_t f = types::max_faulty(n);
+    EXPECT_GE(2 * q, n + f + 1) << "n=" << n;
+  }
+}
+
+TEST(Block, GenesisIsSingletonWithFixedShape) {
+  const auto g1 = types::Block::genesis();
+  const auto g2 = types::Block::genesis();
+  EXPECT_EQ(g1.get(), g2.get());
+  EXPECT_EQ(g1->view(), types::kGenesisView);
+  EXPECT_EQ(g1->height(), 0u);
+  EXPECT_TRUE(g1->is_genesis());
+  EXPECT_EQ(types::Block::genesis_qc().block_hash, g1->hash());
+}
+
+TEST(Block, HashCoversParentViewAndTxns) {
+  const auto g = types::Block::genesis();
+  const auto a = make_child(g, 1, 0);
+  const auto b = make_child(g, 2, 0);  // different view
+  EXPECT_NE(a->hash(), b->hash());
+
+  types::Transaction tx;
+  tx.id = 42;
+  const auto c = make_child(g, 1, 0, {tx});  // different txns
+  EXPECT_NE(a->hash(), c->hash());
+
+  const auto d = make_child(a, 3, 1);  // different parent
+  const auto e = make_child(b, 3, 1);
+  EXPECT_NE(d->hash(), e->hash());
+}
+
+TEST(Block, HashIsDeterministic) {
+  const auto g = types::Block::genesis();
+  const auto a = make_child(g, 1, 2);
+  const auto b = make_child(g, 1, 2);
+  EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(Block, JustifyIsParentDetectsDirectLink) {
+  const auto g = types::Block::genesis();
+  const auto a = make_child(g, 1, 0);
+  EXPECT_TRUE(a->justify_is_parent());
+
+  // Build a block whose justify certifies the grandparent (a fork).
+  types::Block::Fields f;
+  f.parent_hash = a->hash();
+  f.view = 2;
+  f.height = a->height() + 1;
+  f.proposer = 1;
+  f.justify.view = 0;
+  f.justify.block_hash = g->hash();  // not the parent
+  const types::Block fork(std::move(f));
+  EXPECT_FALSE(fork.justify_is_parent());
+}
+
+TEST(Block, WireSizeGrowsWithTxnsAndPayload) {
+  const auto g = types::Block::genesis();
+  const auto empty = make_child(g, 1, 0);
+
+  types::Transaction tx;
+  tx.payload_size = 0;
+  const auto one = make_child(g, 1, 0, {tx});
+  EXPECT_EQ(one->wire_size(), empty->wire_size() + types::kTxOverheadBytes);
+
+  tx.payload_size = 1024;
+  const auto big = make_child(g, 1, 0, {tx});
+  EXPECT_EQ(big->wire_size(), one->wire_size() + 1024);
+}
+
+TEST(Certificates, QcWireSizeGrowsWithSignatures) {
+  types::QuorumCert qc;
+  const auto base = qc.wire_size();
+  qc.sigs.resize(3);
+  EXPECT_EQ(qc.wire_size(), base + 3 * crypto::kSignatureWireBytes);
+}
+
+TEST(Certificates, VoteDigestBindsViewAndBlock) {
+  const auto h1 = crypto::Sha256::hash("block1");
+  const auto h2 = crypto::Sha256::hash("block2");
+  EXPECT_NE(types::vote_digest(1, h1), types::vote_digest(2, h1));
+  EXPECT_NE(types::vote_digest(1, h1), types::vote_digest(1, h2));
+  EXPECT_EQ(types::vote_digest(1, h1), types::vote_digest(1, h1));
+}
+
+TEST(Certificates, TimeoutDigestBindsReportedQcView) {
+  EXPECT_NE(types::timeout_digest(5, 3), types::timeout_digest(5, 4));
+  EXPECT_NE(types::timeout_digest(5, 3), types::timeout_digest(6, 3));
+}
+
+TEST(Messages, WireSizesAreOrdered) {
+  const auto g = types::Block::genesis();
+  std::vector<types::Transaction> txns(10);
+  const auto block = make_child(g, 1, 0, std::move(txns));
+
+  types::ProposalMsg proposal;
+  proposal.block = block;
+  types::VoteMsg vote;
+  types::ClientRequestMsg request;
+  request.tx.payload_size = 128;
+
+  const auto proposal_size = types::wire_size(types::Message(proposal));
+  const auto vote_size = types::wire_size(types::Message(vote));
+  const auto request_size = types::wire_size(types::Message(request));
+
+  EXPECT_GT(proposal_size, vote_size);
+  EXPECT_GT(proposal_size, request_size);
+  EXPECT_EQ(request_size, types::kTxOverheadBytes + 128);
+  EXPECT_GT(vote_size, crypto::kSignatureWireBytes);
+}
+
+TEST(Messages, ProposalCarriesTcBytes) {
+  const auto g = types::Block::genesis();
+  types::ProposalMsg p;
+  p.block = make_child(g, 1, 0);
+  const auto without = types::wire_size(types::Message(p));
+  types::TimeoutCert tc;
+  tc.sigs.resize(3);
+  p.tc = tc;
+  EXPECT_GT(types::wire_size(types::Message(p)), without);
+}
+
+TEST(Messages, KindNames) {
+  types::VoteMsg vote;
+  EXPECT_STREQ(types::kind_name(types::Message(vote)), "vote");
+  types::TimeoutMsg timeout;
+  EXPECT_STREQ(types::kind_name(types::Message(timeout)), "timeout");
+  types::ClientRequestMsg req;
+  EXPECT_STREQ(types::kind_name(types::Message(req)), "request");
+}
+
+TEST(Transaction, WireSizeIsOverheadPlusPayload) {
+  types::Transaction tx;
+  tx.payload_size = 512;
+  EXPECT_EQ(tx.wire_size(), types::kTxOverheadBytes + 512);
+}
+
+}  // namespace
+}  // namespace bamboo

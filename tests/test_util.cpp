@@ -1,0 +1,278 @@
+// Tests for src/util: RNG determinism and distributions, statistics,
+// hex codec, JSON parser, logging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/hex.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bamboo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  util::Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  util::Rng rng(11);
+  util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Rng rng(13);
+  util::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats / Samples / TimelineCounter
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  util::RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  util::RunningStats a;
+  util::RunningStats b;
+  util::RunningStats combined;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.gaussian(10, 3);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  util::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, ExactPercentiles) {
+  util::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.01);
+}
+
+TEST(Samples, MeanAndStddev) {
+  util::Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Timeline, BucketsAndRates) {
+  util::TimelineCounter t(0.5, 10.0);
+  t.add(0.1);
+  t.add(0.2);
+  t.add(0.9);
+  t.add(9.99);
+  t.add(11.0);  // beyond horizon: ignored
+  EXPECT_DOUBLE_EQ(t.rate(0), 4.0);  // 2 events / 0.5s
+  EXPECT_DOUBLE_EQ(t.rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(t.rate(19), 2.0);
+  EXPECT_DOUBLE_EQ(t.bucket_start(3), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Hex
+// ---------------------------------------------------------------------------
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = util::to_hex(bytes);
+  EXPECT_EQ(hex, "0001abff7f");
+  const auto back = util::from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  const auto bytes = util::from_hex("DEADBEEF");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(util::to_hex(*bytes), "deadbeef");
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_FALSE(util::from_hex("abc").has_value());
+}
+
+TEST(Hex, RejectsNonHex) {
+  EXPECT_FALSE(util::from_hex("zz").has_value());
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  const auto bytes = util::from_hex("");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_TRUE(bytes->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(util::Json::parse("null").is_null());
+  EXPECT_EQ(util::Json::parse("true").as_bool(), true);
+  EXPECT_EQ(util::Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(util::Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(util::Json::parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(util::Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(util::Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto j = util::Json::parse(
+      R"({"bsize": 400, "peers": [1, 2, 3], "net": {"delay": 5.5}})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.get_int("bsize", 0), 400);
+  const util::Json* peers = j.find("peers");
+  ASSERT_NE(peers, nullptr);
+  ASSERT_TRUE(peers->is_array());
+  EXPECT_EQ(peers->as_array().size(), 3u);
+  const util::Json* net = j.find("net");
+  ASSERT_NE(net, nullptr);
+  EXPECT_DOUBLE_EQ(net->get_number("delay", 0), 5.5);
+}
+
+TEST(Json, StringEscapes) {
+  const auto j = util::Json::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(j.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapesUtf8) {
+  const auto j = util::Json::parse(R"("é中")");
+  EXPECT_EQ(j.as_string(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW(util::Json::parse("{} x"), util::JsonError);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(util::Json::parse("{"), util::JsonError);
+  EXPECT_THROW(util::Json::parse("[1,"), util::JsonError);
+  EXPECT_THROW(util::Json::parse("tru"), util::JsonError);
+  EXPECT_THROW(util::Json::parse("1."), util::JsonError);
+  EXPECT_THROW(util::Json::parse("\"abc"), util::JsonError);
+  EXPECT_THROW(util::Json::parse("{\"a\" 1}"), util::JsonError);
+}
+
+TEST(Json, ErrorCarriesPosition) {
+  try {
+    util::Json::parse("{\n  \"a\": ]\n}");
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Json, DumpRoundTrip) {
+  const std::string doc =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-3})";
+  const auto j = util::Json::parse(doc);
+  const auto reparsed = util::Json::parse(j.dump());
+  EXPECT_EQ(reparsed.dump(), j.dump());
+  EXPECT_EQ(j.dump(), doc);
+}
+
+TEST(Json, GettersFallBack) {
+  const auto j = util::Json::parse(R"({"present": 5})");
+  EXPECT_EQ(j.get_int("present", 0), 5);
+  EXPECT_EQ(j.get_int("absent", 42), 42);
+  EXPECT_EQ(j.get_string("absent", "dflt"), "dflt");
+  EXPECT_TRUE(j.get_bool("absent", true));
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(Logging, LevelFiltering) {
+  auto& logger = util::Logger::instance();
+  const auto prev = logger.level();
+  logger.set_level(util::LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(util::LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(util::LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(util::LogLevel::kError));
+  logger.set_level(prev);
+}
+
+}  // namespace
+}  // namespace bamboo
