@@ -7,33 +7,80 @@
 //   3. Leader election: round-robin vs hash-based rotation.
 //   4. Conservative proposing: the wait-Δ after view changes under a
 //      silent leader (the responsiveness knob of Fig. 15).
+//
+// All nine ablation cells are independent RunSpecs executed through the
+// ParallelRunner in one submission; the vote-routing section reads the
+// cluster-wide byte counter now carried in RunResult::net_bytes.
 
 #include "bench_common.h"
 #include "client/workload.h"
 
-namespace {
-
-using namespace bamboo;
-
-harness::RunResult run(core::Config cfg, std::uint32_t concurrency,
-                       double measure_s) {
-  client::WorkloadConfig wl;
-  wl.concurrency = concurrency;
-  wl.session_timeout = sim::milliseconds(300);
-  harness::RunOptions opts;
-  opts.warmup_s = 0.3;
-  opts.measure_s = measure_s;
-  return harness::run_experiment(cfg, wl, opts);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace bamboo;
   const auto args = bench::parse_args(argc, argv);
   const double measure = args.full ? 3.0 : 1.0;
+  const std::uint64_t seed = bench::seed_or(args, 42);
 
   bench::print_header("Ablations — the cost of each design choice",
                       "every row pair differs in exactly one mechanism");
+
+  auto make_spec = [&](core::Config cfg, std::uint32_t concurrency,
+                       double warmup_s) {
+    cfg.seed = seed;
+    harness::RunSpec spec;
+    spec.cfg = std::move(cfg);
+    spec.workload.concurrency = concurrency;
+    spec.workload.session_timeout = sim::milliseconds(300);
+    spec.opts.warmup_s = warmup_s;
+    spec.opts.measure_s = measure;
+    return spec;
+  };
+
+  std::vector<harness::RunSpec> grid;
+
+  // 1. vote routing (N=8, b=400): 2CHS (next-leader unicast) vs SL
+  // (broadcast+echo). High concurrency, no session watchdog — mirror the
+  // raw driver setup this section used before the RunSpec port.
+  for (const std::string protocol : {"2chs", "streamlet"}) {
+    core::Config cfg;
+    cfg.protocol = protocol;
+    cfg.n_replicas = 8;
+    auto spec = make_spec(cfg, 2048, 0.3);
+    spec.workload.session_timeout = 0;
+    grid.push_back(std::move(spec));
+  }
+
+  // 2. commit-rule depth (N=4, b=400).
+  for (const std::string protocol : {"2chs", "hotstuff"}) {
+    core::Config cfg;
+    cfg.protocol = protocol;
+    grid.push_back(make_spec(cfg, 256, 0.3));
+  }
+
+  // 3. leader election (HS, N=8).
+  for (const std::string election : {"roundrobin", "hash"}) {
+    core::Config cfg;
+    cfg.election = election;
+    cfg.n_replicas = 8;
+    grid.push_back(make_spec(cfg, 1024, 0.3));
+  }
+
+  // 4. conservative proposing under a silent leader (2CHS, N=4).
+  const sim::Duration waits[] = {sim::Duration{0}, sim::milliseconds(10),
+                                 sim::milliseconds(20)};
+  for (const sim::Duration wait : waits) {
+    core::Config cfg;
+    cfg.protocol = "2chs";
+    cfg.byz_no = 1;
+    cfg.strategy = "silence";
+    cfg.timeout = sim::milliseconds(40);
+    cfg.propose_wait_after_vc = wait;
+    grid.push_back(make_spec(cfg, 256, 0.3));
+  }
+
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
+  std::size_t i = 0;
 
   {
     std::cout << "--- vote routing: unicast-to-next-leader vs "
@@ -41,32 +88,15 @@ int main(int argc, char** argv) {
     harness::TextTable table({"routing", "thr(KTx/s)", "lat(ms)",
                               "net MB/s", "forking-immune"});
     for (const std::string protocol : {"2chs", "streamlet"}) {
-      core::Config cfg;
-      cfg.protocol = protocol;
-      cfg.n_replicas = 8;
-      cfg.seed = 42;
-      // Measure bytes through a dedicated cluster run for the rate.
-      harness::Cluster cluster(cfg);
-      client::WorkloadConfig wl;
-      wl.concurrency = 2048;
-      client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
-                                    cluster.config(), wl);
-      driver.install();
-      cluster.start();
-      driver.start();
-      cluster.simulator().run_for(sim::from_seconds(0.3));
-      const auto bytes0 = cluster.network().bytes_sent();
-      driver.begin_measurement();
-      cluster.simulator().run_for(sim::from_seconds(measure));
-      driver.end_measurement();
+      const harness::RunResult& r = results[i++];
       const double mb_per_s =
-          static_cast<double>(cluster.network().bytes_sent() - bytes0) /
-          measure / 1e6;
+          r.measured_s > 0
+              ? static_cast<double>(r.net_bytes) / r.measured_s / 1e6
+              : 0.0;
       table.add_row(
           {protocol == "streamlet" ? "broadcast+echo" : "next leader",
-           harness::TextTable::num(
-               driver.measured_completed() / measure / 1e3, 1),
-           harness::TextTable::num(driver.latencies_ms().mean(), 1),
+           harness::TextTable::num(r.throughput_tps / 1e3, 1),
+           harness::TextTable::num(r.latency_ms_mean, 1),
            harness::TextTable::num(mb_per_s, 0),
            protocol == "streamlet" ? "yes" : "no"});
     }
@@ -80,10 +110,7 @@ int main(int argc, char** argv) {
     harness::TextTable table(
         {"rule", "lat(ms)", "BI", "fork budget(blocks)"});
     for (const std::string protocol : {"2chs", "hotstuff"}) {
-      core::Config cfg;
-      cfg.protocol = protocol;
-      cfg.seed = 42;
-      const auto r = run(cfg, 256, measure);
+      const harness::RunResult& r = results[i++];
       table.add_row({protocol == "hotstuff" ? "three-chain" : "two-chain",
                      harness::TextTable::num(r.latency_ms_mean, 1),
                      harness::TextTable::num(r.block_interval, 1),
@@ -98,11 +125,7 @@ int main(int argc, char** argv) {
                  "(HS, N=8) ---\n";
     harness::TextTable table({"election", "thr(KTx/s)", "lat(ms)", "CGR"});
     for (const std::string election : {"roundrobin", "hash"}) {
-      core::Config cfg;
-      cfg.election = election;
-      cfg.n_replicas = 8;
-      cfg.seed = 42;
-      const auto r = run(cfg, 1024, measure);
+      const harness::RunResult& r = results[i++];
       table.add_row({election,
                      harness::TextTable::num(r.throughput_tps / 1e3, 1),
                      harness::TextTable::num(r.latency_ms_mean, 1),
@@ -118,16 +141,8 @@ int main(int argc, char** argv) {
                  "(2CHS, N=4, timeout 40 ms) ---\n";
     harness::TextTable table({"wait-after-VC", "thr(KTx/s)", "lat(ms)",
                               "timeouts"});
-    for (const sim::Duration wait :
-         {sim::Duration{0}, sim::milliseconds(10), sim::milliseconds(20)}) {
-      core::Config cfg;
-      cfg.protocol = "2chs";
-      cfg.byz_no = 1;
-      cfg.strategy = "silence";
-      cfg.timeout = sim::milliseconds(40);
-      cfg.propose_wait_after_vc = wait;
-      cfg.seed = 42;
-      const auto r = run(cfg, 256, measure);
+    for (const sim::Duration wait : waits) {
+      const harness::RunResult& r = results[i++];
       table.add_row({harness::TextTable::num(sim::to_milliseconds(wait), 0) +
                          " ms",
                      harness::TextTable::num(r.throughput_tps / 1e3, 1),

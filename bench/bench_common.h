@@ -1,33 +1,58 @@
 #pragma once
 
-// Shared plumbing for the per-figure bench binaries: flag parsing and the
-// standard column set printed for latency/throughput sweeps.
+// Shared plumbing for the per-figure bench binaries: flag parsing, the
+// shared ParallelRunner controls (--threads/--seed), and the standard
+// column set printed for latency/throughput sweeps.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 namespace bamboo::bench {
 
 struct Args {
-  bool full = false;  ///< longer windows / more points
+  bool full = false;       ///< longer windows / more points
+  unsigned threads = 0;    ///< 0 = auto (BAMBOO_THREADS or all cores)
+  std::uint64_t seed = 0;  ///< 0 = keep each bench's published default
 };
 
 inline Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
-    if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: " << argv[0] << " [--full]\n"
-                << "  --full   longer measurement windows and denser sweeps\n";
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout
+          << "usage: " << argv[0] << " [--full] [--threads N] [--seed S]\n"
+          << "  --full       longer measurement windows and denser sweeps\n"
+          << "  --threads N  worker threads for the run grid (default:\n"
+          << "               BAMBOO_THREADS env var, else all cores)\n"
+          << "  --seed S     override the bench's default base seed\n";
       std::exit(0);
     }
   }
   return args;
+}
+
+/// The runner every bench binary fans its RunSpec grid across.
+inline harness::ParallelRunner make_runner(const Args& args) {
+  return harness::ParallelRunner(
+      harness::RunnerOptions{args.threads});
+}
+
+/// The bench's published default seed unless --seed overrode it.
+inline std::uint64_t seed_or(const Args& args, std::uint64_t fallback) {
+  return args.seed != 0 ? args.seed : fallback;
 }
 
 inline void print_header(const std::string& title,
@@ -49,6 +74,37 @@ inline void add_sweep_row(harness::TextTable& table, const std::string& label,
 
 inline std::vector<std::string> sweep_headers(const std::string& offered) {
   return {"series", offered, "thr(KTx/s)", "lat(ms)", "p99(ms)", "safety"};
+}
+
+/// A labelled slice of one flat RunSpec grid: bench binaries append every
+/// series' specs into a single vector, submit it to the ParallelRunner in
+/// one call (maximum overlap across series), then print per-series slices.
+struct SeriesSlice {
+  std::string label;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
+inline void append_series(std::vector<harness::RunSpec>& grid,
+                          std::vector<SeriesSlice>& series,
+                          const std::string& label,
+                          std::vector<harness::RunSpec> specs) {
+  series.push_back(SeriesSlice{label, grid.size(), specs.size()});
+  for (auto& spec : specs) grid.push_back(std::move(spec));
+}
+
+/// Print every series slice of a sweep grid with the standard columns.
+inline void print_series(harness::TextTable& table,
+                         const std::vector<harness::RunSpec>& grid,
+                         const std::vector<SeriesSlice>& series,
+                         const std::vector<harness::RunResult>& results) {
+  for (const SeriesSlice& s : series) {
+    for (std::size_t i = 0; i < s.count; ++i) {
+      const auto& spec = grid[s.begin + i];
+      add_sweep_row(table, s.label, spec.offered,
+                    {spec.offered, results[s.begin + i]});
+    }
+  }
 }
 
 /// The paper's three evaluated protocols.

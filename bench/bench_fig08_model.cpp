@@ -4,6 +4,9 @@
 // the measured throughput and latency next to the model's latency
 // prediction at that arrival rate. The validation criterion is that the
 // curves overlay: same latency floor region and the same saturation knee.
+//
+// All 12 λ-ladders (4 setups x 3 protocols) are built as one RunSpec grid
+// and executed through the ParallelRunner in a single submission.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -29,18 +32,22 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.3;
   opts.measure_s = args.full ? 3.0 : 1.0;
 
+  struct Ladder {
+    double saturation = 0;
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::vector<harness::RunSpec> grid;
+  std::vector<Ladder> ladders;  // setup-major, protocol-minor
+
   for (const Setup& setup : setups) {
-    std::cout << "--- " << setup.n << " replicas, block size " << setup.bsize
-              << " ---\n";
-    harness::TextTable table({"series", "lambda(Tx/s)", "thr(KTx/s)",
-                              "impl lat(ms)", "model lat(ms)", "ratio"});
     for (const std::string& protocol : bench::evaluated_protocols()) {
       core::Config cfg;
       cfg.protocol = protocol;
       cfg.n_replicas = setup.n;
       cfg.bsize = setup.bsize;
       cfg.memsize = 200000;
-      cfg.seed = 88;
+      cfg.seed = bench::seed_or(args, 88);
 
       const model::PerfModel pm(cfg);
       const double saturation = pm.saturation_tps();
@@ -51,22 +58,44 @@ int main(int argc, char** argv) {
 
       client::WorkloadConfig wl;
       wl.mode = client::LoadMode::kOpenLoop;
-      const auto points = harness::sweep_open_loop(cfg, wl, rates, opts);
-      for (const auto& p : points) {
-        const double predicted = pm.latency_ms(p.offered);
-        const double measured = p.result.latency_ms_mean;
+      auto specs = harness::open_loop_specs(cfg, wl, rates, opts);
+      ladders.push_back(Ladder{saturation, grid.size(), specs.size()});
+      for (auto& spec : specs) grid.push_back(std::move(spec));
+    }
+  }
+
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
+
+  std::size_t ladder_index = 0;
+  for (const Setup& setup : setups) {
+    std::cout << "--- " << setup.n << " replicas, block size " << setup.bsize
+              << " ---\n";
+    harness::TextTable table({"series", "lambda(Tx/s)", "thr(KTx/s)",
+                              "impl lat(ms)", "model lat(ms)", "ratio"});
+    for (const std::string& protocol : bench::evaluated_protocols()) {
+      const Ladder& ladder = ladders[ladder_index++];
+      // Predict from the exact config that was measured, so the overlay
+      // cannot drift if the grid-building loop changes.
+      const model::PerfModel pm(grid[ladder.begin].cfg);
+
+      for (std::size_t i = 0; i < ladder.count; ++i) {
+        const auto& spec = grid[ladder.begin + i];
+        const harness::RunResult& r = results[ladder.begin + i];
+        const double predicted = pm.latency_ms(spec.offered);
+        const double measured = r.latency_ms_mean;
         table.add_row(
             {bench::short_name(protocol),
-             harness::TextTable::num(p.offered, 0),
-             harness::TextTable::num(p.result.throughput_tps / 1e3, 1),
+             harness::TextTable::num(spec.offered, 0),
+             harness::TextTable::num(r.throughput_tps / 1e3, 1),
              harness::TextTable::num(measured, 1),
              harness::TextTable::num(predicted, 1),
              harness::TextTable::num(
                  measured > 0 ? predicted / measured : 0.0, 2)});
       }
       table.add_row({bench::short_name(protocol), "saturation ->",
-                     harness::TextTable::num(saturation / 1e3, 1), "", "",
-                     ""});
+                     harness::TextTable::num(ladder.saturation / 1e3, 1), "",
+                     "", ""});
     }
     table.print(std::cout);
     std::cout << "\n";

@@ -4,6 +4,9 @@
 // payload-sensitive (message echoing multiplies the bytes); the HS-vs-2CHS
 // latency gap narrows at p1024 because transmission delay dominates the
 // extra voting round.
+//
+// The full (protocol, psize, concurrency) grid runs through the
+// ParallelRunner in a single submission.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -23,7 +26,8 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.3;
   opts.measure_s = args.full ? 2.0 : 0.8;
 
-  harness::TextTable table(bench::sweep_headers("clients"));
+  std::vector<harness::RunSpec> grid;
+  std::vector<bench::SeriesSlice> series;
   for (const std::string& protocol : bench::evaluated_protocols()) {
     for (std::uint32_t psize : payloads) {
       core::Config cfg;
@@ -32,17 +36,21 @@ int main(int argc, char** argv) {
       cfg.bsize = 400;
       cfg.psize = psize;
       cfg.memsize = 200000;
-      cfg.seed = 10;
+      cfg.seed = bench::seed_or(args, 10);
       client::WorkloadConfig wl;
-      const auto points = harness::sweep_closed_loop(cfg, wl, ladder, opts);
       const std::string label =
           std::string(bench::short_name(protocol)) + "-p" +
           std::to_string(psize);
-      for (const auto& p : points) {
-        bench::add_sweep_row(table, label, p.offered, p);
-      }
+      bench::append_series(grid, series, label,
+                           harness::closed_loop_specs(cfg, wl, ladder, opts));
     }
   }
+
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
+
+  harness::TextTable table(bench::sweep_headers("clients"));
+  bench::print_series(table, grid, series, results);
   table.print(std::cout);
   std::cout << "\nresult: larger payloads cut saturation throughput for\n"
                "every protocol; SL most sensitive; HS/2CHS latency gap\n"

@@ -2,6 +2,9 @@
 // 5 ms (± 1 ms), and 10 ms (± 2 ms). Expected shapes: every protocol
 // suffers as delay grows; the SL-vs-2CHS gap closes at d10 because link
 // delay swamps the cost of Streamlet's message echoing.
+//
+// The full (protocol, delay, concurrency) grid runs through the
+// ParallelRunner in a single submission.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -31,7 +34,8 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.4;
   opts.measure_s = args.full ? 2.5 : 1.0;
 
-  harness::TextTable table(bench::sweep_headers("clients"));
+  std::vector<harness::RunSpec> grid;
+  std::vector<bench::SeriesSlice> series;
   for (const std::string& protocol : bench::evaluated_protocols()) {
     for (const DelaySetting& d : delays) {
       core::Config cfg;
@@ -42,16 +46,20 @@ int main(int argc, char** argv) {
       cfg.delay = d.delay;
       cfg.delay_jitter = d.jitter;
       cfg.memsize = 200000;
-      cfg.seed = 11;
+      cfg.seed = bench::seed_or(args, 11);
       client::WorkloadConfig wl;
-      const auto points = harness::sweep_closed_loop(cfg, wl, ladder, opts);
       const std::string label =
           std::string(bench::short_name(protocol)) + "-" + d.tag;
-      for (const auto& p : points) {
-        bench::add_sweep_row(table, label, p.offered, p);
-      }
+      bench::append_series(grid, series, label,
+                           harness::closed_loop_specs(cfg, wl, ladder, opts));
     }
   }
+
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
+
+  harness::TextTable table(bench::sweep_headers("clients"));
+  bench::print_series(table, grid, series, results);
   table.print(std::cout);
   std::cout << "\nresult: latency rises with added delay for all protocols;\n"
                "SL approaches 2CHS at d10 (paper Fig. 11).\n";

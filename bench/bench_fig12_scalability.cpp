@@ -4,6 +4,10 @@
 // comparable (their latency gap narrows); Streamlet collapses first — the
 // paper calls its >= 64-replica numbers "meaningless" — because of its
 // O(n^3) message complexity.
+//
+// Every (protocol, N) cell is one independent RunSpec; the whole grid is
+// submitted to the ParallelRunner at once, so the big-N Streamlet cells
+// overlap with everything else instead of serializing the sweep.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -18,17 +22,23 @@ int main(int argc, char** argv) {
 
   const std::vector<std::uint32_t> sizes = {4, 8, 16, 32, 64};
 
-  harness::TextTable table({"series", "replicas", "thr(KTx/s)", "lat(ms)",
-                            "p99(ms)", "views/s", "safety"});
+  struct Cell {
+    std::string protocol;
+    std::uint32_t n = 0;
+    bool skipped = false;   ///< heavy cell deferred to --full
+    std::size_t index = 0;  ///< into the spec grid when !skipped
+  };
+  std::vector<Cell> cells;
+  std::vector<harness::RunSpec> grid;
 
   for (const std::string& protocol : bench::evaluated_protocols()) {
     for (std::uint32_t n : sizes) {
-      const bool heavy = protocol == "streamlet" && n >= 32;
-      if (heavy && !args.full && n > 32) {
+      Cell cell{protocol, n, false, 0};
+      if (protocol == "streamlet" && !args.full && n > 32) {
         // SL at 64 replicas floods the simulator with ~N^3 echoes per view
         // (the very pathology the paper reports); run it under --full.
-        table.add_row({std::string(bench::short_name(protocol)),
-                       std::to_string(n), "(--full)", "", "", "", ""});
+        cell.skipped = true;
+        cells.push_back(cell);
         continue;
       }
       core::Config cfg;
@@ -37,32 +47,49 @@ int main(int argc, char** argv) {
       cfg.bsize = 400;
       cfg.psize = 128;
       cfg.memsize = 200000;
-      cfg.seed = 12;
+      cfg.seed = bench::seed_or(args, 12);
 
-      client::WorkloadConfig wl;
+      harness::RunSpec spec;
+      spec.cfg = cfg;
       // The paper raises client concurrency until each configuration
       // saturates. Peak throughput falls with N roughly as fast as
       // latency rises, so a fixed in-flight population of ~4k sits at the
       // knee across the whole sweep (verified against per-N ladders).
-      wl.concurrency = 4096;
-      wl.session_timeout = sim::seconds(5);
+      spec.workload.concurrency = 4096;
+      spec.workload.session_timeout = sim::seconds(5);
+      spec.opts.warmup_s = n >= 32 ? 1.0 : 0.4;
+      spec.opts.measure_s = args.full ? 6.0 : (n >= 32 ? 2.5 : 1.2);
+      spec.offered = n;
 
-      harness::RunOptions opts;
-      opts.warmup_s = n >= 32 ? 1.0 : 0.4;
-      opts.measure_s = args.full ? 6.0 : (n >= 32 ? 2.5 : 1.2);
-
-      const auto r = harness::run_experiment(cfg, wl, opts);
-      table.add_row(
-          {std::string(bench::short_name(protocol)), std::to_string(n),
-           harness::TextTable::num(r.throughput_tps / 1e3, 1),
-           harness::TextTable::num(r.latency_ms_mean, 1),
-           harness::TextTable::num(r.latency_ms_p99, 1),
-           harness::TextTable::num(
-               r.measured_s > 0 ? static_cast<double>(r.views) / r.measured_s
-                                : 0,
-               0),
-           r.consistent ? "ok" : "VIOLATED"});
+      cell.index = grid.size();
+      grid.push_back(std::move(spec));
+      cells.push_back(cell);
     }
+  }
+
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
+
+  harness::TextTable table({"series", "replicas", "thr(KTx/s)", "lat(ms)",
+                            "p99(ms)", "views/s", "safety"});
+  for (const Cell& cell : cells) {
+    if (cell.skipped) {
+      table.add_row({std::string(bench::short_name(cell.protocol)),
+                     std::to_string(cell.n), "(--full)", "", "", "", ""});
+      continue;
+    }
+    const harness::RunResult& r = results[cell.index];
+    table.add_row(
+        {std::string(bench::short_name(cell.protocol)),
+         std::to_string(cell.n),
+         harness::TextTable::num(r.throughput_tps / 1e3, 1),
+         harness::TextTable::num(r.latency_ms_mean, 1),
+         harness::TextTable::num(r.latency_ms_p99, 1),
+         harness::TextTable::num(
+             r.measured_s > 0 ? static_cast<double>(r.views) / r.measured_s
+                              : 0,
+             0),
+         r.consistent ? "ok" : "VIOLATED"});
   }
   table.print(std::cout);
   std::cout << "\nresult: throughput decreases / latency increases with N;\n"

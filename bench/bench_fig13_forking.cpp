@@ -5,6 +5,8 @@
 // attacker overwrites one block per fork, HS's two); BI starts at 3 (HS)
 // vs 2 (2CHS); HS latency grows fastest (forked transactions recycle
 // through the mempool).
+//
+// One RunSpec per (protocol, byz) cell, fanned across the ParallelRunner.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -25,25 +27,35 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.4;
   opts.measure_s = args.full ? 4.0 : 1.5;
 
-  harness::TextTable table({"series", "byz", "thr(KTx/s)", "lat(ms)", "CGR",
-                            "CGRv", "BI", "forked", "safety"});
+  std::vector<harness::RunSpec> grid;
   for (const std::string& protocol : bench::evaluated_protocols()) {
     for (std::uint32_t byz : byz_counts) {
-      core::Config cfg;
-      cfg.protocol = protocol;
-      cfg.n_replicas = 32;
-      cfg.byz_no = byz;
-      cfg.strategy = "forking";
-      cfg.bsize = 400;
-      cfg.psize = 128;
-      cfg.memsize = 200000;
-      cfg.seed = 13;
+      harness::RunSpec spec;
+      spec.cfg.protocol = protocol;
+      spec.cfg.n_replicas = 32;
+      spec.cfg.byz_no = byz;
+      spec.cfg.strategy = "forking";
+      spec.cfg.bsize = 400;
+      spec.cfg.psize = 128;
+      spec.cfg.memsize = 200000;
+      spec.cfg.seed = bench::seed_or(args, 13);
+      spec.workload.concurrency = 512;
+      spec.workload.session_timeout = sim::milliseconds(300);
+      spec.opts = opts;
+      spec.offered = byz;
+      grid.push_back(std::move(spec));
+    }
+  }
 
-      client::WorkloadConfig wl;
-      wl.concurrency = 512;
-      wl.session_timeout = sim::milliseconds(300);
+  auto runner = bench::make_runner(args);
+  const auto results = runner.run(grid);
 
-      const auto r = harness::run_experiment(cfg, wl, opts);
+  harness::TextTable table({"series", "byz", "thr(KTx/s)", "lat(ms)", "CGR",
+                            "CGRv", "BI", "forked", "safety"});
+  std::size_t i = 0;
+  for (const std::string& protocol : bench::evaluated_protocols()) {
+    for (std::uint32_t byz : byz_counts) {
+      const harness::RunResult& r = results[i++];
       table.add_row({std::string(bench::short_name(protocol)),
                      std::to_string(byz),
                      harness::TextTable::num(r.throughput_tps / 1e3, 1),

@@ -9,6 +9,9 @@
 // responsive HotStuff resumes at network speed afterwards, with throughput
 // waves from the silent leader; the non-responsive protocols recover far
 // worse. Under t100 all three stay live throughout, at lower throughput.
+//
+// All six timelines (2 settings x 3 protocols) are independent RunSpecs
+// executed through the ParallelRunner in one submission.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -42,10 +45,8 @@ int main(int argc, char** argv) {
       {"t100", sim::milliseconds(100), sim::milliseconds(50)},
   };
 
+  std::vector<harness::RunSpec> grid;
   for (const Setting& setting : settings) {
-    harness::TextTable table({"t(s)", "HS(KTx/s)", "2CHS(KTx/s)",
-                              "SL(KTx/s)"});
-    std::vector<std::vector<double>> series;
     for (const std::string& protocol : bench::evaluated_protocols()) {
       core::Config cfg;
       cfg.protocol = protocol;
@@ -54,24 +55,34 @@ int main(int argc, char** argv) {
       cfg.memsize = 200000;
       cfg.timeout = setting.timeout;
       cfg.propose_wait_after_vc = setting.propose_wait;
-      cfg.seed = 15;
+      cfg.seed = bench::seed_or(args, 15);
 
       client::WorkloadConfig wl;
       wl.mode = client::LoadMode::kOpenLoop;
       wl.arrival_rate_tps = 20000;
 
-      const auto timeline = harness::run_responsiveness_timeline(
+      grid.push_back(harness::timeline_spec(
           cfg, wl, horizon, bucket, fluct_start, fluct_end,
           sim::milliseconds(10), sim::milliseconds(100), fault_at,
-          cfg.n_replicas - 1, harness::FaultKind::kSilence);
-      series.push_back(timeline.tx_per_s);
+          cfg.n_replicas - 1, harness::FaultKind::kSilence));
     }
+  }
 
-    const std::size_t buckets = series.front().size();
+  auto runner = bench::make_runner(args);
+  const auto outputs = runner.run_full(grid);
+
+  const std::size_t protocols = bench::evaluated_protocols().size();
+  for (std::size_t si = 0; si < std::size(settings); ++si) {
+    const Setting& setting = settings[si];
+    harness::TextTable table({"t(s)", "HS(KTx/s)", "2CHS(KTx/s)",
+                              "SL(KTx/s)"});
+    const std::size_t base = si * protocols;
+    const std::size_t buckets = outputs[base].tx_per_s.size();
     for (std::size_t i = 0; i < buckets; ++i) {
       std::vector<std::string> row;
       row.push_back(harness::TextTable::num(i * bucket, 1));
-      for (const auto& s : series) {
+      for (std::size_t p = 0; p < protocols; ++p) {
+        const auto& s = outputs[base + p].tx_per_s;
         row.push_back(harness::TextTable::num(
             (i < s.size() ? s[i] : 0.0) / 1e3, 1));
       }

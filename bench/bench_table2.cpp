@@ -2,6 +2,9 @@
 // block size 400, 4 replicas. The paper's point: below saturation, observed
 // blockchain throughput tracks the offered Poisson arrival rate almost
 // exactly (queueing delays dominate, but no work is lost).
+//
+// Each arrival rate is one RunSpec; the ladder runs through the
+// ParallelRunner.
 
 #include "bench_common.h"
 #include "client/workload.h"
@@ -20,7 +23,7 @@ int main(int argc, char** argv) {
   cfg.n_replicas = 4;
   cfg.bsize = 400;
   cfg.memsize = 200000;
-  cfg.seed = 2021;
+  cfg.seed = bench::seed_or(args, 2021);
 
   client::WorkloadConfig wl;
   wl.mode = client::LoadMode::kOpenLoop;
@@ -35,9 +38,10 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.3;
   opts.measure_s = args.full ? 4.0 : 1.5;
 
+  auto runner = bench::make_runner(args);
   harness::TextTable table(
       {"Arrival rate (Tx/s)", "Throughput (Tx/s)", "ratio", "lat(ms)"});
-  const auto points = harness::sweep_open_loop(cfg, wl, rates, opts);
+  const auto points = harness::sweep_open_loop(runner, cfg, wl, rates, opts);
   bool all_tracking = true;
   for (const auto& p : points) {
     const double ratio = p.result.throughput_tps / p.offered;

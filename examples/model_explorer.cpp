@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "client/workload.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 #include "model/order_stats.h"
 #include "model/perf_model.h"
@@ -92,7 +94,46 @@ int main() {
     }
     table.print(std::cout);
     std::cout << "(throughput gains flatten past b=400 while batching keeps\n"
-                 "adding latency — why the paper settles on 400)\n";
+                 "adding latency — why the paper settles on 400)\n\n";
+  }
+
+  {
+    std::cout << "--- sanity: model vs engine at 50% load (N=4, b=400) ---\n";
+    // One quick simulated run per protocol, fanned across the parallel
+    // engine, to show the paper-style overlay the full Fig. 8 bench sweeps.
+    std::vector<harness::RunSpec> grid;
+    const std::vector<std::string> protocols = {"hotstuff", "2chs",
+                                                "streamlet"};
+    for (const std::string& protocol : protocols) {
+      harness::RunSpec spec;
+      spec.cfg.protocol = protocol;
+      spec.cfg.memsize = 200000;
+      spec.cfg.seed = 5;
+      spec.workload.mode = client::LoadMode::kOpenLoop;
+      const model::PerfModel pm(spec.cfg);
+      spec.workload.arrival_rate_tps = 0.5 * pm.saturation_tps();
+      spec.offered = spec.workload.arrival_rate_tps;
+      spec.opts.warmup_s = 0.2;
+      spec.opts.measure_s = 0.6;
+      grid.push_back(std::move(spec));
+    }
+    harness::ParallelRunner runner;
+    const auto results = runner.run(grid);
+
+    harness::TextTable table({"protocol", "lambda(Tx/s)", "engine lat(ms)",
+                              "model lat(ms)"});
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      // Predict from the exact config that was measured.
+      const model::PerfModel pm(grid[i].cfg);
+      table.add_row({protocols[i],
+                     harness::TextTable::num(grid[i].offered, 0),
+                     harness::TextTable::num(results[i].latency_ms_mean, 1),
+                     harness::TextTable::num(
+                         pm.latency_ms(grid[i].offered), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "(the engine run and Eq. 3 should land in the same regime;\n"
+                 "bench_fig08_model sweeps the full overlay)\n";
   }
   return 0;
 }

@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "client/workload.h"
-#include "harness/cluster.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 #include "protocols/registry.h"
 
@@ -70,47 +70,24 @@ class OneChain final : public core::SafetyProtocol {
   types::View high_view_ = 0;
 };
 
-struct Outcome {
-  double thr_ktps = 0;
-  double latency_ms = 0;
-  bool consistent = true;
-  std::uint64_t violations = 0;
-};
-
-Outcome measure(const std::string& protocol, std::uint32_t byz) {
-  core::Config cfg;
-  cfg.protocol = protocol;
-  cfg.n_replicas = 4;
-  cfg.byz_no = byz;
-  cfg.strategy = "forking";
-  cfg.bsize = 100;
-  cfg.seed = 21;
-
-  harness::Cluster cluster(cfg);
-  client::WorkloadConfig wl;
-  wl.concurrency = 256;
+/// One (protocol, attack) cell as a self-contained RunSpec: the custom
+/// protocol races the stock ones through the same parallel engine the
+/// bench suite uses.
+harness::RunSpec race_spec(const std::string& protocol, std::uint32_t byz) {
+  harness::RunSpec spec;
+  spec.cfg.protocol = protocol;
+  spec.cfg.n_replicas = 4;
+  spec.cfg.byz_no = byz;
+  spec.cfg.strategy = "forking";
+  spec.cfg.bsize = 100;
+  spec.cfg.seed = 21;
+  spec.workload.concurrency = 256;
   // Forked-out replicas starve their clients; abandon stuck requests fast
   // so the throughput column reflects the surviving capacity.
-  wl.session_timeout = sim::milliseconds(200);
-  client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
-                                cluster.config(), wl);
-  driver.install();
-  cluster.start();
-  driver.start();
-  cluster.simulator().run_for(sim::from_seconds(0.2));
-  driver.begin_measurement();
-  cluster.simulator().run_for(sim::from_seconds(0.8));
-  driver.end_measurement();
-
-  Outcome out;
-  out.thr_ktps =
-      driver.measured_completed() / driver.measured_seconds() / 1e3;
-  out.latency_ms = driver.latencies_ms().mean();
-  out.consistent = cluster.check_consistency().consistent;
-  for (types::NodeId id = 0; id < cluster.size(); ++id) {
-    out.violations += cluster.replica(id).stats().safety_violations;
-  }
-  return out;
+  spec.workload.session_timeout = sim::milliseconds(200);
+  spec.opts.warmup_s = 0.2;
+  spec.opts.measure_s = 0.8;
+  return spec;
 }
 
 }  // namespace
@@ -127,19 +104,31 @@ int main() {
   protocols::register_protocol(
       "onechain", [] { return std::make_unique<OneChain>(); });
 
+  // The whole (protocol, attack) race grid is six independent RunSpecs —
+  // including the freshly registered custom protocol — fanned across the
+  // parallel engine in one submission.
+  const std::vector<std::string> protocols = {"onechain", "2chs", "hotstuff"};
+  std::vector<harness::RunSpec> grid;
+  for (const std::string& protocol : protocols) {
+    for (std::uint32_t byz : {0u, 1u}) grid.push_back(race_spec(protocol, byz));
+  }
+  harness::ParallelRunner runner;
+  const auto results = runner.run(grid);
+
   harness::TextTable table({"protocol", "attack", "thr(KTx/s)", "lat(ms)",
                             "consistent", "violations"});
   bool onechain_broke = false;
   bool stock_held = true;
-  for (const std::string protocol : {"onechain", "2chs", "hotstuff"}) {
+  std::size_t i = 0;
+  for (const std::string& protocol : protocols) {
     for (std::uint32_t byz : {0u, 1u}) {
-      const Outcome out = measure(protocol, byz);
+      const harness::RunResult& r = results[i++];
       table.add_row({protocol, byz ? "forking" : "none",
-                     harness::TextTable::num(out.thr_ktps, 1),
-                     harness::TextTable::num(out.latency_ms, 1),
-                     out.consistent ? "yes" : "NO",
-                     std::to_string(out.violations)});
-      const bool broke = !out.consistent || out.violations > 0;
+                     harness::TextTable::num(r.throughput_tps / 1e3, 1),
+                     harness::TextTable::num(r.latency_ms_mean, 1),
+                     r.consistent ? "yes" : "NO",
+                     std::to_string(r.safety_violations)});
+      const bool broke = !r.consistent || r.safety_violations > 0;
       if (protocol == "onechain" && byz > 0) onechain_broke = broke;
       if (protocol != "onechain" && broke) stock_held = false;
     }

@@ -27,6 +27,7 @@ class Cluster {
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::SimNetwork& network() { return net_; }
+  [[nodiscard]] const net::SimNetwork& network() const { return net_; }
   [[nodiscard]] const core::Config& config() const { return cfg_; }
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(replicas_.size());

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <memory>
+#include <utility>
 
 #include "util/stats.h"
 
@@ -21,6 +22,7 @@ struct Snapshot {
   std::uint64_t blocks_forked = 0;
   types::View view = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t net_bytes = 0;
 
   static Snapshot of(const Cluster& cluster) {
     const core::Replica& obs = cluster.replica(0);
@@ -30,6 +32,7 @@ struct Snapshot {
     s.blocks_forked = obs.stats().blocks_forked;
     s.view = obs.current_view();
     s.timeouts = cluster.total_timeouts();
+    s.net_bytes = cluster.network().bytes_sent();
     return s;
   }
 };
@@ -56,6 +59,7 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
   r.blocks_received = after.blocks_received - before.blocks_received;
   r.blocks_forked = after.blocks_forked - before.blocks_forked;
   r.timeouts = after.timeouts - before.timeouts;
+  r.net_bytes = after.net_bytes - before.net_bytes;
   r.rejected = driver.stats().rejected;
 
   r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /
@@ -82,13 +86,42 @@ client::WorkloadConfig with_payload(const client::WorkloadConfig& wl,
   return out;
 }
 
+/// Schedule the spec's fluctuation window and fault injection.
+void install_fault_plan(Cluster& cluster, const FaultPlan& plan) {
+  auto& simulator = cluster.simulator();
+  // Both ends must be given: a lone start would schedule the reset at a
+  // negative time (clamped to t=0) and leave the fluctuation on forever.
+  if (plan.fluct_start_s >= 0 && plan.fluct_end_s >= plan.fluct_start_s) {
+    const sim::Duration lo = plan.fluct_lo;
+    const sim::Duration hi = plan.fluct_hi;
+    simulator.schedule_at(sim::from_seconds(plan.fluct_start_s),
+                          [&cluster, lo, hi] {
+                            cluster.network().set_fluctuation(lo, hi);
+                          });
+    simulator.schedule_at(sim::from_seconds(plan.fluct_end_s), [&cluster] {
+      cluster.network().set_fluctuation(0, 0);
+    });
+  }
+  if (plan.crash_at_s > 0) {
+    const types::NodeId victim = plan.crash_replica;
+    const FaultKind fault = plan.fault;
+    simulator.schedule_at(sim::from_seconds(plan.crash_at_s),
+                          [&cluster, victim, fault] {
+                            if (fault == FaultKind::kCrash) {
+                              cluster.crash_replica(victim);
+                            } else {
+                              cluster.silence_replica(victim);
+                            }
+                          });
+  }
+}
+
 }  // namespace
 
-RunResult run_experiment(const core::Config& cfg,
-                         const client::WorkloadConfig& wl,
-                         const RunOptions& opts) {
-  Cluster cluster(cfg);
+RunOutput execute_full(const RunSpec& spec) {
+  Cluster cluster(spec.cfg);
   auto obs = std::make_shared<ObserverState>();
+  obs->measuring = spec.measure_whole_run;
 
   core::Replica::Hooks hooks;
   hooks.on_commit_block = [obs](const types::BlockPtr& block,
@@ -103,53 +136,159 @@ RunResult run_experiment(const core::Config& cfg,
   cluster.set_hooks(0, std::move(hooks));
 
   client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
-                                cluster.config(), with_payload(wl, cfg));
+                                cluster.config(),
+                                with_payload(spec.workload, spec.cfg));
+
+  // The simulated span: whole-run mode never executes the warm-up window.
+  const double horizon_s = spec.measure_whole_run
+                               ? spec.opts.measure_s
+                               : spec.opts.warmup_s + spec.opts.measure_s;
+  std::unique_ptr<util::TimelineCounter> timeline;
+  if (spec.timeline_bucket_s > 0) {
+    timeline = std::make_unique<util::TimelineCounter>(spec.timeline_bucket_s,
+                                                       horizon_s);
+    driver.set_timeline(timeline.get());
+  }
   driver.install();
+  install_fault_plan(cluster, spec.faults);
+
   cluster.start();
   driver.start();
 
-  cluster.simulator().run_for(sim::from_seconds(opts.warmup_s));
-  const Snapshot before = Snapshot::of(cluster);
-  driver.begin_measurement();
-  obs->measuring = true;
+  Snapshot before{};  // zero baseline (whole-run mode)
+  if (spec.measure_whole_run) {
+    driver.begin_measurement();
+  } else {
+    cluster.simulator().run_for(sim::from_seconds(spec.opts.warmup_s));
+    before = Snapshot::of(cluster);
+    driver.begin_measurement();
+    obs->measuring = true;
+  }
 
-  cluster.simulator().run_for(sim::from_seconds(opts.measure_s));
+  cluster.simulator().run_for(sim::from_seconds(spec.opts.measure_s));
   obs->measuring = false;
   driver.end_measurement();
   const Snapshot after = Snapshot::of(cluster);
   driver.stop();
 
-  return finalize(cluster, driver, *obs, before, after);
+  RunOutput out;
+  out.result = finalize(cluster, driver, *obs, before, after);
+  if (timeline) {
+    const auto buckets =
+        static_cast<std::size_t>(horizon_s / spec.timeline_bucket_s);
+    out.bucket_start_s.reserve(buckets);
+    out.tx_per_s.reserve(buckets);
+    for (std::size_t i = 0; i < buckets && i < timeline->num_buckets(); ++i) {
+      out.bucket_start_s.push_back(timeline->bucket_start(i));
+      out.tx_per_s.push_back(timeline->rate(i));
+    }
+  }
+  return out;
+}
+
+RunResult execute(const RunSpec& spec) {
+  return execute_full(spec).result;
+}
+
+RunResult run_experiment(const core::Config& cfg,
+                         const client::WorkloadConfig& wl,
+                         const RunOptions& opts) {
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.workload = wl;
+  spec.opts = opts;
+  return execute(spec);
+}
+
+std::vector<RunSpec> closed_loop_specs(
+    const core::Config& cfg, const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies, const RunOptions& opts) {
+  std::vector<RunSpec> specs;
+  specs.reserve(concurrencies.size());
+  for (std::uint32_t c : concurrencies) {
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = base_wl;
+    spec.workload.mode = client::LoadMode::kClosedLoop;
+    spec.workload.concurrency = c;
+    spec.opts = opts;
+    spec.offered = static_cast<double>(c);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<RunSpec> open_loop_specs(const core::Config& cfg,
+                                     const client::WorkloadConfig& base_wl,
+                                     const std::vector<double>& rates_tps,
+                                     const RunOptions& opts) {
+  std::vector<RunSpec> specs;
+  specs.reserve(rates_tps.size());
+  for (double rate : rates_tps) {
+    RunSpec spec;
+    spec.cfg = cfg;
+    spec.workload = base_wl;
+    spec.workload.mode = client::LoadMode::kOpenLoop;
+    spec.workload.arrival_rate_tps = rate;
+    spec.opts = opts;
+    spec.offered = rate;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<SweepPoint> to_sweep_points(const std::vector<RunSpec>& specs,
+                                        std::vector<RunResult> results) {
+  std::vector<SweepPoint> points;
+  points.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    points.push_back(SweepPoint{specs[i].offered, std::move(results[i])});
+  }
+  return points;
 }
 
 std::vector<SweepPoint> sweep_closed_loop(
     const core::Config& cfg, const client::WorkloadConfig& base_wl,
     const std::vector<std::uint32_t>& concurrencies, const RunOptions& opts) {
-  std::vector<SweepPoint> points;
-  points.reserve(concurrencies.size());
-  for (std::uint32_t c : concurrencies) {
-    client::WorkloadConfig wl = base_wl;
-    wl.mode = client::LoadMode::kClosedLoop;
-    wl.concurrency = c;
-    points.push_back(SweepPoint{static_cast<double>(c),
-                                run_experiment(cfg, wl, opts)});
-  }
-  return points;
+  const auto specs = closed_loop_specs(cfg, base_wl, concurrencies, opts);
+  std::vector<RunResult> results;
+  results.reserve(specs.size());
+  for (const RunSpec& spec : specs) results.push_back(execute(spec));
+  return to_sweep_points(specs, std::move(results));
 }
 
 std::vector<SweepPoint> sweep_open_loop(const core::Config& cfg,
                                         const client::WorkloadConfig& base_wl,
                                         const std::vector<double>& rates_tps,
                                         const RunOptions& opts) {
-  std::vector<SweepPoint> points;
-  points.reserve(rates_tps.size());
-  for (double rate : rates_tps) {
-    client::WorkloadConfig wl = base_wl;
-    wl.mode = client::LoadMode::kOpenLoop;
-    wl.arrival_rate_tps = rate;
-    points.push_back(SweepPoint{rate, run_experiment(cfg, wl, opts)});
-  }
-  return points;
+  const auto specs = open_loop_specs(cfg, base_wl, rates_tps, opts);
+  std::vector<RunResult> results;
+  results.reserve(specs.size());
+  for (const RunSpec& spec : specs) results.push_back(execute(spec));
+  return to_sweep_points(specs, std::move(results));
+}
+
+RunSpec timeline_spec(const core::Config& cfg,
+                      const client::WorkloadConfig& wl, double horizon_s,
+                      double bucket_s, double fluct_start_s,
+                      double fluct_end_s, sim::Duration fluct_lo,
+                      sim::Duration fluct_hi, double crash_at_s,
+                      types::NodeId crash_replica, FaultKind fault) {
+  RunSpec spec;
+  spec.cfg = cfg;
+  spec.workload = wl;
+  spec.opts.warmup_s = 0;
+  spec.opts.measure_s = horizon_s;
+  spec.measure_whole_run = true;
+  spec.timeline_bucket_s = bucket_s;
+  spec.faults.fluct_start_s = fluct_start_s;
+  spec.faults.fluct_end_s = fluct_end_s;
+  spec.faults.fluct_lo = fluct_lo;
+  spec.faults.fluct_hi = fluct_hi;
+  spec.faults.crash_at_s = crash_at_s;
+  spec.faults.crash_replica = crash_replica;
+  spec.faults.fault = fault;
+  return spec;
 }
 
 TimelineResult run_responsiveness_timeline(
@@ -157,64 +296,13 @@ TimelineResult run_responsiveness_timeline(
     double horizon_s, double bucket_s, double fluct_start_s,
     double fluct_end_s, sim::Duration fluct_lo, sim::Duration fluct_hi,
     double crash_at_s, types::NodeId crash_replica, FaultKind fault) {
-  Cluster cluster(cfg);
-  auto obs = std::make_shared<ObserverState>();
-  obs->measuring = true;
-
-  core::Replica::Hooks hooks;
-  hooks.on_commit_block = [obs](const types::BlockPtr& block,
-                                types::View commit_view, sim::Time) {
-    if (commit_view > block->view()) {
-      obs->block_intervals.add(
-          static_cast<double>(commit_view - block->view()));
-    }
-  };
-  cluster.set_hooks(0, std::move(hooks));
-
-  client::WorkloadDriver driver(cluster.simulator(), cluster.network(),
-                                cluster.config(), with_payload(wl, cfg));
-  util::TimelineCounter timeline(bucket_s, horizon_s);
-  driver.set_timeline(&timeline);
-  driver.install();
-
-  auto& simulator = cluster.simulator();
-  simulator.schedule_at(sim::from_seconds(fluct_start_s),
-                        [&cluster, fluct_lo, fluct_hi] {
-                          cluster.network().set_fluctuation(fluct_lo,
-                                                            fluct_hi);
-                        });
-  simulator.schedule_at(sim::from_seconds(fluct_end_s), [&cluster] {
-    cluster.network().set_fluctuation(0, 0);
-  });
-  if (crash_at_s > 0) {
-    simulator.schedule_at(sim::from_seconds(crash_at_s),
-                          [&cluster, crash_replica, fault] {
-                            if (fault == FaultKind::kCrash) {
-                              cluster.crash_replica(crash_replica);
-                            } else {
-                              cluster.silence_replica(crash_replica);
-                            }
-                          });
-  }
-
-  cluster.start();
-  driver.start();
-  driver.begin_measurement();
-  const Snapshot before{};  // zero: whole run counted
-  simulator.run_for(sim::from_seconds(horizon_s));
-  driver.end_measurement();
-  const Snapshot after = Snapshot::of(cluster);
-  driver.stop();
-
+  RunOutput out = execute_full(
+      timeline_spec(cfg, wl, horizon_s, bucket_s, fluct_start_s, fluct_end_s,
+                    fluct_lo, fluct_hi, crash_at_s, crash_replica, fault));
   TimelineResult result;
-  result.summary = finalize(cluster, driver, *obs, before, after);
-  const auto buckets = static_cast<std::size_t>(horizon_s / bucket_s);
-  result.bucket_start_s.reserve(buckets);
-  result.tx_per_s.reserve(buckets);
-  for (std::size_t i = 0; i < buckets && i < timeline.num_buckets(); ++i) {
-    result.bucket_start_s.push_back(timeline.bucket_start(i));
-    result.tx_per_s.push_back(timeline.rate(i));
-  }
+  result.summary = std::move(out.result);
+  result.bucket_start_s = std::move(out.bucket_start_s);
+  result.tx_per_s = std::move(out.tx_per_s);
   return result;
 }
 

@@ -36,10 +36,16 @@ struct RunResult {
   std::uint64_t blocks_forked = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t rejected = 0;
+  /// Network bytes sent cluster-wide inside the measurement window.
+  std::uint64_t net_bytes = 0;
 
   // invariants
   bool consistent = true;
   std::uint64_t safety_violations = 0;
+
+  /// Field-for-field equality — the determinism tests compare entire
+  /// results bit-for-bit across repeated and multi-threaded executions.
+  bool operator==(const RunResult&) const = default;
 };
 
 struct RunOptions {
@@ -47,8 +53,71 @@ struct RunOptions {
   double measure_s = 1.5;
 };
 
-/// Build a cluster + workload from `cfg`/`wl`, run warm-up then the
+/// How the Fig. 15 fault is injected at crash_at_s.
+enum class FaultKind {
+  kSilence,  ///< the paper's "silence attack (crash)": stops proposing
+  kCrash,    ///< hard fail-stop
+};
+
+/// Mid-run fault / network-fluctuation schedule (Fig. 15). Disabled by
+/// default; times are simulated seconds from run start.
+struct FaultPlan {
+  /// Fluctuation window [start, end): applied only when start >= 0 AND
+  /// end >= start; a half-specified window is ignored.
+  double fluct_start_s = -1;
+  double fluct_end_s = -1;
+  sim::Duration fluct_lo = 0;  ///< extra one-way delay, uniform in [lo, hi]
+  sim::Duration fluct_hi = 0;
+  double crash_at_s = -1;  ///< <=0 disables the fault injection
+  types::NodeId crash_replica = 0;
+  FaultKind fault = FaultKind::kSilence;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// The complete, self-contained description of ONE simulation run: protocol
+/// + cluster configuration, offered workload, measurement windows, seed
+/// (inside cfg), and the fault/fluctuation plan. A RunSpec is a pure value —
+/// executing it has no side effects on the spec or any shared state — which
+/// is what lets the ParallelRunner fan specs out across threads while
+/// staying bit-identical to a sequential loop.
+struct RunSpec {
+  core::Config cfg;
+  client::WorkloadConfig workload;
+  RunOptions opts;
+  FaultPlan faults;
+  /// When true the metrics cover the whole run from t=0 (no warm-up
+  /// exclusion; counters baseline at zero) — timeline semantics.
+  bool measure_whole_run = false;
+  /// >0: capture committed-tx throughput per bucket (Fig. 15 timelines).
+  double timeline_bucket_s = 0;
+  /// Label passthrough: the offered-load value of this sweep point
+  /// (concurrency or λ); purely descriptive.
+  double offered = 0;
+
+  /// Copy of this spec with a different seed (multi-seed repetition).
+  [[nodiscard]] RunSpec with_seed(std::uint64_t seed) const {
+    RunSpec s = *this;
+    s.cfg.seed = seed;
+    return s;
+  }
+};
+
+/// Execute one spec: build cluster + workload, run warm-up then the
 /// measurement window, and compute all metrics (observer = replica 0).
+/// Pure in the functional sense: same spec -> same RunResult, independent
+/// of what else runs on other threads.
+RunResult execute(const RunSpec& spec);
+
+/// execute() plus the optional throughput timeline.
+struct RunOutput {
+  RunResult result;
+  std::vector<double> bucket_start_s;  ///< empty unless timeline requested
+  std::vector<double> tx_per_s;
+};
+RunOutput execute_full(const RunSpec& spec);
+
+/// Legacy single-run entry point; now a thin wrapper over execute().
 RunResult run_experiment(const core::Config& cfg,
                          const client::WorkloadConfig& wl,
                          const RunOptions& opts = {});
@@ -58,6 +127,23 @@ struct SweepPoint {
   double offered;  ///< concurrency (closed loop) or λ in tx/s (open loop)
   RunResult result;
 };
+
+/// Build the specs for a closed-loop concurrency ladder (one spec per
+/// level) — feed these to execute() or a ParallelRunner.
+std::vector<RunSpec> closed_loop_specs(
+    const core::Config& cfg, const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies,
+    const RunOptions& opts = {});
+
+/// Build the specs for an open-loop λ ladder.
+std::vector<RunSpec> open_loop_specs(const core::Config& cfg,
+                                     const client::WorkloadConfig& base_wl,
+                                     const std::vector<double>& rates_tps,
+                                     const RunOptions& opts = {});
+
+/// Pair spec labels with their results (specs.size() == results.size()).
+std::vector<SweepPoint> to_sweep_points(const std::vector<RunSpec>& specs,
+                                        std::vector<RunResult> results);
 
 /// The paper's saturation methodology: raise closed-loop concurrency until
 /// throughput stops improving; each level is an independent run.
@@ -72,11 +158,14 @@ std::vector<SweepPoint> sweep_open_loop(const core::Config& cfg,
                                         const std::vector<double>& rates_tps,
                                         const RunOptions& opts = {});
 
-/// How the Fig. 15 fault is injected at crash_at_s.
-enum class FaultKind {
-  kSilence,  ///< the paper's "silence attack (crash)": stops proposing
-  kCrash,    ///< hard fail-stop
-};
+/// Build the spec for a Fig. 15 responsiveness timeline run.
+RunSpec timeline_spec(const core::Config& cfg,
+                      const client::WorkloadConfig& wl, double horizon_s,
+                      double bucket_s, double fluct_start_s,
+                      double fluct_end_s, sim::Duration fluct_lo,
+                      sim::Duration fluct_hi, double crash_at_s,
+                      types::NodeId crash_replica,
+                      FaultKind fault = FaultKind::kSilence);
 
 /// The Fig. 15 responsiveness timeline: run for `horizon_s`, injecting
 /// network fluctuation during [fluct_start_s, fluct_end_s] (extra one-way

@@ -1,0 +1,176 @@
+#include "harness/runner.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace bamboo::harness {
+
+namespace {
+
+/// Per-worker job deque. Owners pop the front, thieves take the back; the
+/// mutex is uncontended except around steals, and jobs are coarse (whole
+/// simulations), so this is nowhere near the scheduling hot path.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+};
+
+/// Run fn(i) for every i in [0, n) on `threads` workers; fn(i) must only
+/// write state owned by job i. The first exception (by completion order) is
+/// re-thrown on the caller after all workers join.
+template <typename Fn>
+void for_each_index(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+
+  std::vector<WorkerQueue> queues(workers);
+  // Round-robin deal preserves locality of neighbouring sweep points per
+  // worker while work stealing rebalances skewed grids.
+  for (std::size_t i = 0; i < n; ++i) {
+    queues[i % workers].jobs.push_back(i);
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker_main = [&](unsigned self) {
+    for (;;) {
+      std::optional<std::size_t> job;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].mu);
+        if (!queues[self].jobs.empty()) {
+          job = queues[self].jobs.front();
+          queues[self].jobs.pop_front();
+        }
+      }
+      if (!job) {
+        // Steal from the busiest-looking peer, scanning from our right.
+        for (unsigned k = 1; k < workers && !job; ++k) {
+          const unsigned victim = (self + k) % workers;
+          std::lock_guard<std::mutex> lock(queues[victim].mu);
+          if (!queues[victim].jobs.empty()) {
+            job = queues[victim].jobs.back();
+            queues[victim].jobs.pop_back();
+          }
+        }
+      }
+      if (!job) return;  // every deque empty: drained
+      try {
+        fn(*job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back(worker_main, w);
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+double MetricSummary::ci95() const {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
+}
+
+void Aggregate::add(const RunResult& r) {
+  ++runs;
+  // One single-sample accumulator per metric, merged in: the aggregate is
+  // a pure fold over results in seed order, independent of which thread
+  // produced each result.
+  const auto merge_one = [](MetricSummary& summary, double value) {
+    util::RunningStats one;
+    one.add(value);
+    summary.stats.merge(one);
+  };
+  merge_one(throughput_tps, r.throughput_tps);
+  merge_one(latency_ms_mean, r.latency_ms_mean);
+  merge_one(latency_ms_p99, r.latency_ms_p99);
+  merge_one(cgr_per_view, r.cgr_per_view);
+  merge_one(cgr_per_block, r.cgr_per_block);
+  merge_one(block_interval, r.block_interval);
+  all_consistent = all_consistent && r.consistent;
+  safety_violations += r.safety_violations;
+}
+
+unsigned ParallelRunner::resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("BAMBOO_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(RunnerOptions opts)
+    : threads_(resolve_threads(opts.threads)) {}
+
+std::vector<RunResult> ParallelRunner::run(const std::vector<RunSpec>& specs) {
+  std::vector<RunResult> results(specs.size());
+  for_each_index(specs.size(), threads_,
+                 [&](std::size_t i) { results[i] = execute(specs[i]); });
+  return results;
+}
+
+std::vector<RunOutput> ParallelRunner::run_full(
+    const std::vector<RunSpec>& specs) {
+  std::vector<RunOutput> outputs(specs.size());
+  for_each_index(specs.size(), threads_,
+                 [&](std::size_t i) { outputs[i] = execute_full(specs[i]); });
+  return outputs;
+}
+
+Aggregate ParallelRunner::run_repeated(const RunSpec& spec,
+                                       std::uint32_t repetitions,
+                                       std::uint64_t base_seed) {
+  if (base_seed == 0) base_seed = spec.cfg.seed;
+  std::vector<RunSpec> specs;
+  specs.reserve(repetitions);
+  for (std::uint32_t i = 0; i < repetitions; ++i) {
+    specs.push_back(spec.with_seed(base_seed + i));
+  }
+  Aggregate agg;
+  agg.results = run(specs);
+  for (const RunResult& r : agg.results) agg.add(r);
+  return agg;
+}
+
+std::vector<SweepPoint> sweep_closed_loop(
+    ParallelRunner& runner, const core::Config& cfg,
+    const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies, const RunOptions& opts) {
+  const auto specs = closed_loop_specs(cfg, base_wl, concurrencies, opts);
+  return to_sweep_points(specs, runner.run(specs));
+}
+
+std::vector<SweepPoint> sweep_open_loop(ParallelRunner& runner,
+                                        const core::Config& cfg,
+                                        const client::WorkloadConfig& base_wl,
+                                        const std::vector<double>& rates_tps,
+                                        const RunOptions& opts) {
+  const auto specs = open_loop_specs(cfg, base_wl, rates_tps, opts);
+  return to_sweep_points(specs, runner.run(specs));
+}
+
+}  // namespace bamboo::harness

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/stats.h"
+
+namespace bamboo::harness {
+
+struct RunnerOptions {
+  /// Worker threads. 0 = auto: the BAMBOO_THREADS environment variable if
+  /// set, otherwise std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// One metric aggregated across repeated (multi-seed) runs.
+struct MetricSummary {
+  util::RunningStats stats;
+
+  [[nodiscard]] double mean() const { return stats.mean(); }
+  [[nodiscard]] double stddev() const { return stats.stddev(); }
+  /// Half-width of the 95% confidence interval on the mean (normal
+  /// approximation, 1.96 σ/√n; treat as indicative for small n).
+  [[nodiscard]] double ci95() const;
+};
+
+/// Cross-seed aggregate of the headline metrics. Built by merging one
+/// single-run accumulator per seed, in seed order, via
+/// util::RunningStats::merge — so the aggregate is deterministic no matter
+/// how the underlying runs were scheduled across threads.
+struct Aggregate {
+  std::size_t runs = 0;
+  MetricSummary throughput_tps;
+  MetricSummary latency_ms_mean;
+  MetricSummary latency_ms_p99;
+  MetricSummary cgr_per_view;
+  MetricSummary cgr_per_block;
+  MetricSummary block_interval;
+  bool all_consistent = true;
+  std::uint64_t safety_violations = 0;
+  /// Per-seed results in seed order (results[i] ran seed base_seed + i).
+  std::vector<RunResult> results;
+
+  /// Fold one run into the aggregate (call in deterministic order).
+  void add(const RunResult& r);
+};
+
+/// Fans independent RunSpecs across a pool of std::threads.
+///
+/// Each spec is a self-contained, seed-deterministic simulation (one
+/// sim::Simulator per run, pinned to whichever worker executes it), so runs
+/// never share mutable state and the result of every spec is bit-identical
+/// to executing it alone on one thread. Scheduling is work-stealing: specs
+/// are dealt round-robin into per-worker deques; a worker drains its own
+/// deque from the front and steals from the back of its peers when idle, so
+/// a single slow run (e.g. Streamlet at N=64) cannot strand the rest of the
+/// grid behind it. Results are always returned ordered by spec index.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerOptions opts = {});
+  explicit ParallelRunner(unsigned threads)
+      : ParallelRunner(RunnerOptions{threads}) {}
+
+  /// Worker threads this runner will use (>= 1).
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Execute every spec; results[i] corresponds to specs[i]. Exceptions
+  /// thrown by a run are re-thrown on the calling thread after the pool
+  /// drains.
+  std::vector<RunResult> run(const std::vector<RunSpec>& specs);
+
+  /// As run(), but keeps each run's optional throughput timeline.
+  std::vector<RunOutput> run_full(const std::vector<RunSpec>& specs);
+
+  /// Multi-seed repetition: execute `spec` under seeds base_seed + 0..n-1
+  /// in parallel and aggregate the headline metrics with confidence
+  /// intervals. base_seed = 0 reuses the spec's own seed as the base.
+  Aggregate run_repeated(const RunSpec& spec, std::uint32_t repetitions,
+                         std::uint64_t base_seed = 0);
+
+  /// Resolve a requested thread count: requested > 0 wins, then
+  /// BAMBOO_THREADS, then hardware_concurrency(); never less than 1.
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+ private:
+  unsigned threads_;
+};
+
+/// Closed-loop sweep through a runner: the same points as
+/// sweep_closed_loop(cfg, ...), executed in parallel, bit-identical output.
+std::vector<SweepPoint> sweep_closed_loop(
+    ParallelRunner& runner, const core::Config& cfg,
+    const client::WorkloadConfig& base_wl,
+    const std::vector<std::uint32_t>& concurrencies,
+    const RunOptions& opts = {});
+
+/// Open-loop sweep through a runner.
+std::vector<SweepPoint> sweep_open_loop(ParallelRunner& runner,
+                                        const core::Config& cfg,
+                                        const client::WorkloadConfig& base_wl,
+                                        const std::vector<double>& rates_tps,
+                                        const RunOptions& opts = {});
+
+}  // namespace bamboo::harness

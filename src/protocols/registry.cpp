@@ -1,6 +1,8 @@
 #include "protocols/registry.h"
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 #include "protocols/fast_hotstuff.h"
@@ -10,6 +12,14 @@
 namespace bamboo::protocols {
 
 namespace {
+
+// The custom registry is read concurrently by harness::ParallelRunner
+// workers instantiating replicas; registration (rare, usually before any
+// parallel run) takes the writer side.
+std::shared_mutex& registry_mutex() {
+  static std::shared_mutex mu;
+  return mu;
+}
 
 std::map<std::string, ProtocolFactory>& custom_registry() {
   static std::map<std::string, ProtocolFactory> registry;
@@ -38,16 +48,20 @@ std::unique_ptr<core::SafetyProtocol> make_protocol(const std::string& name) {
   if (name == "fasthotstuff" || name == "fhs" || name == "fast-hotstuff") {
     return std::make_unique<FastHotStuff>();
   }
-  const auto it = custom_registry().find(name);
-  if (it != custom_registry().end()) {
-    return it->second();
+  ProtocolFactory factory;
+  {
+    std::shared_lock lock(registry_mutex());
+    const auto it = custom_registry().find(name);
+    if (it != custom_registry().end()) factory = it->second;
   }
+  if (factory) return factory();
   throw std::invalid_argument("unknown protocol: " + name);
 }
 
 std::vector<std::string> protocol_names() {
   std::vector<std::string> names = {"hotstuff", "2chs", "streamlet",
                                     "fasthotstuff"};
+  std::shared_lock lock(registry_mutex());
   for (const auto& [name, factory] : custom_registry()) {
     names.push_back(name);
   }
@@ -61,6 +75,7 @@ void register_protocol(const std::string& name, ProtocolFactory factory) {
   if (!factory) {
     throw std::invalid_argument("protocol factory must not be empty");
   }
+  std::unique_lock lock(registry_mutex());
   custom_registry()[name] = std::move(factory);
 }
 

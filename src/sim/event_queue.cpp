@@ -1,45 +1,83 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace bamboo::sim {
 
+EventQueue::EventQueue() {
+  heap_.reserve(kReserveAhead);
+  slots_.reserve(kReserveAhead);
+  free_slots_.reserve(kReserveAhead);
+}
+
 EventId EventQueue::schedule(Time at, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;
+  s.live = true;
+
+  heap_.push_back(Entry{at, ++seq_, slot, s.gen, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return encode(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // Cancelled entries stay in the heap as tombstones; pop() and next_time()
-  // skip anything whose id is no longer pending.
-  return pending_.erase(id) > 0;
+  if (id == kInvalidEventId) return false;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffULL) - 1;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.live) return false;
+  // The heap entry stays behind as a tombstone; the slot is recyclable
+  // immediately because any new occupant bumps the generation.
+  s.live = false;
+  release_slot(slot);
+  --live_;
+  return true;
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
-    heap_.pop();
+void EventQueue::drop_dead_head() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const {
-  drop_cancelled_head();
+  drop_dead_head();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_head();
+  drop_dead_head();
   assert(!heap_.empty());
-  // priority_queue::top() is const; move out of the head before popping
-  // (the entry is discarded by the pop, so the move is safe).
-  auto& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.at, top.id, std::move(top.fn)};
-  heap_.pop();
-  pending_.erase(fired.id);
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& top = heap_.back();
+  Fired fired{top.at, encode(top.slot, top.gen), std::move(top.fn)};
+  Slot& s = slots_[top.slot];
+  s.live = false;
+  release_slot(top.slot);
+  heap_.pop_back();
+  --live_;
   return fired;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  // Retire a slot whose generation counter saturated instead of letting it
+  // wrap: a wrapped generation could make a stale EventId held across 2^32
+  // reuses alias a live event. Retirement costs 2 bytes per ~4e9 events.
+  if (slots_[slot].gen != kMaxGeneration) free_slots_.push_back(slot);
 }
 
 }  // namespace bamboo::sim

@@ -2,23 +2,33 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace bamboo::sim {
 
-/// Identifier of a scheduled event; usable for cancellation.
+/// Identifier of a scheduled event; usable for cancellation. Encodes a
+/// storage slot plus a generation stamp, so ids stay unique even though
+/// slots are recycled: an id for a fired or cancelled event can never
+/// alias a later event that reuses the same slot.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 /// Priority queue of timestamped callbacks with deterministic tie-breaking
-/// (FIFO among events scheduled for the same instant) and lazy cancellation.
+/// (FIFO among events scheduled for the same instant) and O(1) cancellation.
+///
+/// Hot-path design: entries carry a (slot, generation) stamp checked against
+/// a flat slot table, replacing the previous unordered_set membership lookup
+/// per schedule/cancel/pop. Cancelled entries stay in the heap as tombstones
+/// and are skipped when they surface; all storage is reserve-ahead vectors,
+/// so the steady state allocates only when the sim's event population grows
+/// past any previous high-water mark.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  EventQueue();
 
   /// Schedule `fn` at absolute time `at`. Returns an id for cancel().
   EventId schedule(Time at, Callback fn);
@@ -27,8 +37,8 @@ class EventQueue {
   /// fired, was already cancelled, or the id is unknown.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Earliest pending event time; only valid when !empty().
   [[nodiscard]] Time next_time() const;
@@ -42,26 +52,61 @@ class EventQueue {
   Fired pop();
 
   /// Total events ever scheduled (statistics).
-  [[nodiscard]] std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
 
  private:
   struct Entry {
     Time at;
-    EventId id;
+    std::uint64_t seq;   ///< schedule order: FIFO among equal timestamps
+    std::uint32_t slot;
+    std::uint32_t gen;
     Callback fn;
   };
+  /// Heap comparator for std::push_heap/pop_heap: the "largest" element
+  /// (the heap top) is the earliest (at, seq).
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among equal timestamps
+      return a.seq > b.seq;
     }
   };
 
-  void drop_cancelled_head() const;
+  /// One recyclable identity. An entry is live iff its stamp matches the
+  /// slot's current generation and the slot is marked live.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  static constexpr std::size_t kReserveAhead = 1024;
+  /// A slot reaching this generation is retired, never recycled, so stale
+  /// ids can never alias a later event through generation wrap-around.
+  static constexpr std::uint32_t kMaxGeneration = 0xffffffffu;
+
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.gen == e.gen && s.live;
+  }
+
+  /// Discard cancelled tombstones sitting at the heap head (their slots
+  /// were already released by cancel()).
+  void drop_dead_head() const;
+
+  /// Return a vacated slot to the free list (or retire it on generation
+  /// saturation).
+  void release_slot(std::uint32_t slot);
+
+  // Mutable so next_time() can shed tombstones; logically const.
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace bamboo::sim

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <thread>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -12,6 +13,11 @@ namespace bamboo::sim {
 /// Single-threaded discrete-event simulator: a clock, an event queue, and a
 /// deterministic RNG. Every component in a simulated cluster shares one
 /// Simulator; all nondeterminism flows from its seed.
+///
+/// Parallelism lives strictly ABOVE this class: many Simulators may run on
+/// many threads (one run per thread — see harness::ParallelRunner), but one
+/// Simulator instance must only ever be touched from a single thread. Debug
+/// builds assert this affinity on every schedule/cancel/step.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
@@ -24,6 +30,7 @@ class Simulator {
 
   /// Schedule at an absolute simulated time (clamped to now).
   EventId schedule_at(Time at, EventQueue::Callback fn) {
+    assert_thread_affinity();
     return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
   }
 
@@ -32,7 +39,10 @@ class Simulator {
     return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    assert_thread_affinity();
+    return queue_.cancel(id);
+  }
 
   /// Execute the next event, if any. Returns false when the queue is empty.
   bool step();
@@ -54,10 +64,21 @@ class Simulator {
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
 
  private:
+#ifdef NDEBUG
+  void assert_thread_affinity() const {}
+#else
+  /// First touch pins the simulator to the calling thread; any later touch
+  /// from another thread is a run-level parallelism bug.
+  void assert_thread_affinity() const;
+#endif
+
   Time now_ = 0;
   EventQueue queue_;
   util::Rng rng_;
   std::uint64_t events_executed_ = 0;
+  // Present in all build types (only the check compiles out) so the class
+  // layout never diverges between TUs built with and without NDEBUG.
+  mutable std::thread::id owner_thread_{};
 };
 
 }  // namespace bamboo::sim

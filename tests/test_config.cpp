@@ -67,7 +67,8 @@ TEST(Config, StrategyParsing) {
   EXPECT_EQ(core::parse_strategy("forking"), core::ByzStrategy::kForking);
   EXPECT_EQ(core::parse_strategy("crash"), core::ByzStrategy::kCrash);
   EXPECT_EQ(core::parse_strategy("honest"), core::ByzStrategy::kHonest);
-  EXPECT_THROW(core::parse_strategy("nope"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(core::parse_strategy("nope")),
+               std::invalid_argument);
   EXPECT_STREQ(core::strategy_name(core::ByzStrategy::kForking), "forking");
 }
 

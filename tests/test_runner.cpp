@@ -1,0 +1,213 @@
+// Tests for the parallel experiment engine: RunSpec/execute determinism,
+// ParallelRunner thread-count invariance (a T-thread sweep must be
+// bit-identical to the sequential one), multi-seed aggregation, and the
+// runner-based sweep overloads.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+
+namespace bamboo {
+namespace {
+
+harness::RunSpec small_spec(std::uint64_t seed = 7) {
+  harness::RunSpec spec;
+  spec.cfg.bsize = 50;
+  spec.cfg.seed = seed;
+  spec.workload.concurrency = 32;
+  spec.opts.warmup_s = 0.1;
+  spec.opts.measure_s = 0.3;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// execute() determinism
+// ---------------------------------------------------------------------------
+
+TEST(Execute, SameSpecSameResultBitForBit) {
+  const auto a = harness::execute(small_spec());
+  const auto b = harness::execute(small_spec());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.throughput_tps, 0);
+  EXPECT_GT(a.net_bytes, 0u);
+}
+
+TEST(Execute, DifferentSeedsDiffer) {
+  const auto a = harness::execute(small_spec(7));
+  const auto b = harness::execute(small_spec(8));
+  EXPECT_NE(a, b);
+}
+
+TEST(Execute, MatchesLegacyRunExperiment) {
+  const auto spec = small_spec();
+  const auto direct = harness::execute(spec);
+  const auto legacy =
+      harness::run_experiment(spec.cfg, spec.workload, spec.opts);
+  EXPECT_EQ(direct, legacy);
+}
+
+TEST(ExecuteFull, TimelineMatchesLegacyResponsivenessRun) {
+  core::Config cfg;
+  cfg.bsize = 100;
+  client::WorkloadConfig wl;
+  wl.mode = client::LoadMode::kOpenLoop;
+  wl.arrival_rate_tps = 2000;
+
+  const auto spec = harness::timeline_spec(cfg, wl, /*horizon=*/1.0,
+                                           /*bucket=*/0.25, 10, 11, 0, 0,
+                                           /*crash_at=*/-1, 0);
+  const auto out = harness::execute_full(spec);
+  const auto legacy = harness::run_responsiveness_timeline(
+      cfg, wl, 1.0, 0.25, 10, 11, 0, 0, -1, 0);
+  EXPECT_EQ(out.result, legacy.summary);
+  EXPECT_EQ(out.tx_per_s, legacy.tx_per_s);
+  EXPECT_EQ(out.bucket_start_s, legacy.bucket_start_s);
+  ASSERT_EQ(out.tx_per_s.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelRunner
+// ---------------------------------------------------------------------------
+
+std::vector<harness::RunSpec> grid_specs() {
+  std::vector<harness::RunSpec> specs;
+  for (const char* protocol : {"hotstuff", "2chs", "streamlet"}) {
+    for (std::uint32_t conc : {8u, 64u}) {
+      auto spec = small_spec();
+      spec.cfg.protocol = protocol;
+      spec.workload.concurrency = conc;
+      spec.offered = conc;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+TEST(ParallelRunner, ThreadCountDoesNotChangeResults) {
+  const auto specs = grid_specs();
+  harness::ParallelRunner sequential(1);
+  harness::ParallelRunner pool4(4);
+  harness::ParallelRunner pool7(7);  // more threads than one deal round
+  const auto r1 = sequential.run(specs);
+  const auto r4 = pool4.run(specs);
+  const auto r7 = pool7.run(specs);
+  ASSERT_EQ(r1.size(), specs.size());
+  EXPECT_EQ(r1, r4);
+  EXPECT_EQ(r1, r7);
+}
+
+TEST(ParallelRunner, ResultsOrderedBySpecIndex) {
+  const auto specs = grid_specs();
+  harness::ParallelRunner runner(4);
+  const auto results = runner.run(specs);
+  std::vector<harness::RunResult> reference;
+  reference.reserve(specs.size());
+  for (const auto& spec : specs) reference.push_back(harness::execute(spec));
+  EXPECT_EQ(results, reference);
+}
+
+TEST(ParallelRunner, PropagatesRunExceptions) {
+  auto spec = small_spec();
+  spec.cfg.protocol = "no-such-protocol";
+  harness::ParallelRunner runner(2);
+  EXPECT_THROW(runner.run({spec, small_spec()}), std::invalid_argument);
+}
+
+TEST(ParallelRunner, EmptySpecListIsFine) {
+  harness::ParallelRunner runner(4);
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(ParallelRunner, ResolveThreadsPrecedence) {
+  EXPECT_EQ(harness::ParallelRunner::resolve_threads(3), 3u);
+  ::setenv("BAMBOO_THREADS", "5", 1);
+  EXPECT_EQ(harness::ParallelRunner::resolve_threads(0), 5u);
+  EXPECT_EQ(harness::ParallelRunner::resolve_threads(2), 2u);
+  ::unsetenv("BAMBOO_THREADS");
+  EXPECT_GE(harness::ParallelRunner::resolve_threads(0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Runner-based sweeps vs sequential sweeps
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSweep, ClosedLoopBitIdenticalToSequential) {
+  core::Config cfg;
+  cfg.bsize = 50;
+  client::WorkloadConfig wl;
+  const std::vector<std::uint32_t> ladder = {8, 32, 64};
+  const harness::RunOptions opts{0.1, 0.3};
+
+  const auto seq = harness::sweep_closed_loop(cfg, wl, ladder, opts);
+  harness::ParallelRunner runner(4);
+  const auto par = harness::sweep_closed_loop(runner, cfg, wl, ladder, opts);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i].offered, seq[i].offered);
+    EXPECT_EQ(par[i].result, seq[i].result) << "point " << i;
+  }
+}
+
+TEST(ParallelSweep, OpenLoopBitIdenticalToSequential) {
+  core::Config cfg;
+  cfg.bsize = 50;
+  client::WorkloadConfig wl;
+  const std::vector<double> rates = {500.0, 2000.0};
+  const harness::RunOptions opts{0.1, 0.3};
+
+  const auto seq = harness::sweep_open_loop(cfg, wl, rates, opts);
+  harness::ParallelRunner runner(4);
+  const auto par = harness::sweep_open_loop(runner, cfg, wl, rates, opts);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].result, seq[i].result) << "point " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-seed aggregation
+// ---------------------------------------------------------------------------
+
+TEST(Aggregate, RepeatedRunsProduceStats) {
+  harness::ParallelRunner runner(4);
+  const auto agg = runner.run_repeated(small_spec(), 4, /*base_seed=*/100);
+  EXPECT_EQ(agg.runs, 4u);
+  ASSERT_EQ(agg.results.size(), 4u);
+  EXPECT_TRUE(agg.all_consistent);
+  EXPECT_EQ(agg.safety_violations, 0u);
+  // Seeds differ, so throughput varies; the mean sits inside [min, max].
+  EXPECT_GT(agg.throughput_tps.stats.min(), 0.0);
+  EXPECT_GE(agg.throughput_tps.mean(), agg.throughput_tps.stats.min());
+  EXPECT_LE(agg.throughput_tps.mean(), agg.throughput_tps.stats.max());
+  EXPECT_GT(agg.throughput_tps.ci95(), 0.0);
+  // Per-seed results are ordered and reproducible.
+  EXPECT_EQ(agg.results[0], harness::execute(small_spec(100)));
+  EXPECT_EQ(agg.results[3], harness::execute(small_spec(103)));
+}
+
+TEST(Aggregate, IndependentOfThreadCount) {
+  harness::ParallelRunner one(1);
+  harness::ParallelRunner four(4);
+  const auto a = one.run_repeated(small_spec(), 3, 50);
+  const auto b = four.run_repeated(small_spec(), 3, 50);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_DOUBLE_EQ(a.throughput_tps.mean(), b.throughput_tps.mean());
+  EXPECT_DOUBLE_EQ(a.latency_ms_mean.ci95(), b.latency_ms_mean.ci95());
+}
+
+TEST(Aggregate, Ci95ShrinksWithMoreRuns) {
+  util::RunningStats wide;
+  harness::MetricSummary few;
+  harness::MetricSummary many;
+  for (int i = 0; i < 4; ++i) few.stats.add(10.0 + i);
+  for (int i = 0; i < 64; ++i) many.stats.add(10.0 + (i % 4));
+  EXPECT_GT(few.ci95(), many.ci95());
+  EXPECT_EQ(harness::MetricSummary{}.ci95(), 0.0);
+}
+
+}  // namespace
+}  // namespace bamboo

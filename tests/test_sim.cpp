@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -81,6 +82,107 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.schedule(20, [] {});
   q.cancel(id);
   EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, NextTimeAfterCancellingEveryHead) {
+  sim::EventQueue q;
+  const auto a = q.schedule(10, [] {});
+  const auto b = q.schedule(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 30);  // sheds two stacked tombstones
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  sim::EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  // Generation stamps: an id for a fired/cancelled event must stay dead
+  // even after its internal storage slot is reused by a new event.
+  sim::EventQueue q;
+  const auto old_id = q.schedule(10, [] {});
+  q.pop();  // fires; the slot is free for reuse
+  const auto new_id = q.schedule(20, [] {});
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));  // stale handle: no-op...
+  EXPECT_EQ(q.size(), 1u);         // ...and the new event survives
+  EXPECT_TRUE(q.cancel(new_id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireWithInterleavedReuse) {
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (int i = 0; i < 8; ++i) q.pop();
+  // Heavy slot reuse after the drain.
+  std::vector<sim::EventId> fresh;
+  for (int i = 0; i < 8; ++i) fresh.push_back(q.schedule(100 + i, [] {}));
+  for (const auto id : ids) EXPECT_FALSE(q.cancel(id));
+  for (const auto id : fresh) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeCountsOnlyLiveEvents) {
+  sim::EventQueue q;
+  const auto a = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  const auto c = q.schedule(30, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  q.cancel(a);
+  q.cancel(c);
+  EXPECT_EQ(q.size(), 1u);  // tombstones may linger; size() must not count them
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_scheduled(), 3u);
+}
+
+TEST(EventQueue, FifoPreservedAcrossCancellationsAtSameInstant) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every odd event; the even ones must still fire in issue order.
+  for (int i = 1; i < 10; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<size_t>(i)]));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventQueue, ChurnStressMatchesSequentialOrder) {
+  // Deterministic schedule/cancel/pop churn: everything that was not
+  // cancelled fires exactly once, in (time, issue-order) order.
+  sim::EventQueue q;
+  std::vector<int> fired;
+  std::vector<sim::EventId> ids;
+  std::vector<int> expected;
+  for (int round = 0; round < 50; ++round) {
+    for (int j = 0; j < 4; ++j) {
+      const int tag = round * 4 + j;
+      ids.push_back(q.schedule((tag * 37) % 97, [&fired, tag] {
+        fired.push_back(tag);
+      }));
+    }
+    if (round % 3 == 0) q.cancel(ids[ids.size() - 2]);
+    if (round % 7 == 0 && !q.empty()) q.pop().fn();
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired.size(), 200u - 17u);  // 17 rounds cancelled one event
+  // No duplicates: every tag fires at most once.
+  std::vector<int> sorted = fired;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {
