@@ -78,8 +78,15 @@ int main(int argc, char** argv) {
     grid.push_back(make_spec(cfg, 256, 0.3));
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "ablation");
+  static const char* kLabels[] = {
+      "routing-2chs", "routing-sl", "rule-2chs",  "rule-hs", "elect-rr",
+      "elect-hash",   "wait-0ms",   "wait-10ms", "wait-20ms"};
+  const auto aggs = reporter.run(
+      "ablation", grid,
+      [](std::size_t index) { return std::string(kLabels[index]); });
+
   std::size_t i = 0;
 
   {
@@ -88,15 +95,18 @@ int main(int argc, char** argv) {
     harness::TextTable table({"routing", "thr(KTx/s)", "lat(ms)",
                               "net MB/s", "forking-immune"});
     for (const std::string protocol : {"2chs", "streamlet"}) {
-      const harness::RunResult& r = results[i++];
-      const double mb_per_s =
-          r.measured_s > 0
-              ? static_cast<double>(r.net_bytes) / r.measured_s / 1e6
-              : 0.0;
+      const std::size_t index = i++;
+      if (!aggs[index]) continue;  // another shard's cell
+      const harness::Aggregate& a = *aggs[index];
+      const double mb_per_s = bench::mean_of(a, [](const harness::RunResult& r) {
+        return r.measured_s > 0
+                   ? static_cast<double>(r.net_bytes) / r.measured_s / 1e6
+                   : 0.0;
+      });
       table.add_row(
           {protocol == "streamlet" ? "broadcast+echo" : "next leader",
-           harness::TextTable::num(r.throughput_tps / 1e3, 1),
-           harness::TextTable::num(r.latency_ms_mean, 1),
+           bench::ci_cell(a.throughput_tps, 1e-3, 1),
+           bench::ci_cell(a.latency_ms_mean, 1.0, 1),
            harness::TextTable::num(mb_per_s, 0),
            protocol == "streamlet" ? "yes" : "no"});
     }
@@ -110,10 +120,12 @@ int main(int argc, char** argv) {
     harness::TextTable table(
         {"rule", "lat(ms)", "BI", "fork budget(blocks)"});
     for (const std::string protocol : {"2chs", "hotstuff"}) {
-      const harness::RunResult& r = results[i++];
+      const std::size_t index = i++;
+      if (!aggs[index]) continue;
+      const harness::Aggregate& a = *aggs[index];
       table.add_row({protocol == "hotstuff" ? "three-chain" : "two-chain",
-                     harness::TextTable::num(r.latency_ms_mean, 1),
-                     harness::TextTable::num(r.block_interval, 1),
+                     bench::ci_cell(a.latency_ms_mean, 1.0, 1),
+                     bench::ci_cell(a.block_interval, 1.0, 1),
                      protocol == "hotstuff" ? "2" : "1"});
     }
     table.print(std::cout);
@@ -125,11 +137,13 @@ int main(int argc, char** argv) {
                  "(HS, N=8) ---\n";
     harness::TextTable table({"election", "thr(KTx/s)", "lat(ms)", "CGR"});
     for (const std::string election : {"roundrobin", "hash"}) {
-      const harness::RunResult& r = results[i++];
+      const std::size_t index = i++;
+      if (!aggs[index]) continue;
+      const harness::Aggregate& a = *aggs[index];
       table.add_row({election,
-                     harness::TextTable::num(r.throughput_tps / 1e3, 1),
-                     harness::TextTable::num(r.latency_ms_mean, 1),
-                     harness::TextTable::num(r.cgr_per_block, 2)});
+                     bench::ci_cell(a.throughput_tps, 1e-3, 1),
+                     bench::ci_cell(a.latency_ms_mean, 1.0, 1),
+                     bench::ci_cell(a.cgr_per_block, 1.0, 2)});
     }
     table.print(std::cout);
     std::cout << "(hash rotation can elect the same leader twice in a row;\n"
@@ -142,16 +156,22 @@ int main(int argc, char** argv) {
     harness::TextTable table({"wait-after-VC", "thr(KTx/s)", "lat(ms)",
                               "timeouts"});
     for (const sim::Duration wait : waits) {
-      const harness::RunResult& r = results[i++];
+      const std::size_t index = i++;
+      if (!aggs[index]) continue;
+      const harness::Aggregate& a = *aggs[index];
+      const double timeouts = bench::mean_of(a, [](const harness::RunResult& r) {
+        return static_cast<double>(r.timeouts);
+      });
       table.add_row({harness::TextTable::num(sim::to_milliseconds(wait), 0) +
                          " ms",
-                     harness::TextTable::num(r.throughput_tps / 1e3, 1),
-                     harness::TextTable::num(r.latency_ms_mean, 1),
-                     std::to_string(r.timeouts)});
+                     bench::ci_cell(a.throughput_tps, 1e-3, 1),
+                     bench::ci_cell(a.latency_ms_mean, 1.0, 1),
+                     harness::TextTable::num(timeouts, 0)});
     }
     table.print(std::cout);
     std::cout << "(every ms of Δ is paid on every timeout-driven view\n"
                  "change — the price of non-responsiveness, §VI-D)\n";
   }
+  reporter.finish();
   return 0;
 }

@@ -1,16 +1,22 @@
 #pragma once
 
-// Shared plumbing for the per-figure bench binaries: flag parsing, the
-// shared ParallelRunner controls (--threads/--seed), and the standard
-// column set printed for latency/throughput sweeps.
+// Shared plumbing for the per-figure bench binaries: one CLI layer
+// (--full/--threads/--seed/--reps/--duration/--out/--format/--shard), the
+// Reporter that routes every RunSpec grid through multi-seed repetition +
+// the report sinks (so tables show 95% CIs and every run lands on disk),
+// and the standard column set printed for latency/throughput sweeps.
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 
@@ -20,7 +26,30 @@ struct Args {
   bool full = false;       ///< longer windows / more points
   unsigned threads = 0;    ///< 0 = auto (BAMBOO_THREADS or all cores)
   std::uint64_t seed = 0;  ///< 0 = keep each bench's published default
+  std::uint32_t reps = 1;  ///< seeds per spec (CIs need >= 2)
+  double duration = 0;     ///< >0 overrides every measurement window (s)
+  std::string out;         ///< artifact directory; empty = don't persist
+  std::vector<std::string> formats = {"csv", "json"};
+  harness::Shard shard;    ///< --shard i/n cross-process slice
 };
+
+inline std::vector<std::string> parse_formats(const std::string& list) {
+  std::vector<std::string> formats;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string f = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (f != "csv" && f != "json") {
+      std::cerr << "unknown --format '" << f << "' (want csv and/or json)\n";
+      std::exit(2);
+    }
+    formats.push_back(f);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return formats;
+}
 
 inline Args parse_args(int argc, char** argv) {
   Args args;
@@ -31,28 +60,61 @@ inline Args parse_args(int argc, char** argv) {
       args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+      if (args.reps == 0) args.reps = 1;
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      args.duration = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args.out = argv[++i];
+    } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      args.formats = parse_formats(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      try {
+        args.shard = harness::Shard::parse(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::cout
-          << "usage: " << argv[0] << " [--full] [--threads N] [--seed S]\n"
-          << "  --full       longer measurement windows and denser sweeps\n"
-          << "  --threads N  worker threads for the run grid (default:\n"
-          << "               BAMBOO_THREADS env var, else all cores)\n"
-          << "  --seed S     override the bench's default base seed\n";
+          << "usage: " << argv[0]
+          << " [--full] [--threads N] [--seed S] [--reps R]\n"
+          << "       [--duration S] [--out DIR] [--format csv,json]"
+          << " [--shard i/n]\n"
+          << "  --full        longer measurement windows and denser sweeps\n"
+          << "  --threads N   worker threads for the run grid (default:\n"
+          << "                BAMBOO_THREADS env var, else all cores)\n"
+          << "  --seed S      override the bench's default base seed\n"
+          << "  --reps R      repetitions per sweep point under seeds\n"
+          << "                S..S+R-1; tables then show mean ± 95% CI\n"
+          << "  --duration S  override every measurement window (smoke runs)\n"
+          << "  --out DIR     persist results: one CSV/JSON file per\n"
+          << "                figure/table plus manifest.json\n"
+          << "  --format F    comma list of csv,json (default both)\n"
+          << "  --shard i/n   run only the i-th of n deterministic slices of\n"
+          << "                the (spec x rep) grid; merge the per-shard\n"
+          << "                files with bench_merge\n";
       std::exit(0);
     }
   }
   return args;
 }
 
-/// The runner every bench binary fans its RunSpec grid across.
-inline harness::ParallelRunner make_runner(const Args& args) {
-  return harness::ParallelRunner(
-      harness::RunnerOptions{args.threads});
-}
-
 /// The bench's published default seed unless --seed overrode it.
 inline std::uint64_t seed_or(const Args& args, std::uint64_t fallback) {
   return args.seed != 0 ? args.seed : fallback;
+}
+
+/// Apply the global --duration override to a built grid.
+inline void apply_duration(std::vector<harness::RunSpec>& grid,
+                           const Args& args) {
+  if (args.duration <= 0) return;
+  for (harness::RunSpec& spec : grid) {
+    spec.opts.measure_s = args.duration;
+    spec.opts.warmup_s = std::min(spec.opts.warmup_s, args.duration / 2);
+  }
 }
 
 inline void print_header(const std::string& title,
@@ -62,14 +124,34 @@ inline void print_header(const std::string& title,
   std::cout << "\n";
 }
 
-/// Append one sweep point to a table with the standard columns.
+/// Mean of a per-run accounting value across the reps of one aggregate
+/// (for RunResult fields — views, timeouts, forks — that Aggregate does
+/// not track as headline metrics).
+template <typename Field>
+double mean_of(const harness::Aggregate& agg, Field&& field) {
+  if (agg.results.empty()) return 0.0;
+  double sum = 0;
+  for (const harness::RunResult& r : agg.results) {
+    sum += static_cast<double>(field(r));
+  }
+  return sum / static_cast<double>(agg.runs);
+}
+
+/// "mean±ci" cell for one aggregated metric (scale applied to both).
+inline std::string ci_cell(const harness::MetricSummary& m, double scale,
+                           int precision) {
+  return harness::TextTable::num(m.mean() * scale, precision) + "±" +
+         harness::TextTable::num(m.ci95() * scale, precision);
+}
+
+/// Append one sweep point (multi-seed aggregate) with the standard columns.
 inline void add_sweep_row(harness::TextTable& table, const std::string& label,
-                          double offered, const harness::SweepPoint& p) {
+                          double offered, const harness::Aggregate& agg) {
   table.add_row({label, harness::TextTable::num(offered, 0),
-                 harness::TextTable::num(p.result.throughput_tps / 1e3, 1),
-                 harness::TextTable::num(p.result.latency_ms_mean, 1),
-                 harness::TextTable::num(p.result.latency_ms_p99, 1),
-                 p.result.consistent ? "ok" : "VIOLATED"});
+                 ci_cell(agg.throughput_tps, 1e-3, 1),
+                 ci_cell(agg.latency_ms_mean, 1.0, 1),
+                 ci_cell(agg.latency_ms_p99, 1.0, 1),
+                 agg.all_consistent ? "ok" : "VIOLATED"});
 }
 
 inline std::vector<std::string> sweep_headers(const std::string& offered) {
@@ -93,19 +175,147 @@ inline void append_series(std::vector<harness::RunSpec>& grid,
   for (auto& spec : specs) grid.push_back(std::move(spec));
 }
 
+/// Label lookup over the series slices for a flat grid index.
+inline std::function<std::string(std::size_t)> series_labels(
+    const std::vector<SeriesSlice>& series) {
+  return [&series](std::size_t index) {
+    for (const SeriesSlice& s : series) {
+      if (index >= s.begin && index < s.begin + s.count) return s.label;
+    }
+    return std::string("?");
+  };
+}
+
 /// Print every series slice of a sweep grid with the standard columns.
-inline void print_series(harness::TextTable& table,
-                         const std::vector<harness::RunSpec>& grid,
-                         const std::vector<SeriesSlice>& series,
-                         const std::vector<harness::RunResult>& results) {
+inline void print_series(
+    harness::TextTable& table, const std::vector<harness::RunSpec>& grid,
+    const std::vector<SeriesSlice>& series,
+    const std::vector<std::optional<harness::Aggregate>>& aggs) {
   for (const SeriesSlice& s : series) {
     for (std::size_t i = 0; i < s.count; ++i) {
       const auto& spec = grid[s.begin + i];
-      add_sweep_row(table, s.label, spec.offered,
-                    {spec.offered, results[s.begin + i]});
+      if (!aggs[s.begin + i]) continue;  // not owned by this shard
+      add_sweep_row(table, s.label, spec.offered, *aggs[s.begin + i]);
     }
   }
 }
+
+/// Runs grids through multi-seed repetition + the result sinks: the glue
+/// every bench binary shares. One Reporter per binary; run() per figure
+/// artifact; finish() writes the artifact directory.
+class Reporter {
+ public:
+  Reporter(Args args, std::string bench)
+      : args_(std::move(args)),
+        bench_(std::move(bench)),
+        runner_(harness::RunnerOptions{args_.threads}),
+        writer_(args_.out, bench_, args_.formats, args_.shard) {}
+
+  [[nodiscard]] const Args& args() const { return args_; }
+  [[nodiscard]] harness::ParallelRunner& runner() { return runner_; }
+  [[nodiscard]] bool sharded() const { return args_.shard.enabled(); }
+
+  /// Execute grid x --reps (this shard's slice) in one submission; persist
+  /// one run row per (spec, rep) plus one aggregate row per complete spec.
+  /// Returns per-spec aggregates; disengaged entries belong to other shards.
+  std::vector<std::optional<harness::Aggregate>> run(
+      const std::string& artifact, const std::vector<harness::RunSpec>& grid,
+      const std::function<std::string(std::size_t)>& series_of) {
+    auto grid_run = runner_.run_repeated_grid(grid, args_.reps, args_.shard);
+    if (writer_.enabled()) {
+      std::size_t i = 0;
+      while (i < grid_run.jobs.size()) {
+        const std::uint32_t s = grid_run.jobs[i].spec_index;
+        std::size_t end = i;
+        while (end < grid_run.jobs.size() &&
+               grid_run.jobs[end].spec_index == s) {
+          ++end;
+        }
+        const std::string label = series_of(s);
+        for (std::size_t j = i; j < end; ++j) {
+          writer_.add(artifact, harness::report::make_run_record(
+                                    bench_, artifact, label, s, grid[s],
+                                    grid_run.jobs[j].rep, args_.reps,
+                                    grid_run.jobs[j].result));
+        }
+        if (grid_run.aggregates[s]) {
+          writer_.add(artifact,
+                      harness::report::make_aggregate_record(
+                          bench_, artifact, label, s, grid[s],
+                          grid_run.aggregates[s]->results));
+        }
+        i = end;
+      }
+    }
+    executed_ += grid_run.jobs.size();
+    total_ += grid.size() * args_.reps;
+    return std::move(grid_run.aggregates);
+  }
+
+  /// Single-seed execute_full for timeline benches, sharded per spec;
+  /// persists one run + one (1-rep) aggregate row per owned spec.
+  std::vector<std::optional<harness::RunOutput>> run_full(
+      const std::string& artifact, const std::vector<harness::RunSpec>& grid,
+      const std::function<std::string(std::size_t)>& series_of) {
+    std::vector<harness::RunSpec> owned;
+    std::vector<std::size_t> owned_index;
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+      if (!args_.shard.owns(s)) continue;
+      owned.push_back(grid[s]);
+      owned_index.push_back(s);
+    }
+    const auto outputs = runner_.run_full(owned);
+    std::vector<std::optional<harness::RunOutput>> out(grid.size());
+    for (std::size_t k = 0; k < outputs.size(); ++k) {
+      const std::size_t s = owned_index[k];
+      if (writer_.enabled()) {
+        const std::string label = series_of(s);
+        const auto idx = static_cast<std::uint32_t>(s);
+        writer_.add(artifact, harness::report::make_run_record(
+                                  bench_, artifact, label, idx, grid[s], 0, 1,
+                                  outputs[k].result));
+        writer_.add(artifact, harness::report::make_aggregate_record(
+                                  bench_, artifact, label, idx, grid[s],
+                                  {outputs[k].result}));
+      }
+      out[s] = outputs[k];
+    }
+    executed_ += outputs.size();
+    total_ += grid.size();
+    return out;
+  }
+
+  /// Free-form side table (e.g. a timeline) persisted next to the records.
+  void add_table(const std::string& artifact,
+                 std::vector<std::string> headers,
+                 std::vector<std::vector<std::string>> rows) {
+    writer_.add_table(artifact, std::move(headers), std::move(rows));
+  }
+
+  /// Write the artifact directory (if --out) and print what happened.
+  void finish() {
+    if (sharded()) {
+      std::cout << "\nshard " << args_.shard.index + 1 << "/"
+                << args_.shard.count << ": executed " << executed_ << " of "
+                << total_ << " jobs; merge shard files with bench_merge\n";
+    }
+    const auto files = writer_.finish();
+    if (!files.empty()) {
+      std::cout << "\nartifacts (" << bench_ << ") -> " << args_.out << ":\n";
+      for (const auto& f : files) {
+        std::cout << "  " << f.path << "\n";
+      }
+    }
+  }
+
+ private:
+  Args args_;
+  std::string bench_;
+  harness::ParallelRunner runner_;
+  harness::report::ArtifactWriter writer_;
+  std::size_t executed_ = 0;
+  std::size_t total_ = 0;
+};
 
 /// The paper's three evaluated protocols.
 inline const std::vector<std::string>& evaluated_protocols() {

@@ -64,8 +64,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig08_model");
+  const auto series_of = [&](std::size_t index) {
+    const std::size_t protocols = bench::evaluated_protocols().size();
+    for (std::size_t li = 0; li < ladders.size(); ++li) {
+      const Ladder& ladder = ladders[li];
+      if (index >= ladder.begin && index < ladder.begin + ladder.count) {
+        return std::string(
+            bench::short_name(bench::evaluated_protocols()[li % protocols]));
+      }
+    }
+    return std::string("?");
+  };
+  const auto aggs = reporter.run("fig08_model", grid, series_of);
 
   std::size_t ladder_index = 0;
   for (const Setup& setup : setups) {
@@ -81,14 +93,15 @@ int main(int argc, char** argv) {
 
       for (std::size_t i = 0; i < ladder.count; ++i) {
         const auto& spec = grid[ladder.begin + i];
-        const harness::RunResult& r = results[ladder.begin + i];
+        if (!aggs[ladder.begin + i]) continue;  // another shard's point
+        const harness::Aggregate& a = *aggs[ladder.begin + i];
         const double predicted = pm.latency_ms(spec.offered);
-        const double measured = r.latency_ms_mean;
+        const double measured = a.latency_ms_mean.mean();
         table.add_row(
             {bench::short_name(protocol),
              harness::TextTable::num(spec.offered, 0),
-             harness::TextTable::num(r.throughput_tps / 1e3, 1),
-             harness::TextTable::num(measured, 1),
+             bench::ci_cell(a.throughput_tps, 1e-3, 1),
+             bench::ci_cell(a.latency_ms_mean, 1.0, 1),
              harness::TextTable::num(predicted, 1),
              harness::TextTable::num(
                  measured > 0 ? predicted / measured : 0.0, 2)});
@@ -102,5 +115,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "result: model and implementation share the latency floor\n"
                "and the saturation knee per configuration (paper Fig. 8).\n";
+  reporter.finish();
   return 0;
 }

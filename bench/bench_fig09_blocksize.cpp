@@ -52,24 +52,28 @@ int main(int argc, char** argv) {
   add_series("ohs", 100);
   add_series("ohs", 800);
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig09_blocksize");
+  const auto aggs =
+      reporter.run("fig09_blocksize", grid, bench::series_labels(series));
 
   harness::TextTable table(bench::sweep_headers("clients"));
-  bench::print_series(table, grid, series, results);
+  bench::print_series(table, grid, series, aggs);
   table.print(std::cout);
 
   double ohs_b100_peak = 0;
   for (const auto& s : series) {
     if (s.label != "OHS-b100") continue;
     for (std::size_t i = 0; i < s.count; ++i) {
+      if (!aggs[s.begin + i]) continue;
       ohs_b100_peak =
-          std::max(ohs_b100_peak, results[s.begin + i].throughput_tps);
+          std::max(ohs_b100_peak, aggs[s.begin + i]->throughput_tps.mean());
     }
   }
 
   std::cout << "\nresult: expect b100 << b400, b400 -> b800 marginal, SL\n"
                "lowest, OHS >= Bamboo-HS (paper Fig. 9). OHS-b100 peak: "
             << static_cast<long>(ohs_b100_peak / 1e3) << " KTx/s\n";
+  reporter.finish();
   return 0;
 }

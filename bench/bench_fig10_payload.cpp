@@ -46,14 +46,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig10_payload");
+  const auto aggs =
+      reporter.run("fig10_payload", grid, bench::series_labels(series));
 
   harness::TextTable table(bench::sweep_headers("clients"));
-  bench::print_series(table, grid, series, results);
+  bench::print_series(table, grid, series, aggs);
   table.print(std::cout);
   std::cout << "\nresult: larger payloads cut saturation throughput for\n"
                "every protocol; SL most sensitive; HS/2CHS latency gap\n"
                "narrows with payload (paper Fig. 10).\n";
+  reporter.finish();
   return 0;
 }

@@ -55,13 +55,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig11_netdelay");
+  const auto aggs =
+      reporter.run("fig11_netdelay", grid, bench::series_labels(series));
 
   harness::TextTable table(bench::sweep_headers("clients"));
-  bench::print_series(table, grid, series, results);
+  bench::print_series(table, grid, series, aggs);
   table.print(std::cout);
   std::cout << "\nresult: latency rises with added delay for all protocols;\n"
                "SL approaches 2CHS at d10 (paper Fig. 11).\n";
+  reporter.finish();
   return 0;
 }

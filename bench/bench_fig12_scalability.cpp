@@ -67,8 +67,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig12_scalability");
+  const auto series_of = [&](std::size_t index) {
+    for (const Cell& cell : cells) {
+      if (!cell.skipped && cell.index == index) {
+        return std::string(bench::short_name(cell.protocol));
+      }
+    }
+    return std::string("?");
+  };
+  const auto aggs = reporter.run("fig12_scalability", grid, series_of);
 
   harness::TextTable table({"series", "replicas", "thr(KTx/s)", "lat(ms)",
                             "p99(ms)", "views/s", "safety"});
@@ -78,21 +87,23 @@ int main(int argc, char** argv) {
                      std::to_string(cell.n), "(--full)", "", "", "", ""});
       continue;
     }
-    const harness::RunResult& r = results[cell.index];
-    table.add_row(
-        {std::string(bench::short_name(cell.protocol)),
-         std::to_string(cell.n),
-         harness::TextTable::num(r.throughput_tps / 1e3, 1),
-         harness::TextTable::num(r.latency_ms_mean, 1),
-         harness::TextTable::num(r.latency_ms_p99, 1),
-         harness::TextTable::num(
-             r.measured_s > 0 ? static_cast<double>(r.views) / r.measured_s
-                              : 0,
-             0),
-         r.consistent ? "ok" : "VIOLATED"});
+    if (!aggs[cell.index]) continue;  // another shard's cell
+    const harness::Aggregate& a = *aggs[cell.index];
+    const double views_per_s = bench::mean_of(a, [](const harness::RunResult& r) {
+      return r.measured_s > 0 ? static_cast<double>(r.views) / r.measured_s
+                              : 0.0;
+    });
+    table.add_row({std::string(bench::short_name(cell.protocol)),
+                   std::to_string(cell.n),
+                   bench::ci_cell(a.throughput_tps, 1e-3, 1),
+                   bench::ci_cell(a.latency_ms_mean, 1.0, 1),
+                   bench::ci_cell(a.latency_ms_p99, 1.0, 1),
+                   harness::TextTable::num(views_per_s, 0),
+                   a.all_consistent ? "ok" : "VIOLATED"});
   }
   table.print(std::cout);
   std::cout << "\nresult: throughput decreases / latency increases with N;\n"
                "SL degrades fastest and is unusable at 64 (paper Fig. 12).\n";
+  reporter.finish();
   return 0;
 }

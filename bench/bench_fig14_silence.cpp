@@ -47,29 +47,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto results = runner.run(grid);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "fig14_silence");
+  const std::size_t per_series = byz_counts.size();
+  const auto series_of = [&](std::size_t index) {
+    return std::string(
+        bench::short_name(bench::evaluated_protocols()[index / per_series]));
+  };
+  const auto aggs = reporter.run("fig14_silence", grid, series_of);
 
   harness::TextTable table({"series", "byz", "thr(KTx/s)", "lat(ms)", "CGR",
                             "CGRv", "BI", "timeouts", "safety"});
   std::size_t i = 0;
   for (const std::string& protocol : bench::evaluated_protocols()) {
     for (std::uint32_t byz : byz_counts) {
-      const harness::RunResult& r = results[i++];
+      const std::size_t index = i++;
+      if (!aggs[index]) continue;  // another shard's cell
+      const harness::Aggregate& a = *aggs[index];
+      const double timeouts = bench::mean_of(
+          a, [](const harness::RunResult& r) { return r.timeouts; });
       table.add_row({std::string(bench::short_name(protocol)),
                      std::to_string(byz),
-                     harness::TextTable::num(r.throughput_tps / 1e3, 1),
-                     harness::TextTable::num(r.latency_ms_mean, 1),
-                     harness::TextTable::num(r.cgr_per_block, 2),
-                     harness::TextTable::num(r.cgr_per_view, 2),
-                     harness::TextTable::num(r.block_interval, 1),
-                     std::to_string(r.timeouts),
-                     r.consistent ? "ok" : "VIOLATED"});
+                     bench::ci_cell(a.throughput_tps, 1e-3, 1),
+                     bench::ci_cell(a.latency_ms_mean, 1.0, 1),
+                     bench::ci_cell(a.cgr_per_block, 1.0, 2),
+                     bench::ci_cell(a.cgr_per_view, 1.0, 2),
+                     bench::ci_cell(a.block_interval, 1.0, 1),
+                     harness::TextTable::num(timeouts, 0),
+                     a.all_consistent ? "ok" : "VIOLATED"});
     }
   }
   table.print(std::cout);
   std::cout << "\nresult: HS/2CHS share the CGR & throughput pattern; SL\n"
                "keeps CGR = 1 and degrades gracefully; BI grows faster than\n"
                "under forking (paper Fig. 14).\n";
+  reporter.finish();
   return 0;
 }

@@ -20,11 +20,15 @@ int main(int argc, char** argv) {
   using namespace bamboo;
   const auto args = bench::parse_args(argc, argv);
 
-  const double horizon = args.full ? 40.0 : 24.0;
-  const double fluct_start = args.full ? 10.0 : 6.0;
-  const double fluct_end = fluct_start + (args.full ? 10.0 : 6.0);
-  const double fault_at = fluct_end + 2.0;
-  const double bucket = args.full ? 1.0 : 0.5;
+  // --duration S compresses the whole scenario to an 8S horizon (smoke
+  // runs); otherwise the published 24 s / 40 s (--full) timelines.
+  const double horizon =
+      args.duration > 0 ? std::max(2.0, 8 * args.duration)
+                        : (args.full ? 40.0 : 24.0);
+  const double fluct_start = horizon / 4.0;
+  const double fluct_end = horizon / 2.0;
+  const double fault_at = fluct_end + (args.duration > 0 ? horizon / 12.0 : 2.0);
+  const double bucket = args.full ? horizon / 40.0 : horizon / 48.0;
 
   bench::print_header(
       "Figure 15 — responsiveness under fluctuation + silent replica",
@@ -68,25 +72,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto runner = bench::make_runner(args);
-  const auto outputs = runner.run_full(grid);
-
+  bench::Reporter reporter(args, "fig15_responsiveness");
   const std::size_t protocols = bench::evaluated_protocols().size();
+  const auto series_of = [&](std::size_t index) {
+    return std::string(settings[index / protocols].tag) + "-" +
+           bench::short_name(bench::evaluated_protocols()[index % protocols]);
+  };
+  const auto outputs =
+      reporter.run_full("fig15_responsiveness", grid, series_of);
+
   for (std::size_t si = 0; si < std::size(settings); ++si) {
     const Setting& setting = settings[si];
     harness::TextTable table({"t(s)", "HS(KTx/s)", "2CHS(KTx/s)",
                               "SL(KTx/s)"});
     const std::size_t base = si * protocols;
-    const std::size_t buckets = outputs[base].tx_per_s.size();
+    std::size_t buckets = 0;
+    for (std::size_t p = 0; p < protocols; ++p) {
+      if (outputs[base + p]) {
+        buckets = std::max(buckets, outputs[base + p]->tx_per_s.size());
+      }
+    }
+    std::vector<std::vector<std::string>> timeline_rows;
     for (std::size_t i = 0; i < buckets; ++i) {
       std::vector<std::string> row;
       row.push_back(harness::TextTable::num(i * bucket, 1));
       for (std::size_t p = 0; p < protocols; ++p) {
-        const auto& s = outputs[base + p].tx_per_s;
+        if (!outputs[base + p]) {
+          row.push_back("-");  // another shard's timeline
+          continue;
+        }
+        const auto& s = outputs[base + p]->tx_per_s;
         row.push_back(harness::TextTable::num(
             (i < s.size() ? s[i] : 0.0) / 1e3, 1));
       }
+      timeline_rows.push_back(row);
       table.add_row(std::move(row));
+    }
+    // A shard holds only some protocols' timelines and bench_merge does not
+    // merge side tables, so persist them only when the run is complete.
+    if (!reporter.sharded()) {
+      reporter.add_table(
+          std::string("fig15_responsiveness.timeline.") + setting.tag,
+          {"t_s", "hs_ktx_s", "2chs_ktx_s", "sl_ktx_s"},
+          std::move(timeline_rows));
     }
     std::cout << "--- setting " << setting.tag << " (timeout "
               << sim::to_milliseconds(setting.timeout) << " ms, wait "
@@ -99,5 +127,6 @@ int main(int argc, char** argv) {
                "at network speed with waves under the silent leader; t100\n"
                "keeps all protocols live at lower throughput (paper "
                "Fig. 15).\n";
+  reporter.finish();
   return 0;
 }

@@ -38,24 +38,37 @@ int main(int argc, char** argv) {
   opts.warmup_s = 0.3;
   opts.measure_s = args.full ? 4.0 : 1.5;
 
-  auto runner = bench::make_runner(args);
-  harness::TextTable table(
-      {"Arrival rate (Tx/s)", "Throughput (Tx/s)", "ratio", "lat(ms)"});
-  const auto points = harness::sweep_open_loop(runner, cfg, wl, rates, opts);
+  auto grid = harness::open_loop_specs(cfg, wl, rates, opts);
+  bench::apply_duration(grid, args);
+  bench::Reporter reporter(args, "table2_arrival");
+  const auto aggs = reporter.run(
+      "table2_arrival", grid, [](std::size_t) { return std::string("HS"); });
+
+  harness::TextTable table({"Arrival rate (Tx/s)", "Throughput (Tx/s)",
+                            "ratio", "lat(ms)"});
   bool all_tracking = true;
-  for (const auto& p : points) {
-    const double ratio = p.result.throughput_tps / p.offered;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!aggs[i]) continue;  // another shard's row
+    const harness::Aggregate& a = *aggs[i];
+    const double offered = grid[i].offered;
+    const double ratio = a.throughput_tps.mean() / offered;
     if (ratio < 0.97 || ratio > 1.03) all_tracking = false;
-    table.add_row({harness::TextTable::count(
-                       static_cast<std::uint64_t>(p.offered)),
-                   harness::TextTable::count(static_cast<std::uint64_t>(
-                       p.result.throughput_tps)),
-                   harness::TextTable::num(ratio, 3),
-                   harness::TextTable::num(p.result.latency_ms_mean, 1)});
+    table.add_row(
+        {harness::TextTable::count(static_cast<std::uint64_t>(offered)),
+         harness::TextTable::count(
+             static_cast<std::uint64_t>(a.throughput_tps.mean())) +
+             "±" +
+             harness::TextTable::count(
+                 static_cast<std::uint64_t>(a.throughput_tps.ci95())),
+         harness::TextTable::num(ratio, 3),
+         bench::ci_cell(a.latency_ms_mean, 1.0, 1)});
   }
   table.print(std::cout);
   std::cout << "\nresult: throughput "
             << (all_tracking ? "tracks" : "DOES NOT track")
             << " the arrival rate below saturation (paper: tracks)\n";
-  return all_tracking ? 0 : 1;
+  reporter.finish();
+  // Short smoke windows (--duration) are too noisy for a hard gate; the
+  // published windows keep the strict exit code.
+  return all_tracking || args.duration > 0 ? 0 : 1;
 }

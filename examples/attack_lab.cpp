@@ -9,10 +9,12 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "client/workload.h"
 #include "core/config.h"
 #include "harness/experiment.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 int main(int argc, char** argv) {
@@ -32,27 +34,37 @@ int main(int argc, char** argv) {
   harness::TextTable table({"protocol", "attack", "thr(KTx/s)", "CGR", "BI",
                             "forked", "timeouts", "safety"});
 
-  for (const std::string protocol : {"hotstuff", "2chs", "streamlet",
-                                     "fasthotstuff"}) {
-    for (const std::string attack : {"honest", "forking", "silence"}) {
-      core::Config cfg;
-      cfg.protocol = protocol;
-      cfg.n_replicas = n;
-      cfg.byz_no = attack == "honest" ? 0 : byz;
-      cfg.strategy = attack == "honest" ? "silence" : attack;
-      cfg.bsize = 400;
-      cfg.timeout = sim::milliseconds(50);
-      cfg.seed = 7;
+  // Every (protocol, attack) cell is an independent RunSpec; submit the
+  // whole grid to the parallel engine in one call.
+  const std::vector<std::string> protocols = {"hotstuff", "2chs", "streamlet",
+                                              "fasthotstuff"};
+  const std::vector<std::string> attacks = {"honest", "forking", "silence"};
+  std::vector<harness::RunSpec> grid;
+  for (const std::string& protocol : protocols) {
+    for (const std::string& attack : attacks) {
+      harness::RunSpec spec;
+      spec.cfg.protocol = protocol;
+      spec.cfg.n_replicas = n;
+      spec.cfg.byz_no = attack == "honest" ? 0 : byz;
+      spec.cfg.strategy = attack == "honest" ? "silence" : attack;
+      spec.cfg.bsize = 400;
+      spec.cfg.timeout = sim::milliseconds(50);
+      spec.cfg.seed = 7;
+      spec.workload.concurrency = 512;
+      spec.workload.session_timeout = sim::milliseconds(300);
+      spec.opts.warmup_s = 0.4;
+      spec.opts.measure_s = 1.5;
+      grid.push_back(std::move(spec));
+    }
+  }
 
-      client::WorkloadConfig wl;
-      wl.concurrency = 512;
-      wl.session_timeout = sim::milliseconds(300);
+  harness::ParallelRunner runner;
+  const auto results = runner.run(grid);
 
-      harness::RunOptions opts;
-      opts.warmup_s = 0.4;
-      opts.measure_s = 1.5;
-
-      const auto r = harness::run_experiment(cfg, wl, opts);
+  std::size_t i = 0;
+  for (const std::string& protocol : protocols) {
+    for (const std::string& attack : attacks) {
+      const harness::RunResult& r = results[i++];
       table.add_row({protocol, attack,
                      harness::TextTable::num(r.throughput_tps / 1e3, 1),
                      harness::TextTable::num(r.cgr_per_block, 2),

@@ -98,9 +98,11 @@ int main() {
   }
 
   {
-    std::cout << "--- sanity: model vs engine at 50% load (N=4, b=400) ---\n";
-    // One quick simulated run per protocol, fanned across the parallel
-    // engine, to show the paper-style overlay the full Fig. 8 bench sweeps.
+    std::cout << "--- sanity: model vs engine at 50% load (N=4, b=400, "
+                 "3 seeds) ---\n";
+    // Three quick simulated seeds per protocol through the multi-seed grid
+    // runner, to show the paper-style overlay (with 95% CIs) the full
+    // Fig. 8 bench sweeps.
     std::vector<harness::RunSpec> grid;
     const std::vector<std::string> protocols = {"hotstuff", "2chs",
                                                 "streamlet"};
@@ -118,16 +120,18 @@ int main() {
       grid.push_back(std::move(spec));
     }
     harness::ParallelRunner runner;
-    const auto results = runner.run(grid);
+    const auto grid_run = runner.run_repeated_grid(grid, 3);
 
     harness::TextTable table({"protocol", "lambda(Tx/s)", "engine lat(ms)",
-                              "model lat(ms)"});
+                              "±95% CI", "model lat(ms)"});
     for (std::size_t i = 0; i < protocols.size(); ++i) {
       // Predict from the exact config that was measured.
       const model::PerfModel pm(grid[i].cfg);
+      const harness::Aggregate& agg = *grid_run.aggregates[i];
       table.add_row({protocols[i],
                      harness::TextTable::num(grid[i].offered, 0),
-                     harness::TextTable::num(results[i].latency_ms_mean, 1),
+                     harness::TextTable::num(agg.latency_ms_mean.mean(), 1),
+                     harness::TextTable::num(agg.latency_ms_mean.ci95(), 1),
                      harness::TextTable::num(
                          pm.latency_ms(grid[i].offered), 1)});
     }

@@ -1,0 +1,630 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace bamboo::harness::report {
+
+namespace {
+
+constexpr const char* kRecordSchema = "bamboo.report/v1";
+constexpr const char* kTableSchema = "bamboo.table/v1";
+constexpr const char* kManifestSchema = "bamboo.report.manifest/v1";
+
+/// The one-sample merge harness::Aggregate::add uses; every aggregate
+/// statistic must go through this exact path so regenerating a row from
+/// shard files is bit-identical to the unsharded fold.
+void fold(util::RunningStats& stats, double value) {
+  util::RunningStats one;
+  one.add(value);
+  stats.merge(one);
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) { return util::Json::number_to_string(v); }
+
+/// Full-width uint64 member: written as a decimal string (util::Json
+/// numbers are doubles, exact only up to 2^53); numbers accepted too.
+std::uint64_t get_u64(const util::Json& j, std::string_view key) {
+  const util::Json* v = j.find(key);
+  if (v == nullptr) return 0;
+  if (v->is_string()) return std::strtoull(v->as_string().c_str(), nullptr, 10);
+  if (v->is_number()) return static_cast<std::uint64_t>(v->as_int());
+  return 0;
+}
+
+std::uint64_t round_u64(double v) {
+  return static_cast<std::uint64_t>(std::llround(v));
+}
+
+/// Shared core of make_aggregate_record and merge_records: fold rep-order
+/// results under an already-flattened base provenance.
+Record aggregate_from(const std::string& bench, const std::string& artifact,
+                      const std::string& series, std::uint32_t spec_index,
+                      Provenance base_prov,
+                      const std::vector<RunResult>& results) {
+  Aggregate agg;
+  util::RunningStats p50;
+  double measured_s = 0, latency_samples = 0, views = 0, committed = 0,
+         received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0;
+  for (const RunResult& r : results) {
+    agg.add(r);
+    fold(p50, r.latency_ms_p50);
+    measured_s += r.measured_s;
+    latency_samples += static_cast<double>(r.latency_samples);
+    views += static_cast<double>(r.views);
+    committed += static_cast<double>(r.blocks_committed);
+    received += static_cast<double>(r.blocks_received);
+    forked += static_cast<double>(r.blocks_forked);
+    timeouts += static_cast<double>(r.timeouts);
+    rejected += static_cast<double>(r.rejected);
+    net_bytes += static_cast<double>(r.net_bytes);
+  }
+  const double n = results.empty() ? 1.0 : static_cast<double>(results.size());
+
+  Record rec;
+  rec.bench = bench;
+  rec.artifact = artifact;
+  rec.series = series;
+  rec.kind = "aggregate";
+  rec.spec_index = spec_index;
+  rec.rep = 0;
+  rec.reps = static_cast<std::uint32_t>(results.size());
+  rec.prov = std::move(base_prov);
+  rec.prov.seed = rec.prov.base_seed;
+
+  rec.result.throughput_tps = agg.throughput_tps.mean();
+  rec.result.latency_ms_mean = agg.latency_ms_mean.mean();
+  rec.result.latency_ms_p50 = p50.mean();
+  rec.result.latency_ms_p99 = agg.latency_ms_p99.mean();
+  rec.result.cgr_per_view = agg.cgr_per_view.mean();
+  rec.result.cgr_per_block = agg.cgr_per_block.mean();
+  rec.result.block_interval = agg.block_interval.mean();
+  rec.result.measured_s = measured_s / n;
+  rec.result.latency_samples = round_u64(latency_samples / n);
+  rec.result.views = round_u64(views / n);
+  rec.result.blocks_committed = round_u64(committed / n);
+  rec.result.blocks_received = round_u64(received / n);
+  rec.result.blocks_forked = round_u64(forked / n);
+  rec.result.timeouts = round_u64(timeouts / n);
+  rec.result.rejected = round_u64(rejected / n);
+  rec.result.net_bytes = round_u64(net_bytes / n);
+  rec.result.consistent = agg.all_consistent;
+  rec.result.safety_violations = agg.safety_violations;
+
+  rec.ci.throughput_tps = agg.throughput_tps.ci95();
+  rec.ci.latency_ms_mean = agg.latency_ms_mean.ci95();
+  rec.ci.latency_ms_p50 = p50.ci95();
+  rec.ci.latency_ms_p99 = agg.latency_ms_p99.ci95();
+  rec.ci.cgr_per_view = agg.cgr_per_view.ci95();
+  rec.ci.cgr_per_block = agg.cgr_per_block.ci95();
+  rec.ci.block_interval = agg.block_interval.ci95();
+  return rec;
+}
+
+}  // namespace
+
+Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
+  Provenance p;
+  p.protocol = spec.cfg.protocol;
+  p.n_replicas = spec.cfg.n_replicas;
+  p.byz_no = spec.cfg.byz_no;
+  p.strategy = spec.cfg.strategy;
+  p.election = spec.cfg.election;
+  p.bsize = spec.cfg.bsize;
+  p.psize = spec.cfg.psize;
+  p.memsize = spec.cfg.memsize;
+  p.delay_ms = sim::to_milliseconds(spec.cfg.delay);
+  p.delay_jitter_ms = sim::to_milliseconds(spec.cfg.delay_jitter);
+  p.timeout_ms = sim::to_milliseconds(spec.cfg.timeout);
+  p.mode =
+      spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
+  p.concurrency = spec.workload.concurrency;
+  p.arrival_rate_tps = spec.workload.arrival_rate_tps;
+  p.base_seed = spec.cfg.seed;
+  p.seed = spec.cfg.seed + rep;
+  p.warmup_s = spec.opts.warmup_s;
+  p.measure_s = spec.opts.measure_s;
+  p.offered = spec.offered;
+  return p;
+}
+
+Record make_run_record(const std::string& bench, const std::string& artifact,
+                       const std::string& series, std::uint32_t spec_index,
+                       const RunSpec& spec, std::uint32_t rep,
+                       std::uint32_t reps, const RunResult& result) {
+  Record rec;
+  rec.bench = bench;
+  rec.artifact = artifact;
+  rec.series = series;
+  rec.kind = "run";
+  rec.spec_index = spec_index;
+  rec.rep = rep;
+  rec.reps = reps;
+  rec.prov = provenance_of(spec, rep);
+  rec.result = result;
+  return rec;
+}
+
+Record make_aggregate_record(const std::string& bench,
+                             const std::string& artifact,
+                             const std::string& series,
+                             std::uint32_t spec_index, const RunSpec& spec,
+                             const std::vector<RunResult>& results) {
+  return aggregate_from(bench, artifact, series, spec_index,
+                        provenance_of(spec, 0), results);
+}
+
+// --- serialization ---------------------------------------------------------
+
+const std::vector<std::string>& csv_columns() {
+  static const std::vector<std::string> columns = {
+      "bench", "artifact", "series", "kind", "spec_index", "rep", "reps",
+      "protocol", "n_replicas", "byz_no", "strategy", "election", "bsize",
+      "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms", "mode",
+      "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
+      "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
+      "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
+      "latency_ms_p50_ci95", "latency_ms_p99", "latency_ms_p99_ci95",
+      "cgr_per_view", "cgr_per_view_ci95", "cgr_per_block",
+      "cgr_per_block_ci95", "block_interval", "block_interval_ci95",
+      "measured_s", "latency_samples", "views", "blocks_committed",
+      "blocks_received", "blocks_forked", "timeouts", "rejected", "net_bytes",
+      "consistent", "safety_violations"};
+  return columns;
+}
+
+std::string csv_header() {
+  std::string out;
+  for (const std::string& c : csv_columns()) {
+    if (!out.empty()) out += ',';
+    out += c;
+  }
+  return out;
+}
+
+std::string csv_row(const Record& r) {
+  const std::vector<std::string> cells = {
+      csv_escape(r.bench),
+      csv_escape(r.artifact),
+      csv_escape(r.series),
+      csv_escape(r.kind),
+      std::to_string(r.spec_index),
+      std::to_string(r.rep),
+      std::to_string(r.reps),
+      csv_escape(r.prov.protocol),
+      std::to_string(r.prov.n_replicas),
+      std::to_string(r.prov.byz_no),
+      csv_escape(r.prov.strategy),
+      csv_escape(r.prov.election),
+      std::to_string(r.prov.bsize),
+      std::to_string(r.prov.psize),
+      std::to_string(r.prov.memsize),
+      num(r.prov.delay_ms),
+      num(r.prov.delay_jitter_ms),
+      num(r.prov.timeout_ms),
+      csv_escape(r.prov.mode),
+      std::to_string(r.prov.concurrency),
+      num(r.prov.arrival_rate_tps),
+      std::to_string(r.prov.seed),
+      std::to_string(r.prov.base_seed),
+      num(r.prov.warmup_s),
+      num(r.prov.measure_s),
+      num(r.prov.offered),
+      num(r.result.throughput_tps),
+      num(r.ci.throughput_tps),
+      num(r.result.latency_ms_mean),
+      num(r.ci.latency_ms_mean),
+      num(r.result.latency_ms_p50),
+      num(r.ci.latency_ms_p50),
+      num(r.result.latency_ms_p99),
+      num(r.ci.latency_ms_p99),
+      num(r.result.cgr_per_view),
+      num(r.ci.cgr_per_view),
+      num(r.result.cgr_per_block),
+      num(r.ci.cgr_per_block),
+      num(r.result.block_interval),
+      num(r.ci.block_interval),
+      num(r.result.measured_s),
+      std::to_string(r.result.latency_samples),
+      std::to_string(r.result.views),
+      std::to_string(r.result.blocks_committed),
+      std::to_string(r.result.blocks_received),
+      std::to_string(r.result.blocks_forked),
+      std::to_string(r.result.timeouts),
+      std::to_string(r.result.rejected),
+      std::to_string(r.result.net_bytes),
+      r.result.consistent ? "true" : "false",
+      std::to_string(r.result.safety_violations)};
+  std::string out;
+  for (const std::string& c : cells) {
+    if (!out.empty()) out += ',';
+    out += c;
+  }
+  return out;
+}
+
+util::Json to_json(const Record& r) {
+  util::Json::Object o;
+  o.emplace("bench", util::Json(r.bench));
+  o.emplace("artifact", util::Json(r.artifact));
+  o.emplace("series", util::Json(r.series));
+  o.emplace("kind", util::Json(r.kind));
+  o.emplace("spec_index", util::Json(static_cast<std::int64_t>(r.spec_index)));
+  o.emplace("rep", util::Json(static_cast<std::int64_t>(r.rep)));
+  o.emplace("reps", util::Json(static_cast<std::int64_t>(r.reps)));
+  o.emplace("protocol", util::Json(r.prov.protocol));
+  o.emplace("n_replicas",
+            util::Json(static_cast<std::int64_t>(r.prov.n_replicas)));
+  o.emplace("byz_no", util::Json(static_cast<std::int64_t>(r.prov.byz_no)));
+  o.emplace("strategy", util::Json(r.prov.strategy));
+  o.emplace("election", util::Json(r.prov.election));
+  o.emplace("bsize", util::Json(static_cast<std::int64_t>(r.prov.bsize)));
+  o.emplace("psize", util::Json(static_cast<std::int64_t>(r.prov.psize)));
+  o.emplace("memsize", util::Json(static_cast<std::int64_t>(r.prov.memsize)));
+  o.emplace("delay_ms", util::Json(r.prov.delay_ms));
+  o.emplace("delay_jitter_ms", util::Json(r.prov.delay_jitter_ms));
+  o.emplace("timeout_ms", util::Json(r.prov.timeout_ms));
+  o.emplace("mode", util::Json(r.prov.mode));
+  o.emplace("concurrency",
+            util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
+  o.emplace("arrival_rate_tps", util::Json(r.prov.arrival_rate_tps));
+  // Seeds are full-width 64-bit identifiers; util::Json numbers are doubles
+  // (exact only up to 2^53), so serialize them as decimal strings to keep
+  // the CSV/JSON emitters and the shard merge lossless for any seed.
+  o.emplace("seed", util::Json(std::to_string(r.prov.seed)));
+  o.emplace("base_seed", util::Json(std::to_string(r.prov.base_seed)));
+  o.emplace("warmup_s", util::Json(r.prov.warmup_s));
+  o.emplace("measure_s", util::Json(r.prov.measure_s));
+  o.emplace("offered", util::Json(r.prov.offered));
+  o.emplace("throughput_tps", util::Json(r.result.throughput_tps));
+  o.emplace("throughput_tps_ci95", util::Json(r.ci.throughput_tps));
+  o.emplace("latency_ms_mean", util::Json(r.result.latency_ms_mean));
+  o.emplace("latency_ms_mean_ci95", util::Json(r.ci.latency_ms_mean));
+  o.emplace("latency_ms_p50", util::Json(r.result.latency_ms_p50));
+  o.emplace("latency_ms_p50_ci95", util::Json(r.ci.latency_ms_p50));
+  o.emplace("latency_ms_p99", util::Json(r.result.latency_ms_p99));
+  o.emplace("latency_ms_p99_ci95", util::Json(r.ci.latency_ms_p99));
+  o.emplace("cgr_per_view", util::Json(r.result.cgr_per_view));
+  o.emplace("cgr_per_view_ci95", util::Json(r.ci.cgr_per_view));
+  o.emplace("cgr_per_block", util::Json(r.result.cgr_per_block));
+  o.emplace("cgr_per_block_ci95", util::Json(r.ci.cgr_per_block));
+  o.emplace("block_interval", util::Json(r.result.block_interval));
+  o.emplace("block_interval_ci95", util::Json(r.ci.block_interval));
+  o.emplace("measured_s", util::Json(r.result.measured_s));
+  o.emplace("latency_samples",
+            util::Json(static_cast<std::int64_t>(r.result.latency_samples)));
+  o.emplace("views", util::Json(static_cast<std::int64_t>(r.result.views)));
+  o.emplace("blocks_committed", util::Json(static_cast<std::int64_t>(
+                                    r.result.blocks_committed)));
+  o.emplace("blocks_received", util::Json(static_cast<std::int64_t>(
+                                   r.result.blocks_received)));
+  o.emplace("blocks_forked",
+            util::Json(static_cast<std::int64_t>(r.result.blocks_forked)));
+  o.emplace("timeouts",
+            util::Json(static_cast<std::int64_t>(r.result.timeouts)));
+  o.emplace("rejected",
+            util::Json(static_cast<std::int64_t>(r.result.rejected)));
+  o.emplace("net_bytes",
+            util::Json(static_cast<std::int64_t>(r.result.net_bytes)));
+  o.emplace("consistent", util::Json(r.result.consistent));
+  o.emplace("safety_violations", util::Json(static_cast<std::int64_t>(
+                                     r.result.safety_violations)));
+  return util::Json(std::move(o));
+}
+
+Record record_from_json(const util::Json& j) {
+  if (!j.is_object()) {
+    throw std::invalid_argument("report record must be a JSON object");
+  }
+  Record r;
+  r.bench = j.get_string("bench", "");
+  r.artifact = j.get_string("artifact", "");
+  r.series = j.get_string("series", "");
+  r.kind = j.get_string("kind", "run");
+  r.spec_index = static_cast<std::uint32_t>(j.get_int("spec_index", 0));
+  r.rep = static_cast<std::uint32_t>(j.get_int("rep", 0));
+  r.reps = static_cast<std::uint32_t>(j.get_int("reps", 1));
+  r.prov.protocol = j.get_string("protocol", "");
+  r.prov.n_replicas = static_cast<std::uint32_t>(j.get_int("n_replicas", 0));
+  r.prov.byz_no = static_cast<std::uint32_t>(j.get_int("byz_no", 0));
+  r.prov.strategy = j.get_string("strategy", "");
+  r.prov.election = j.get_string("election", "");
+  r.prov.bsize = static_cast<std::uint32_t>(j.get_int("bsize", 0));
+  r.prov.psize = static_cast<std::uint32_t>(j.get_int("psize", 0));
+  r.prov.memsize = static_cast<std::uint32_t>(j.get_int("memsize", 0));
+  r.prov.delay_ms = j.get_number("delay_ms", 0);
+  r.prov.delay_jitter_ms = j.get_number("delay_jitter_ms", 0);
+  r.prov.timeout_ms = j.get_number("timeout_ms", 0);
+  r.prov.mode = j.get_string("mode", "closed");
+  r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
+  r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);
+  r.prov.seed = get_u64(j, "seed");
+  r.prov.base_seed = get_u64(j, "base_seed");
+  r.prov.warmup_s = j.get_number("warmup_s", 0);
+  r.prov.measure_s = j.get_number("measure_s", 0);
+  r.prov.offered = j.get_number("offered", 0);
+  r.result.throughput_tps = j.get_number("throughput_tps", 0);
+  r.ci.throughput_tps = j.get_number("throughput_tps_ci95", 0);
+  r.result.latency_ms_mean = j.get_number("latency_ms_mean", 0);
+  r.ci.latency_ms_mean = j.get_number("latency_ms_mean_ci95", 0);
+  r.result.latency_ms_p50 = j.get_number("latency_ms_p50", 0);
+  r.ci.latency_ms_p50 = j.get_number("latency_ms_p50_ci95", 0);
+  r.result.latency_ms_p99 = j.get_number("latency_ms_p99", 0);
+  r.ci.latency_ms_p99 = j.get_number("latency_ms_p99_ci95", 0);
+  r.result.cgr_per_view = j.get_number("cgr_per_view", 0);
+  r.ci.cgr_per_view = j.get_number("cgr_per_view_ci95", 0);
+  r.result.cgr_per_block = j.get_number("cgr_per_block", 0);
+  r.ci.cgr_per_block = j.get_number("cgr_per_block_ci95", 0);
+  r.result.block_interval = j.get_number("block_interval", 0);
+  r.ci.block_interval = j.get_number("block_interval_ci95", 0);
+  r.result.measured_s = j.get_number("measured_s", 0);
+  r.result.latency_samples =
+      static_cast<std::uint64_t>(j.get_int("latency_samples", 0));
+  r.result.views = static_cast<std::uint64_t>(j.get_int("views", 0));
+  r.result.blocks_committed =
+      static_cast<std::uint64_t>(j.get_int("blocks_committed", 0));
+  r.result.blocks_received =
+      static_cast<std::uint64_t>(j.get_int("blocks_received", 0));
+  r.result.blocks_forked =
+      static_cast<std::uint64_t>(j.get_int("blocks_forked", 0));
+  r.result.timeouts = static_cast<std::uint64_t>(j.get_int("timeouts", 0));
+  r.result.rejected = static_cast<std::uint64_t>(j.get_int("rejected", 0));
+  r.result.net_bytes = static_cast<std::uint64_t>(j.get_int("net_bytes", 0));
+  r.result.consistent = j.get_bool("consistent", true);
+  r.result.safety_violations =
+      static_cast<std::uint64_t>(j.get_int("safety_violations", 0));
+  return r;
+}
+
+std::vector<Record> records_from_json_text(const std::string& text) {
+  const util::Json doc = util::Json::parse(text);
+  const util::Json* records = doc.find("records");
+  if (records == nullptr || !records->is_array()) {
+    throw std::invalid_argument("artifact document has no records array");
+  }
+  std::vector<Record> out;
+  out.reserve(records->as_array().size());
+  for (const util::Json& j : records->as_array()) {
+    out.push_back(record_from_json(j));
+  }
+  return out;
+}
+
+std::string CsvSink::serialize() const {
+  std::string out = csv_header();
+  out += '\n';
+  for (const std::string& row : rows_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string JsonSink::serialize() const {
+  util::Json::Object doc;
+  doc.emplace("records", util::Json(records_));
+  doc.emplace("schema", util::Json(kRecordSchema));
+  return util::Json(std::move(doc)).dump() + "\n";
+}
+
+// --- artifact directory ----------------------------------------------------
+
+ArtifactWriter::ArtifactWriter(std::string out_dir, std::string bench,
+                               std::vector<std::string> formats, Shard shard)
+    : out_dir_(std::move(out_dir)),
+      bench_(std::move(bench)),
+      formats_(std::move(formats)),
+      shard_(shard) {}
+
+void ArtifactWriter::add(const std::string& artifact, const Record& r) {
+  if (!enabled()) return;
+  records_[artifact].push_back(r);
+}
+
+void ArtifactWriter::add_table(const std::string& artifact,
+                               std::vector<std::string> headers,
+                               std::vector<std::vector<std::string>> rows) {
+  if (!enabled()) return;
+  tables_[artifact] = Table{std::move(headers), std::move(rows)};
+}
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write artifact file: " + path.string());
+  }
+  out << body;
+}
+
+std::string table_csv(const std::vector<std::string>& headers,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(headers[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string table_json(const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+  util::Json::Array hs;
+  for (const std::string& h : headers) hs.emplace_back(h);
+  util::Json::Array rs;
+  for (const auto& row : rows) {
+    util::Json::Array cells;
+    for (const std::string& c : row) cells.emplace_back(c);
+    rs.emplace_back(std::move(cells));
+  }
+  util::Json::Object doc;
+  doc.emplace("headers", util::Json(std::move(hs)));
+  doc.emplace("rows", util::Json(std::move(rs)));
+  doc.emplace("schema", util::Json(kTableSchema));
+  return util::Json(std::move(doc)).dump() + "\n";
+}
+
+}  // namespace
+
+std::vector<ArtifactFile> ArtifactWriter::finish() {
+  std::vector<ArtifactFile> written;
+  if (!enabled()) return written;
+  namespace fs = std::filesystem;
+  const fs::path dir(out_dir_);
+  fs::create_directories(dir);
+
+  const std::string tag = shard_.label();
+  const auto filename = [&](const std::string& artifact,
+                            const std::string& format) {
+    std::string name = artifact;
+    if (!tag.empty()) name += "." + tag;
+    return name + "." + format;
+  };
+
+  util::Json::Array manifest_artifacts;
+  const auto emit = [&](const std::string& artifact, std::size_t n_records,
+                        const auto& body_of) {
+    util::Json::Array files;
+    for (const std::string& format : formats_) {
+      const std::string name = filename(artifact, format);
+      write_file(dir / name, body_of(format));
+      written.push_back(ArtifactFile{artifact, format, name, n_records});
+      util::Json::Object f;
+      f.emplace("format", util::Json(format));
+      f.emplace("path", util::Json(name));
+      f.emplace("records", util::Json(static_cast<std::int64_t>(n_records)));
+      files.emplace_back(std::move(f));
+    }
+    util::Json::Object a;
+    a.emplace("files", util::Json(std::move(files)));
+    a.emplace("name", util::Json(artifact));
+    manifest_artifacts.emplace_back(std::move(a));
+  };
+
+  // std::map iteration = deterministic alphabetical artifact order, the
+  // same order merge_records groups by — keeps merged output byte-identical.
+  for (const auto& [artifact, records] : records_) {
+    emit(artifact, records.size(), [&](const std::string& format) {
+      if (format == "csv") {
+        CsvSink sink;
+        for (const Record& r : records) sink.add(r);
+        return sink.serialize();
+      }
+      JsonSink sink;
+      for (const Record& r : records) sink.add(r);
+      return sink.serialize();
+    });
+  }
+  for (const auto& [artifact, table] : tables_) {
+    emit(artifact, table.rows.size(), [&](const std::string& format) {
+      return format == "csv" ? table_csv(table.headers, table.rows)
+                             : table_json(table.headers, table.rows);
+    });
+  }
+
+  util::Json::Object manifest;
+  manifest.emplace("artifacts", util::Json(std::move(manifest_artifacts)));
+  manifest.emplace("bench", util::Json(bench_));
+  {
+    util::Json::Array fmts;
+    for (const std::string& f : formats_) fmts.emplace_back(f);
+    manifest.emplace("formats", util::Json(std::move(fmts)));
+  }
+  manifest.emplace("schema", util::Json(kManifestSchema));
+  {
+    util::Json::Object s;
+    s.emplace("count", util::Json(static_cast<std::int64_t>(shard_.count)));
+    s.emplace("index", util::Json(static_cast<std::int64_t>(shard_.index)));
+    manifest.emplace("shard", util::Json(std::move(s)));
+  }
+  const std::string manifest_name =
+      tag.empty() ? "manifest.json" : "manifest." + tag + ".json";
+  write_file(dir / manifest_name,
+             util::Json(std::move(manifest)).dump() + "\n");
+  written.push_back(ArtifactFile{"manifest", "json", manifest_name, 0});
+  return written;
+}
+
+// --- shard merge -----------------------------------------------------------
+
+std::vector<Record> merge_records(std::vector<Record> rows) {
+  std::erase_if(rows, [](const Record& r) { return r.kind != "run"; });
+  std::sort(rows.begin(), rows.end(), [](const Record& a, const Record& b) {
+    return std::tie(a.bench, a.artifact, a.spec_index, a.rep) <
+           std::tie(b.bench, b.artifact, b.spec_index, b.rep);
+  });
+
+  std::vector<Record> out;
+  std::size_t i = 0;
+  while (i < rows.size()) {
+    // One (bench, artifact, spec_index) group = one spec's rep set.
+    std::size_t end = i;
+    while (end < rows.size() && rows[end].bench == rows[i].bench &&
+           rows[end].artifact == rows[i].artifact &&
+           rows[end].spec_index == rows[i].spec_index) {
+      ++end;
+    }
+    std::vector<RunResult> results;
+    for (std::size_t j = i; j < end; ++j) {
+      const std::uint32_t expected_rep = static_cast<std::uint32_t>(j - i);
+      if (rows[j].rep != expected_rep) {
+        throw std::invalid_argument(
+            rows[j].rep < expected_rep
+                ? "duplicate rep " + std::to_string(rows[j].rep) +
+                      " for spec " + std::to_string(rows[j].spec_index) +
+                      " of " + rows[j].artifact
+                : "missing rep " + std::to_string(expected_rep) +
+                      " for spec " + std::to_string(rows[j].spec_index) +
+                      " of " + rows[j].artifact);
+      }
+      results.push_back(rows[j].result);
+    }
+    if (results.size() != rows[i].reps) {
+      throw std::invalid_argument(
+          "incomplete rep set for spec " + std::to_string(rows[i].spec_index) +
+          " of " + rows[i].artifact + ": have " +
+          std::to_string(results.size()) + ", want " +
+          std::to_string(rows[i].reps));
+    }
+    Provenance base = rows[i].prov;
+    base.seed = base.base_seed;
+    Record agg = aggregate_from(rows[i].bench, rows[i].artifact,
+                                rows[i].series, rows[i].spec_index,
+                                std::move(base), results);
+    for (std::size_t j = i; j < end; ++j) out.push_back(std::move(rows[j]));
+    out.push_back(std::move(agg));
+    i = end;
+  }
+  return out;
+}
+
+}  // namespace bamboo::harness::report

@@ -1,0 +1,204 @@
+#pragma once
+
+// Result persistence: the paper's figures and tables are data artifacts, so
+// every bench run can land on disk as machine-readable CSV/JSON rows with
+// full provenance (which spec produced the number) and multi-seed statistics
+// (mean + 95% CI). The subsystem is three layers:
+//
+//   Record        one flattened (provenance, result, CI) row
+//   ResultSink    serializes an ordered row set (CsvSink / JsonSink)
+//   ArtifactWriter one file per figure/table under --out, plus manifest.json
+//
+// plus merge_records(), which unions per-run rows from cross-process shards
+// (--shard i/n) and regenerates aggregate rows bit-identical to the
+// unsharded run — the library core of the bench_merge tool.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "util/json.h"
+
+namespace bamboo::harness::report {
+
+/// Flattened RunSpec provenance — the experiment-defining columns of the
+/// emitter schema (Table I parameters + workload + windows + seeds).
+struct Provenance {
+  std::string protocol;
+  std::uint32_t n_replicas = 4;
+  std::uint32_t byz_no = 0;
+  std::string strategy;
+  std::string election;
+  std::uint32_t bsize = 400;
+  std::uint32_t psize = 0;
+  std::uint32_t memsize = 20000;
+  double delay_ms = 0;
+  double delay_jitter_ms = 0;
+  double timeout_ms = 0;
+  std::string mode;  ///< "closed" | "open"
+  std::uint32_t concurrency = 0;
+  double arrival_rate_tps = 0;
+  std::uint64_t seed = 0;       ///< this run's seed (base_seed + rep)
+  std::uint64_t base_seed = 0;  ///< repetition base seed
+  double warmup_s = 0;
+  double measure_s = 0;
+  double offered = 0;  ///< sweep label (concurrency, λ, N, byz, ...)
+
+  bool operator==(const Provenance&) const = default;
+};
+
+/// Flatten the spec; `rep` shifts the seed the way run_repeated_grid does.
+Provenance provenance_of(const RunSpec& spec, std::uint32_t rep = 0);
+
+/// 95% CI half-widths for the headline metrics; all zero on per-run rows.
+struct CiSet {
+  double throughput_tps = 0;
+  double latency_ms_mean = 0;
+  double latency_ms_p50 = 0;
+  double latency_ms_p99 = 0;
+  double cgr_per_view = 0;
+  double cgr_per_block = 0;
+  double block_interval = 0;
+
+  bool operator==(const CiSet&) const = default;
+};
+
+/// One emitted row. kind == "run" carries a single seed's RunResult; kind ==
+/// "aggregate" carries rep-order means in `result` (counters rounded to the
+/// nearest integer, safety_violations summed, consistent = all consistent)
+/// and the CI half-widths in `ci`.
+struct Record {
+  std::string bench;     ///< bench id, e.g. "fig12_scalability"
+  std::string artifact;  ///< figure/table name; keys the artifact file
+  std::string series;    ///< series label, e.g. "HS-b400"
+  std::string kind;      ///< "run" | "aggregate"
+  std::uint32_t spec_index = 0;  ///< position in the bench's spec grid
+  std::uint32_t rep = 0;         ///< repetition (0 on aggregate rows)
+  std::uint32_t reps = 1;        ///< repetitions behind this row's spec
+  Provenance prov;
+  RunResult result;
+  CiSet ci;
+
+  bool operator==(const Record&) const = default;
+};
+
+Record make_run_record(const std::string& bench, const std::string& artifact,
+                       const std::string& series, std::uint32_t spec_index,
+                       const RunSpec& spec, std::uint32_t rep,
+                       std::uint32_t reps, const RunResult& result);
+
+/// Fold `results` (rep order, rep r under seed base + r) into an aggregate
+/// row. Statistics go through the same RunningStats::merge path as
+/// harness::Aggregate, so a row regenerated from merged shard files is
+/// bit-identical to the one the unsharded run emits.
+Record make_aggregate_record(const std::string& bench,
+                             const std::string& artifact,
+                             const std::string& series,
+                             std::uint32_t spec_index, const RunSpec& spec,
+                             const std::vector<RunResult>& results);
+
+// --- serialization ---------------------------------------------------------
+
+/// The fixed CSV column order (also the JSON member set).
+const std::vector<std::string>& csv_columns();
+std::string csv_header();
+std::string csv_row(const Record& r);
+
+util::Json to_json(const Record& r);
+Record record_from_json(const util::Json& j);
+
+/// Parse one artifact document (the JsonSink layout) back into records.
+std::vector<Record> records_from_json_text(const std::string& text);
+
+/// Serializes an ordered set of records into one artifact file body.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void add(const Record& r) = 0;
+  [[nodiscard]] virtual std::string serialize() const = 0;
+  [[nodiscard]] virtual const char* format() const = 0;  ///< "csv" | "json"
+};
+
+/// Header + one line per record; doubles use Json::number_to_string, so CSV
+/// and JSON emit bit-identical numbers.
+class CsvSink final : public ResultSink {
+ public:
+  void add(const Record& r) override { rows_.push_back(csv_row(r)); }
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] const char* format() const override { return "csv"; }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+/// One compact JSON document: {"records":[...],"schema":...}.
+class JsonSink final : public ResultSink {
+ public:
+  void add(const Record& r) override { records_.push_back(to_json(r)); }
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] const char* format() const override { return "json"; }
+
+ private:
+  util::Json::Array records_;
+};
+
+// --- artifact directory ----------------------------------------------------
+
+/// One file written under the --out directory.
+struct ArtifactFile {
+  std::string artifact;
+  std::string format;
+  std::string path;  ///< relative to the out directory
+  std::size_t records = 0;
+};
+
+/// Collects records per artifact (figure/table) and, on finish(), writes
+/// one file per (artifact, format) plus a manifest. Sharded runs append the
+/// shard tag to every filename (fig12.shard2of3.csv, manifest.shard2of3.json)
+/// so N shards can share one directory or be rsync'ed into one.
+class ArtifactWriter {
+ public:
+  /// Empty out_dir disables the writer (enabled() == false, add/finish
+  /// are no-ops).
+  ArtifactWriter(std::string out_dir, std::string bench,
+                 std::vector<std::string> formats, Shard shard = {});
+
+  [[nodiscard]] bool enabled() const { return !out_dir_.empty(); }
+  void add(const std::string& artifact, const Record& r);
+  /// Free-form side table (e.g. Fig. 15 timelines): CSV + a JSON document
+  /// with {"headers":[...],"rows":[[...]]}.
+  void add_table(const std::string& artifact,
+                 std::vector<std::string> headers,
+                 std::vector<std::vector<std::string>> rows);
+
+  /// Write every artifact file and the manifest; returns what was written
+  /// (empty when disabled).
+  std::vector<ArtifactFile> finish();
+
+ private:
+  std::string out_dir_;
+  std::string bench_;
+  std::vector<std::string> formats_;
+  Shard shard_;
+  std::vector<std::string> order_;  ///< artifact names in first-add order
+  std::map<std::string, std::vector<Record>> records_;
+  struct Table {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::map<std::string, Table> tables_;
+};
+
+// --- shard merge -----------------------------------------------------------
+
+/// Union per-run rows from any number of shard files, order them by
+/// (bench, artifact, spec_index, rep), and regenerate one aggregate row per
+/// spec by the same rep-order fold the unsharded run uses. Input aggregate
+/// rows are dropped (they are recomputed); duplicate (artifact, spec_index,
+/// rep) rows throw std::invalid_argument.
+std::vector<Record> merge_records(std::vector<Record> rows);
+
+}  // namespace bamboo::harness::report

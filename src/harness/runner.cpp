@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -87,11 +88,34 @@ void for_each_index(std::size_t n, unsigned threads, Fn&& fn) {
 
 }  // namespace
 
-double MetricSummary::ci95() const {
-  if (stats.count() < 2) return 0.0;
-  return 1.96 * stats.stddev() /
-         std::sqrt(static_cast<double>(stats.count()));
+std::string Shard::label() const {
+  if (!enabled()) return "";
+  return "shard" + std::to_string(index + 1) + "of" + std::to_string(count);
 }
+
+Shard Shard::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    throw std::invalid_argument("shard must be of the form i/n: " + text);
+  }
+  char* end = nullptr;
+  const unsigned long i = std::strtoul(text.c_str(), &end, 10);
+  if (end != text.c_str() + slash) {
+    throw std::invalid_argument("bad shard index in: " + text);
+  }
+  const char* count_start = text.c_str() + slash + 1;
+  const unsigned long n = std::strtoul(count_start, &end, 10);
+  if (*end != '\0') {
+    throw std::invalid_argument("bad shard count in: " + text);
+  }
+  if (n == 0 || i == 0 || i > n) {
+    throw std::invalid_argument("shard index must be in [1, n]: " + text);
+  }
+  return Shard{static_cast<std::uint32_t>(i - 1),
+               static_cast<std::uint32_t>(n)};
+}
+
+double MetricSummary::ci95() const { return stats.ci95(); }
 
 void Aggregate::add(const RunResult& r) {
   ++runs;
@@ -154,6 +178,49 @@ Aggregate ParallelRunner::run_repeated(const RunSpec& spec,
   agg.results = run(specs);
   for (const RunResult& r : agg.results) agg.add(r);
   return agg;
+}
+
+GridRun ParallelRunner::run_repeated_grid(const std::vector<RunSpec>& grid,
+                                          std::uint32_t reps, Shard shard) {
+  if (reps == 0) reps = 1;
+  GridRun out;
+  out.aggregates.resize(grid.size());
+
+  // This shard's slice of the flattened spec-major, rep-minor job list.
+  std::vector<RunSpec> owned_specs;
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    const std::uint64_t base_seed = grid[s].cfg.seed;
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      const std::size_t job = s * reps + r;
+      if (!shard.owns(job)) continue;
+      out.jobs.push_back(GridRun::Job{static_cast<std::uint32_t>(s), r, {}});
+      owned_specs.push_back(grid[s].with_seed(base_seed + r));
+    }
+  }
+
+  const std::vector<RunResult> results = run(owned_specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out.jobs[i].result = results[i];
+  }
+
+  // Fold per-spec aggregates in rep order; only specs whose whole rep set
+  // ran here get one (always true when sharding is disabled).
+  std::size_t i = 0;
+  while (i < out.jobs.size()) {
+    const std::uint32_t s = out.jobs[i].spec_index;
+    std::size_t end = i;
+    while (end < out.jobs.size() && out.jobs[end].spec_index == s) ++end;
+    if (end - i == reps) {
+      Aggregate agg;
+      for (std::size_t j = i; j < end; ++j) {
+        agg.results.push_back(out.jobs[j].result);
+        agg.add(out.jobs[j].result);
+      }
+      out.aggregates[s] = std::move(agg);
+    }
+    i = end;
+  }
+  return out;
 }
 
 std::vector<SweepPoint> sweep_closed_loop(

@@ -1,12 +1,36 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "util/stats.h"
 
 namespace bamboo::harness {
+
+/// One slice of a cross-process partition: shard index/count deterministically
+/// split a flattened (spec × repetition) job list so N processes on N
+/// machines each execute a disjoint subset, and the union over all shards is
+/// exactly the full list. Job j belongs to shard `j % count == index`, so the
+/// partition depends only on the grid, never on thread scheduling.
+struct Shard {
+  std::uint32_t index = 0;  ///< 0-based shard id, < count
+  std::uint32_t count = 1;  ///< total shards; 1 = sharding disabled
+
+  [[nodiscard]] bool enabled() const { return count > 1; }
+  [[nodiscard]] bool owns(std::size_t job) const {
+    return job % count == index;
+  }
+  /// Filename-friendly tag, e.g. "shard2of3"; empty when disabled.
+  [[nodiscard]] std::string label() const;
+  /// Parse the CLI form "i/n" with 1-based i in [1, n]; throws
+  /// std::invalid_argument on malformed or out-of-range input.
+  static Shard parse(const std::string& text);
+
+  bool operator==(const Shard&) const = default;
+};
 
 struct RunnerOptions {
   /// Worker threads. 0 = auto: the BAMBOO_THREADS environment variable if
@@ -46,6 +70,22 @@ struct Aggregate {
   void add(const RunResult& r);
 };
 
+/// Output of ParallelRunner::run_repeated_grid: the executed jobs (this
+/// shard's slice of the flattened spec × rep list) and per-spec aggregates.
+struct GridRun {
+  struct Job {
+    std::uint32_t spec_index = 0;
+    std::uint32_t rep = 0;  ///< repetition index; ran seed base_seed + rep
+    RunResult result;
+  };
+  /// Jobs this shard executed, ordered by flattened job index.
+  std::vector<Job> jobs;
+  /// aggregates[i] is the rep-order fold for grid[i]; disengaged when this
+  /// shard did not execute every rep of spec i (merge across shards with
+  /// bench_merge / report::merge_records).
+  std::vector<std::optional<Aggregate>> aggregates;
+};
+
 /// Fans independent RunSpecs across a pool of std::threads.
 ///
 /// Each spec is a self-contained, seed-deterministic simulation (one
@@ -78,6 +118,17 @@ class ParallelRunner {
   /// intervals. base_seed = 0 reuses the spec's own seed as the base.
   Aggregate run_repeated(const RunSpec& spec, std::uint32_t repetitions,
                          std::uint64_t base_seed = 0);
+
+  /// Multi-seed repetition across a whole grid, with optional cross-process
+  /// sharding. The flattened job list is spec-major, rep-minor (job
+  /// j = spec_index * reps + rep; rep r runs seed spec.cfg.seed + r); the
+  /// shard executes only the jobs it owns, all in one submission so every
+  /// series overlaps. Aggregates are folded per spec in rep order and
+  /// reported only for specs whose reps all ran in this shard — a sharded
+  /// process holds partial rep sets, which bench_merge recombines into
+  /// aggregates bit-identical to the unsharded run.
+  GridRun run_repeated_grid(const std::vector<RunSpec>& grid,
+                            std::uint32_t reps, Shard shard = {});
 
   /// Resolve a requested thread count: requested > 0 wins, then
   /// BAMBOO_THREADS, then hardware_concurrency(); never less than 1.

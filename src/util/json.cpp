@@ -254,6 +254,18 @@ void dump_string(const std::string& s, std::ostringstream& out) {
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
+std::string Json::number_to_string(double value) {
+  std::ostringstream out;
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    out << static_cast<std::int64_t>(value);
+  } else {
+    out.precision(17);
+    out << value;
+  }
+  return out.str();
+}
+
 const Json* Json::find(std::string_view key) const {
   if (!is_object()) return nullptr;
   const auto& obj = as_object();
@@ -288,15 +300,7 @@ std::string Json::dump() const {
     std::ostringstream& out;
     void operator()(std::nullptr_t) const { out << "null"; }
     void operator()(bool b) const { out << (b ? "true" : "false"); }
-    void operator()(double d) const {
-      if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
-          std::abs(d) < 1e15) {
-        out << static_cast<std::int64_t>(d);
-      } else {
-        out.precision(17);
-        out << d;
-      }
-    }
+    void operator()(double d) const { out << Json::number_to_string(d); }
     void operator()(const std::string& s) const { dump_string(s, out); }
     void operator()(const Json::Array& a) const {
       out << '[';

@@ -97,6 +97,12 @@ class Json {
   /// Serialize (compact; stable key order because Object is a std::map).
   [[nodiscard]] std::string dump() const;
 
+  /// The exact textual form dump() uses for numbers: integral values print
+  /// as integers, everything else at 17 significant digits (lossless
+  /// double round-trip). Shared with the CSV result emitter so both
+  /// formats serialize a double to identical bytes.
+  [[nodiscard]] static std::string number_to_string(double value);
+
  private:
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
 };

@@ -26,6 +26,11 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double RunningStats::ci95() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
 void RunningStats::clear() {
   count_ = 0;
   mean_ = m2_ = min_ = max_ = sum_ = 0.0;

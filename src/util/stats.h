@@ -15,6 +15,10 @@ class RunningStats {
   [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;
+  /// Half-width of the 95% confidence interval on the mean (normal
+  /// approximation, 1.96 σ/√n; 0 for fewer than two samples — treat as
+  /// indicative for small n).
+  [[nodiscard]] double ci95() const;
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# End-to-end check of the cluster-sharding pipeline: a 3-way --shard run of
+# one bench, merged by bench_merge, must be bit-identical (diff -r) to the
+# same bench run unsharded. Registered in ctest as smoke_shard_merge.
+#
+#   smoke_shard_merge.sh <bench-binary> <bench_merge-binary> <scratch-dir>
+set -euo pipefail
+
+bench="$1"
+merge="$2"
+dir="$3"
+
+rm -rf "$dir"
+mkdir -p "$dir"
+
+common=(--reps 3 --duration 0.2 --threads 2 --seed 5 --format csv,json)
+
+"$bench" "${common[@]}" --out "$dir/all" > /dev/null
+"$bench" "${common[@]}" --shard 1/3 --out "$dir/shards" > /dev/null
+"$bench" "${common[@]}" --shard 2/3 --out "$dir/shards" > /dev/null
+"$bench" "${common[@]}" --shard 3/3 --out "$dir/shards" > /dev/null
+"$merge" --out "$dir/merged" "$dir/shards" > /dev/null
+
+diff -r "$dir/all" "$dir/merged"
+echo "sharded merge is bit-identical to the unsharded run"

@@ -1,0 +1,324 @@
+// Tests for the harness::report subsystem: golden-file byte-for-byte checks
+// of the CSV and JSON emitters (fixtures under tests/golden/; regenerate
+// with BAMBOO_UPDATE_GOLDEN=1), lossless JSON round-trip, ArtifactWriter
+// directory layout + manifest, and the shard-merge fold.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "util/json.h"
+
+#ifndef BAMBOO_GOLDEN_DIR
+#define BAMBOO_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace bamboo {
+namespace {
+
+namespace fs = std::filesystem;
+using harness::report::Record;
+
+harness::RunSpec fixture_spec() {
+  harness::RunSpec spec;
+  spec.cfg.protocol = "hotstuff";
+  spec.cfg.n_replicas = 8;
+  spec.cfg.byz_no = 2;
+  spec.cfg.strategy = "forking";
+  spec.cfg.election = "roundrobin";
+  spec.cfg.bsize = 400;
+  spec.cfg.psize = 128;
+  spec.cfg.memsize = 200000;
+  spec.cfg.delay = sim::milliseconds(5);
+  spec.cfg.delay_jitter = sim::milliseconds(1);
+  spec.cfg.timeout = sim::milliseconds(100);
+  spec.cfg.seed = 42;
+  spec.workload.concurrency = 1024;
+  spec.workload.arrival_rate_tps = 1500.5;
+  spec.opts.warmup_s = 0.25;
+  spec.opts.measure_s = 1.5;
+  spec.offered = 1024;
+  return spec;
+}
+
+harness::RunResult fixture_result(int rep) {
+  harness::RunResult r;
+  const double shift = rep;
+  r.throughput_tps = 72123.125 + 100 * shift;
+  r.latency_ms_mean = 56.0625 + shift;
+  r.latency_ms_p50 = 54.5 + shift;
+  r.latency_ms_p99 = 91.75 + shift;
+  r.cgr_per_view = 0.875 + 0.01 * shift;
+  r.cgr_per_block = 0.9375;
+  r.block_interval = 3.25 - 0.125 * shift;
+  r.measured_s = 1.5;
+  r.latency_samples = 108000 + 10 * static_cast<std::uint64_t>(rep);
+  r.views = 270;
+  r.blocks_committed = 268;
+  r.blocks_received = 271;
+  r.blocks_forked = 3;
+  r.timeouts = 1;
+  r.rejected = 7;
+  r.net_bytes = 123456789 + static_cast<std::uint64_t>(rep);
+  r.consistent = true;
+  r.safety_violations = 0;
+  return r;
+}
+
+/// The fixed record set both golden fixtures serialize: three run rows plus
+/// the aggregate folded from them.
+std::vector<Record> fixture_records() {
+  const harness::RunSpec spec = fixture_spec();
+  std::vector<Record> records;
+  std::vector<harness::RunResult> results;
+  for (int rep = 0; rep < 3; ++rep) {
+    results.push_back(fixture_result(rep));
+    records.push_back(harness::report::make_run_record(
+        "fig12_scalability", "fig12_scalability", "HS", 4, spec,
+        static_cast<std::uint32_t>(rep), 3, results.back()));
+  }
+  records.push_back(harness::report::make_aggregate_record(
+      "fig12_scalability", "fig12_scalability", "HS", 4, spec, results));
+  return records;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path
+                  << " (regenerate with BAMBOO_UPDATE_GOLDEN=1)";
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+void check_golden(const std::string& name, const std::string& serialized) {
+  const fs::path path = fs::path(BAMBOO_GOLDEN_DIR) / name;
+  if (std::getenv("BAMBOO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << serialized;
+    GTEST_SKIP() << "updated " << path;
+  }
+  EXPECT_EQ(serialized, read_file(path))
+      << name << " drifted from the checked-in fixture; if the schema "
+      << "change is intentional, regenerate with BAMBOO_UPDATE_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// Golden files
+// ---------------------------------------------------------------------------
+
+TEST(ReportGolden, CsvEmitterMatchesFixtureByteForByte) {
+  harness::report::CsvSink sink;
+  for (const Record& r : fixture_records()) sink.add(r);
+  check_golden("report.csv", sink.serialize());
+}
+
+TEST(ReportGolden, JsonEmitterMatchesFixtureByteForByte) {
+  harness::report::JsonSink sink;
+  for (const Record& r : fixture_records()) sink.add(r);
+  check_golden("report.json", sink.serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Schema / round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ReportSchema, CsvRowHasOneCellPerColumn) {
+  const std::string row =
+      harness::report::csv_row(fixture_records().front());
+  // Fixture values contain no embedded commas, so counting is exact.
+  const std::size_t cells =
+      static_cast<std::size_t>(std::count(row.begin(), row.end(), ',')) + 1;
+  EXPECT_EQ(cells, harness::report::csv_columns().size());
+  EXPECT_EQ(harness::report::csv_header(),
+            [] {
+              std::string joined;
+              for (const auto& c : harness::report::csv_columns()) {
+                if (!joined.empty()) joined += ',';
+                joined += c;
+              }
+              return joined;
+            }());
+}
+
+TEST(ReportSchema, JsonRoundTripIsLossless) {
+  const std::vector<Record> records = fixture_records();
+  harness::report::JsonSink sink;
+  for (const Record& r : records) sink.add(r);
+  const auto reparsed =
+      harness::report::records_from_json_text(sink.serialize());
+  ASSERT_EQ(reparsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reparsed[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(ReportSchema, SingleRecordJsonRoundTrip) {
+  const Record original = fixture_records().back();  // the aggregate row
+  const util::Json j =
+      util::Json::parse(harness::report::to_json(original).dump());
+  EXPECT_EQ(harness::report::record_from_json(j), original);
+}
+
+TEST(ReportSchema, FullWidthSeedsRoundTripThroughJson) {
+  // Seeds above 2^53 are not exactly representable as doubles; the JSON
+  // emitter writes them as decimal strings so nothing is lost.
+  Record r = fixture_records().front();
+  r.prov.base_seed = 9007199254740993ull;  // 2^53 + 1
+  r.prov.seed = r.prov.base_seed + 1;
+  const util::Json j = util::Json::parse(harness::report::to_json(r).dump());
+  EXPECT_EQ(harness::report::record_from_json(j), r);
+}
+
+TEST(ReportSchema, AggregateRowCarriesCis) {
+  const Record agg = fixture_records().back();
+  EXPECT_EQ(agg.kind, "aggregate");
+  EXPECT_EQ(agg.reps, 3u);
+  EXPECT_GT(agg.ci.throughput_tps, 0.0);
+  EXPECT_GT(agg.ci.latency_ms_mean, 0.0);
+  EXPECT_EQ(agg.prov.seed, agg.prov.base_seed);
+  // Run rows carry the shifted per-rep seed.
+  const Record run1 = fixture_records()[1];
+  EXPECT_EQ(run1.prov.seed, run1.prov.base_seed + 1);
+  EXPECT_EQ(run1.ci, harness::report::CiSet{});
+}
+
+TEST(ReportSchema, CsvEscapesSeparatorsAndQuotes) {
+  Record r = fixture_records().front();
+  r.series = "odd,\"series\"";
+  const std::string row = harness::report::csv_row(r);
+  EXPECT_NE(row.find("\"odd,\"\"series\"\"\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactWriter
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("bamboo_report_test_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ArtifactWriter, WritesOneFilePerArtifactAndFormatPlusManifest) {
+  TempDir tmp;
+  harness::report::ArtifactWriter writer(tmp.path.string(), "fig12",
+                                         {"csv", "json"});
+  for (const Record& r : fixture_records()) writer.add("fig12", r);
+  writer.add_table("fig12.timeline", {"t_s", "ktx_s"},
+                   {{"0.0", "71.5"}, {"0.5", "72.0"}});
+  const auto files = writer.finish();
+
+  // 2 formats x 2 artifacts + manifest.
+  ASSERT_EQ(files.size(), 5u);
+  EXPECT_TRUE(fs::exists(tmp.path / "fig12.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "fig12.json"));
+  EXPECT_TRUE(fs::exists(tmp.path / "fig12.timeline.csv"));
+  EXPECT_TRUE(fs::exists(tmp.path / "fig12.timeline.json"));
+  EXPECT_TRUE(fs::exists(tmp.path / "manifest.json"));
+
+  const util::Json manifest =
+      util::Json::parse(read_file(tmp.path / "manifest.json"));
+  EXPECT_EQ(manifest.get_string("bench", ""), "fig12");
+  const util::Json* artifacts = manifest.find("artifacts");
+  ASSERT_NE(artifacts, nullptr);
+  ASSERT_EQ(artifacts->as_array().size(), 2u);
+  EXPECT_EQ(artifacts->as_array()[0].get_string("name", ""), "fig12");
+
+  // Records re-read from disk are the records that were written.
+  const auto reparsed = harness::report::records_from_json_text(
+      read_file(tmp.path / "fig12.json"));
+  EXPECT_EQ(reparsed, fixture_records());
+}
+
+TEST(ArtifactWriter, ShardTagsEveryFilename) {
+  TempDir tmp;
+  harness::report::ArtifactWriter writer(tmp.path.string(), "fig12",
+                                         {"json"}, harness::Shard{1, 3});
+  writer.add("fig12", fixture_records().front());
+  writer.finish();
+  EXPECT_TRUE(fs::exists(tmp.path / "fig12.shard2of3.json"));
+  EXPECT_TRUE(fs::exists(tmp.path / "manifest.shard2of3.json"));
+  EXPECT_FALSE(fs::exists(tmp.path / "fig12.json"));
+}
+
+TEST(ArtifactWriter, DisabledWriterIsANoOp) {
+  harness::report::ArtifactWriter writer("", "fig12", {"csv", "json"});
+  EXPECT_FALSE(writer.enabled());
+  writer.add("fig12", fixture_records().front());
+  EXPECT_TRUE(writer.finish().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shard merge
+// ---------------------------------------------------------------------------
+
+TEST(MergeRecords, RegeneratesExactlyTheUnshardedRows) {
+  // Unsharded emission: per spec, run rows then the aggregate row.
+  const harness::RunSpec spec = fixture_spec();
+  std::vector<Record> unsharded;
+  std::vector<Record> shards[3];
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    std::vector<harness::RunResult> results;
+    for (std::uint32_t rep = 0; rep < 3; ++rep) {
+      results.push_back(fixture_result(static_cast<int>(s * 3 + rep)));
+      const Record run = harness::report::make_run_record(
+          "fig12", "fig12", "HS", s, spec, rep, 3, results.back());
+      unsharded.push_back(run);
+      // Deal job s*3+rep to shard (job % 3), like run_repeated_grid.
+      shards[(s * 3 + rep) % 3].push_back(run);
+    }
+    unsharded.push_back(harness::report::make_aggregate_record(
+        "fig12", "fig12", "HS", s, spec, results));
+  }
+
+  // Union the shard files in arbitrary order; merge must reorder and
+  // regenerate the aggregates bit-for-bit.
+  std::vector<Record> rows;
+  for (int i = 2; i >= 0; --i) {
+    rows.insert(rows.end(), shards[i].begin(), shards[i].end());
+  }
+  const std::vector<Record> merged = harness::report::merge_records(rows);
+  ASSERT_EQ(merged.size(), unsharded.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i], unsharded[i]) << "row " << i;
+  }
+}
+
+TEST(MergeRecords, DropsStaleAggregateRowsAndRefolds) {
+  std::vector<Record> rows = fixture_records();  // 3 runs + 1 aggregate
+  Record stale = rows.back();
+  stale.result.throughput_tps = -1;  // lies; must be recomputed, not copied
+  rows.back() = stale;
+  const auto merged = harness::report::merge_records(rows);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.back(), fixture_records().back());
+}
+
+TEST(MergeRecords, ThrowsOnDuplicateRep) {
+  std::vector<Record> rows = fixture_records();
+  rows.push_back(rows.front());
+  EXPECT_THROW(harness::report::merge_records(rows), std::invalid_argument);
+}
+
+TEST(MergeRecords, ThrowsOnMissingRep) {
+  std::vector<Record> rows = fixture_records();
+  rows.erase(rows.begin() + 1);  // drop rep 1 of 3
+  EXPECT_THROW(harness::report::merge_records(rows), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -1,15 +1,20 @@
 // Tests for the parallel experiment engine: RunSpec/execute determinism,
 // ParallelRunner thread-count invariance (a T-thread sweep must be
-// bit-identical to the sequential one), multi-seed aggregation, and the
-// runner-based sweep overloads.
+// bit-identical to the sequential one), multi-seed aggregation, the
+// runner-based sweep overloads, and cross-process sharding (partition
+// property + shard-merge bit-identity with single-process run_repeated).
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <utility>
 
 #include "client/workload.h"
 #include "harness/experiment.h"
 #include "harness/runner.h"
+#include "util/rng.h"
 
 namespace bamboo {
 namespace {
@@ -197,6 +202,111 @@ TEST(Aggregate, IndependentOfThreadCount) {
   EXPECT_EQ(a.results, b.results);
   EXPECT_DOUBLE_EQ(a.throughput_tps.mean(), b.throughput_tps.mean());
   EXPECT_DOUBLE_EQ(a.latency_ms_mean.ci95(), b.latency_ms_mean.ci95());
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+TEST(Shard, ParseAcceptsOneBasedIOverN) {
+  const auto s = harness::Shard::parse("2/3");
+  EXPECT_EQ(s.index, 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_TRUE(s.enabled());
+  EXPECT_EQ(s.label(), "shard2of3");
+  const auto whole = harness::Shard::parse("1/1");
+  EXPECT_FALSE(whole.enabled());
+  EXPECT_EQ(whole.label(), "");
+}
+
+TEST(Shard, ParseRejectsMalformedInput) {
+  EXPECT_THROW(harness::Shard::parse("3"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("0/3"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("4/3"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("1/0"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("a/b"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("1/"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("/3"), std::invalid_argument);
+  EXPECT_THROW(harness::Shard::parse("1x/3"), std::invalid_argument);
+}
+
+TEST(Shard, PartitionCoversEveryJobExactlyOnce) {
+  // Property: for random grid sizes and every n in 1..8, the union of the
+  // n shard slices is the full flattened job list with no overlap.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto jobs = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    for (std::uint32_t n = 1; n <= 8; ++n) {
+      std::vector<int> owners(jobs, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const harness::Shard shard{i, n};
+        for (std::size_t j = 0; j < jobs; ++j) {
+          if (shard.owns(j)) ++owners[j];
+        }
+      }
+      for (std::size_t j = 0; j < jobs; ++j) {
+        ASSERT_EQ(owners[j], 1)
+            << "job " << j << " of " << jobs << " with n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RunRepeatedGrid, UnshardedMatchesRunRepeatedBitForBit) {
+  std::vector<harness::RunSpec> grid = {small_spec(7), small_spec(21)};
+  grid[1].cfg.protocol = "2chs";
+  harness::ParallelRunner runner(4);
+  const auto grid_run = runner.run_repeated_grid(grid, 3);
+
+  ASSERT_EQ(grid_run.jobs.size(), 6u);
+  ASSERT_EQ(grid_run.aggregates.size(), 2u);
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    ASSERT_TRUE(grid_run.aggregates[s]);
+    const auto reference = runner.run_repeated(grid[s], 3);
+    EXPECT_EQ(grid_run.aggregates[s]->results, reference.results);
+    EXPECT_EQ(grid_run.aggregates[s]->throughput_tps.mean(),
+              reference.throughput_tps.mean());
+    EXPECT_EQ(grid_run.aggregates[s]->latency_ms_mean.ci95(),
+              reference.latency_ms_mean.ci95());
+  }
+}
+
+TEST(RunRepeatedGrid, ShardUnionIsTheFullGridAndMergesBitForBit) {
+  std::vector<harness::RunSpec> grid = {small_spec(7), small_spec(21),
+                                        small_spec(35)};
+  grid[1].workload.concurrency = 16;
+  const std::uint32_t reps = 2;
+  harness::ParallelRunner runner(2);
+
+  // Union this shard count's slices: every (spec, rep) exactly once.
+  const std::uint32_t n = 3;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, harness::RunResult> jobs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto shard_run =
+        runner.run_repeated_grid(grid, reps, harness::Shard{i, n});
+    for (const auto& job : shard_run.jobs) {
+      const auto key = std::make_pair(job.spec_index, job.rep);
+      ASSERT_EQ(jobs.count(key), 0u) << "overlapping shards";
+      jobs.emplace(key, job.result);
+    }
+  }
+  ASSERT_EQ(jobs.size(), grid.size() * reps);
+
+  // Refold each spec's reps in rep order: bit-identical to the
+  // single-process run_repeated under the same seeds.
+  for (std::uint32_t s = 0; s < grid.size(); ++s) {
+    harness::Aggregate merged;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      merged.add(jobs.at({s, rep}));
+      merged.results.push_back(jobs.at({s, rep}));
+    }
+    const auto reference = runner.run_repeated(grid[s], reps);
+    EXPECT_EQ(merged.results, reference.results);
+    EXPECT_EQ(merged.throughput_tps.mean(), reference.throughput_tps.mean());
+    EXPECT_EQ(merged.throughput_tps.ci95(), reference.throughput_tps.ci95());
+    EXPECT_EQ(merged.latency_ms_p99.mean(), reference.latency_ms_p99.mean());
+    EXPECT_EQ(merged.block_interval.ci95(), reference.block_interval.ci95());
+  }
 }
 
 TEST(Aggregate, Ci95ShrinksWithMoreRuns) {

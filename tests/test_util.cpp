@@ -119,6 +119,90 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStats, KnownValuesSmallSample) {
+  // {1, 2, 3, 4}: mean 2.5, sample variance 5/3, ci95 = 1.96 σ/√4.
+  util::RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(s.ci95(), 1.96 * std::sqrt(5.0 / 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, Ci95NeedsTwoSamples) {
+  util::RunningStats s;
+  s.add(7.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+  s.add(9.0);
+  // Two samples: σ = √2, ci = 1.96 √2 / √2 = 1.96.
+  EXPECT_DOUBLE_EQ(s.ci95(), 1.96);
+}
+
+TEST(RunningStats, MergeKnownValues) {
+  // {1,2} ⊕ {3,4,5} must equal the one-pass stats of {1..5}:
+  // count 5, mean 3, sample variance 2.5, min 1, max 5, sum 15.
+  util::RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  util::RunningStats b;
+  b.add(3.0);
+  b.add(4.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.ci95(), 1.96 * std::sqrt(2.5) / std::sqrt(5.0));
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  util::RunningStats s;
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  const double mean = s.mean();
+  const double var = s.variance();
+
+  util::RunningStats empty;
+  s.merge(empty);  // rhs empty: unchanged
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_DOUBLE_EQ(s.variance(), var);
+
+  util::RunningStats target;  // lhs empty: adopts rhs wholesale
+  target.merge(s);
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_DOUBLE_EQ(target.variance(), var);
+  EXPECT_DOUBLE_EQ(target.min(), 2.0);
+  EXPECT_DOUBLE_EQ(target.max(), 6.0);
+}
+
+TEST(RunningStats, MergeIsAssociativeToFloatingPointTolerance) {
+  util::Rng rng(31);
+  util::RunningStats a, b, c;
+  for (int i = 0; i < 100; ++i) a.add(rng.gaussian(10, 3));
+  for (int i = 0; i < 57; ++i) b.add(rng.gaussian(-4, 1));
+  for (int i = 0; i < 23; ++i) c.add(rng.exponential(0.5));
+
+  util::RunningStats left = a;  // (a ⊕ b) ⊕ c
+  left.merge(b);
+  left.merge(c);
+  util::RunningStats bc = b;  // a ⊕ (b ⊕ c)
+  bc.merge(c);
+  util::RunningStats right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
 }
 
 TEST(Samples, ExactPercentiles) {
