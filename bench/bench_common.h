@@ -253,7 +253,11 @@ class Reporter {
   }
 
   /// Single-seed execute_full for timeline benches, sharded per spec;
-  /// persists one run + one (1-rep) aggregate row per owned spec.
+  /// persists one run + one (1-rep) aggregate row per owned spec, plus —
+  /// when the spec captured a timeline — one "timeline" record per bucket
+  /// under the `<artifact>_timeline` artifact. Timeline records survive
+  /// bench_merge (unlike free-form side tables), so a sharded timeline
+  /// bench merges bit-identically to the unsharded run.
   std::vector<std::optional<harness::RunOutput>> run_full(
       const std::string& artifact, const std::vector<harness::RunSpec>& grid,
       const std::function<std::string(std::size_t)>& series_of) {
@@ -277,6 +281,14 @@ class Reporter {
         writer_.add(artifact, harness::report::make_aggregate_record(
                                   bench_, artifact, label, idx, grid[s],
                                   {outputs[k].result}));
+        if (!outputs[k].tx_per_s.empty()) {
+          const std::string timeline_artifact = artifact + "_timeline";
+          for (auto& rec : harness::report::make_timeline_records(
+                   bench_, timeline_artifact, label, idx, grid[s],
+                   outputs[k])) {
+            writer_.add(timeline_artifact, rec);
+          }
+        }
       }
       out[s] = outputs[k];
     }

@@ -47,6 +47,11 @@ int main(int argc, char** argv) {
       cfg.delay_jitter = d.jitter;
       cfg.memsize = 200000;
       cfg.seed = bench::seed_or(args, 11);
+      // The added delay flows through the LinkModel subsystem's default
+      // normal/uniform scenario, whose schedule is bit-identical to the
+      // pre-LinkModel transport (pinned by tests/test_link_model.cpp).
+      cfg.link_model = "normal";
+      cfg.topology = "uniform";
       client::WorkloadConfig wl;
       const std::string label =
           std::string(bench::short_name(protocol)) + "-" + d.tag;

@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
       cfg.timeout = setting.timeout;
       cfg.propose_wait_after_vc = setting.propose_wait;
       cfg.seed = bench::seed_or(args, 15);
+      // Baseline network through the LinkModel subsystem: the default
+      // normal/uniform pair is bit-compatible with the original transport,
+      // and the mid-run fluctuation is injected on top of whatever link
+      // model the scenario configures.
+      cfg.link_model = "normal";
+      cfg.topology = "uniform";
 
       client::WorkloadConfig wl;
       wl.mode = client::LoadMode::kOpenLoop;
@@ -92,7 +98,6 @@ int main(int argc, char** argv) {
         buckets = std::max(buckets, outputs[base + p]->tx_per_s.size());
       }
     }
-    std::vector<std::vector<std::string>> timeline_rows;
     for (std::size_t i = 0; i < buckets; ++i) {
       std::vector<std::string> row;
       row.push_back(harness::TextTable::num(i * bucket, 1));
@@ -105,17 +110,12 @@ int main(int argc, char** argv) {
         row.push_back(harness::TextTable::num(
             (i < s.size() ? s[i] : 0.0) / 1e3, 1));
       }
-      timeline_rows.push_back(row);
       table.add_row(std::move(row));
     }
-    // A shard holds only some protocols' timelines and bench_merge does not
-    // merge side tables, so persist them only when the run is complete.
-    if (!reporter.sharded()) {
-      reporter.add_table(
-          std::string("fig15_responsiveness.timeline.") + setting.tag,
-          {"t_s", "hs_ktx_s", "2chs_ktx_s", "sl_ktx_s"},
-          std::move(timeline_rows));
-    }
+    // Timelines persist as per-bucket "timeline" Records (artifact
+    // fig15_responsiveness_timeline) via Reporter::run_full — flat rows
+    // that bench_merge recombines bit-identically, replacing the side
+    // tables sharded runs used to skip.
     std::cout << "--- setting " << setting.tag << " (timeout "
               << sim::to_milliseconds(setting.timeout) << " ms, wait "
               << sim::to_milliseconds(setting.propose_wait)

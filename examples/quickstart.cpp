@@ -4,9 +4,12 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [protocol]
+//   ./build/examples/quickstart [protocol] [topology] [link_model]
 // where protocol is one of: hotstuff (default), 2chs, streamlet,
-// fasthotstuff.
+// fasthotstuff; topology is a WAN scenario spec (e.g. "wan:3:40",
+// "slow-leader:20"); link_model is normal | uniform | lognormal | pareto.
+// Try:
+//   ./build/examples/quickstart hotstuff wan:3:40 pareto
 
 #include <iostream>
 #include <string>
@@ -23,6 +26,10 @@ int main(int argc, char** argv) {
   cfg.n_replicas = 4;
   cfg.bsize = 400;
   cfg.seed = 2021;
+  if (argc > 2) cfg.topology = argv[2];
+  if (argc > 3) cfg.link_model = argv[3];
+  // WAN scenarios add tens of ms per hop; keep view timers clear of it.
+  if (cfg.topology != "uniform") cfg.timeout = sim::milliseconds(300);
 
   client::WorkloadConfig wl;
   wl.mode = client::LoadMode::kClosedLoop;
@@ -33,6 +40,8 @@ int main(int argc, char** argv) {
   opts.measure_s = 1.0;
 
   std::cout << "protocol   : " << cfg.protocol << "\n"
+            << "network    : " << cfg.topology << " / " << cfg.link_model
+            << " links\n"
             << "replicas   : " << cfg.n_replicas << " (quorum "
             << cfg.quorum() << ")\n"
             << "block size : " << cfg.bsize << " txns\n"

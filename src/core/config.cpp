@@ -32,7 +32,11 @@ void Config::validate() const {
   if (timeout <= 0) throw std::invalid_argument("timeout must be positive");
   if (n_client_hosts == 0)
     throw std::invalid_argument("need at least one client host");
+  if (link_loss < 0 || link_loss >= 1)
+    throw std::invalid_argument("link_loss must be in [0, 1)");
   (void)parse_strategy(strategy);  // throws on unknown strategy
+  // link_model / topology strings are validated where they are consumed
+  // (net::parse_delay_family / net::make_topology at cluster construction).
 }
 
 Config Config::from_json(const util::Json& j) {
@@ -65,6 +69,10 @@ Config Config::from_json(const util::Json& j) {
   c.timeout_backoff = j.get_number("timeout_backoff", c.timeout_backoff);
   c.seed = static_cast<std::uint64_t>(j.get_int("seed", static_cast<std::int64_t>(c.seed)));
   c.bandwidth_bps = j.get_number("bandwidth_bps", c.bandwidth_bps);
+  c.link_model = j.get_string("link_model", c.link_model);
+  c.link_shape = j.get_number("link_shape", c.link_shape);
+  c.link_loss = j.get_number("link_loss", c.link_loss);
+  c.topology = j.get_string("topology", c.topology);
   c.rtt_mean = sim::from_milliseconds(
       j.get_number("rtt_ms", sim::to_milliseconds(c.rtt_mean)));
   c.rtt_stddev = sim::from_milliseconds(j.get_number(
@@ -97,6 +105,10 @@ util::Json Config::to_json() const {
   o.emplace("protocol", util::Json(protocol));
   o.emplace("seed", util::Json(static_cast<std::int64_t>(seed)));
   o.emplace("bandwidth_bps", util::Json(bandwidth_bps));
+  o.emplace("link_model", util::Json(link_model));
+  o.emplace("link_shape", util::Json(link_shape));
+  o.emplace("link_loss", util::Json(link_loss));
+  o.emplace("topology", util::Json(topology));
   o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
   return util::Json(std::move(o));
 }

@@ -62,6 +62,21 @@ struct Config {
   sim::Duration rtt_mean = sim::milliseconds(1);      ///< µ
   sim::Duration rtt_stddev = sim::microseconds(100);  ///< σ
   sim::Duration min_one_way_delay = sim::microseconds(20);
+
+  // --- WAN scenario engine (net/link_model.h, net/topology.h) -------------
+  // String-keyed + scalar so report provenance / CSV schemas stay flat.
+  /// Per-link delay distribution family: "normal" (default; bit-compatible
+  /// with the original transport), "uniform", "lognormal", "pareto".
+  std::string link_model = "normal";
+  /// Family shape parameter: lognormal log-σ / pareto tail index α /
+  /// uniform half-width as a fraction of the mean. 0 = family default.
+  double link_shape = 0;
+  /// Independent per-message loss probability in [0, 1) on every link.
+  double link_loss = 0;
+  /// Named topology scenario generating the per-link matrix: "uniform",
+  /// "wan:<regions>:<rtt_ms>[,...]", "slow-replica:<id>:<extra_ms>",
+  /// "slow-leader:<extra_ms>[:<id>]" (see net/topology.h).
+  std::string topology = "uniform";
   sim::Duration cpu_sign = sim::microseconds(50);     ///< secp256k1 sign
   sim::Duration cpu_verify = sim::microseconds(80);   ///< secp256k1 verify
   /// Per-transaction server-side request handling (HTTP parse, mempool

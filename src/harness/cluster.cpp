@@ -28,6 +28,11 @@ net::NetConfig net_config_of(const core::Config& cfg) {
   nc.added_delay = cfg.delay;
   nc.added_delay_jitter = cfg.delay_jitter;
   nc.min_one_way = cfg.min_one_way_delay;
+  nc.link_model = cfg.link_model;
+  nc.link_shape = cfg.link_shape;
+  nc.link_loss = cfg.link_loss;
+  nc.topology = cfg.topology;
+  nc.n_replicas = cfg.n_replicas;
   return nc;
 }
 

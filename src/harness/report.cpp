@@ -136,6 +136,10 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
   p.delay_ms = sim::to_milliseconds(spec.cfg.delay);
   p.delay_jitter_ms = sim::to_milliseconds(spec.cfg.delay_jitter);
   p.timeout_ms = sim::to_milliseconds(spec.cfg.timeout);
+  p.link_model = spec.cfg.link_model;
+  p.link_shape = spec.cfg.link_shape;
+  p.link_loss = spec.cfg.link_loss;
+  p.topology = spec.cfg.topology;
   p.mode =
       spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
   p.concurrency = spec.workload.concurrency;
@@ -174,13 +178,42 @@ Record make_aggregate_record(const std::string& bench,
                         provenance_of(spec, 0), results);
 }
 
+std::vector<Record> make_timeline_records(const std::string& bench,
+                                          const std::string& artifact,
+                                          const std::string& series,
+                                          std::uint32_t spec_index,
+                                          const RunSpec& spec,
+                                          const RunOutput& out) {
+  std::vector<Record> records;
+  records.reserve(out.tx_per_s.size());
+  const Provenance prov = provenance_of(spec, 0);
+  for (std::size_t i = 0; i < out.tx_per_s.size(); ++i) {
+    Record rec;
+    rec.bench = bench;
+    rec.artifact = artifact;
+    rec.series = series;
+    rec.kind = "timeline";
+    rec.spec_index = spec_index;
+    rec.rep = static_cast<std::uint32_t>(i);  // bucket index
+    rec.reps = 1;
+    rec.prov = prov;
+    rec.prov.offered =
+        i < out.bucket_start_s.size() ? out.bucket_start_s[i] : 0.0;
+    rec.result.throughput_tps = out.tx_per_s[i];
+    rec.result.measured_s = spec.timeline_bucket_s;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
 // --- serialization ---------------------------------------------------------
 
 const std::vector<std::string>& csv_columns() {
   static const std::vector<std::string> columns = {
       "bench", "artifact", "series", "kind", "spec_index", "rep", "reps",
       "protocol", "n_replicas", "byz_no", "strategy", "election", "bsize",
-      "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms", "mode",
+      "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms",
+      "link_model", "link_shape", "link_loss", "topology", "mode",
       "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
       "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
       "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
@@ -222,6 +255,10 @@ std::string csv_row(const Record& r) {
       num(r.prov.delay_ms),
       num(r.prov.delay_jitter_ms),
       num(r.prov.timeout_ms),
+      csv_escape(r.prov.link_model),
+      num(r.prov.link_shape),
+      num(r.prov.link_loss),
+      csv_escape(r.prov.topology),
       csv_escape(r.prov.mode),
       std::to_string(r.prov.concurrency),
       num(r.prov.arrival_rate_tps),
@@ -284,6 +321,10 @@ util::Json to_json(const Record& r) {
   o.emplace("delay_ms", util::Json(r.prov.delay_ms));
   o.emplace("delay_jitter_ms", util::Json(r.prov.delay_jitter_ms));
   o.emplace("timeout_ms", util::Json(r.prov.timeout_ms));
+  o.emplace("link_model", util::Json(r.prov.link_model));
+  o.emplace("link_shape", util::Json(r.prov.link_shape));
+  o.emplace("link_loss", util::Json(r.prov.link_loss));
+  o.emplace("topology", util::Json(r.prov.topology));
   o.emplace("mode", util::Json(r.prov.mode));
   o.emplace("concurrency",
             util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
@@ -355,6 +396,10 @@ Record record_from_json(const util::Json& j) {
   r.prov.delay_ms = j.get_number("delay_ms", 0);
   r.prov.delay_jitter_ms = j.get_number("delay_jitter_ms", 0);
   r.prov.timeout_ms = j.get_number("timeout_ms", 0);
+  r.prov.link_model = j.get_string("link_model", "normal");
+  r.prov.link_shape = j.get_number("link_shape", 0);
+  r.prov.link_loss = j.get_number("link_loss", 0);
+  r.prov.topology = j.get_string("topology", "uniform");
   r.prov.mode = j.get_string("mode", "closed");
   r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
   r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);
@@ -577,21 +622,42 @@ std::vector<ArtifactFile> ArtifactWriter::finish() {
 // --- shard merge -----------------------------------------------------------
 
 std::vector<Record> merge_records(std::vector<Record> rows) {
-  std::erase_if(rows, [](const Record& r) { return r.kind != "run"; });
+  // Aggregates are regenerated from the run rows; run and timeline rows
+  // are the durable per-shard data.
+  std::erase_if(rows, [](const Record& r) {
+    return r.kind != "run" && r.kind != "timeline";
+  });
   std::sort(rows.begin(), rows.end(), [](const Record& a, const Record& b) {
-    return std::tie(a.bench, a.artifact, a.spec_index, a.rep) <
-           std::tie(b.bench, b.artifact, b.spec_index, b.rep);
+    return std::tie(a.bench, a.artifact, a.spec_index, a.kind, a.rep) <
+           std::tie(b.bench, b.artifact, b.spec_index, b.kind, b.rep);
   });
 
   std::vector<Record> out;
   std::size_t i = 0;
   while (i < rows.size()) {
-    // One (bench, artifact, spec_index) group = one spec's rep set.
+    // One (bench, artifact, spec_index, kind) group = one spec's rep set
+    // (kind "run") or one spec's timeline buckets (kind "timeline").
     std::size_t end = i;
     while (end < rows.size() && rows[end].bench == rows[i].bench &&
            rows[end].artifact == rows[i].artifact &&
-           rows[end].spec_index == rows[i].spec_index) {
+           rows[end].spec_index == rows[i].spec_index &&
+           rows[end].kind == rows[i].kind) {
       ++end;
+    }
+    if (rows[i].kind == "timeline") {
+      // A spec's timeline comes wholly from the shard that ran it; a
+      // duplicate bucket means the same shard file was merged twice.
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (rows[j].rep == rows[j - 1].rep) {
+          throw std::invalid_argument(
+              "duplicate timeline bucket " + std::to_string(rows[j].rep) +
+              " for spec " + std::to_string(rows[j].spec_index) + " of " +
+              rows[j].artifact);
+        }
+      }
+      for (std::size_t j = i; j < end; ++j) out.push_back(std::move(rows[j]));
+      i = end;
+      continue;
     }
     std::vector<RunResult> results;
     for (std::size_t j = i; j < end; ++j) {

@@ -38,6 +38,11 @@ struct Provenance {
   double delay_ms = 0;
   double delay_jitter_ms = 0;
   double timeout_ms = 0;
+  // WAN scenario engine provenance (string-keyed, flat).
+  std::string link_model = "normal";
+  double link_shape = 0;
+  double link_loss = 0;
+  std::string topology = "uniform";
   std::string mode;  ///< "closed" | "open"
   std::uint32_t concurrency = 0;
   double arrival_rate_tps = 0;
@@ -69,7 +74,12 @@ struct CiSet {
 /// One emitted row. kind == "run" carries a single seed's RunResult; kind ==
 /// "aggregate" carries rep-order means in `result` (counters rounded to the
 /// nearest integer, safety_violations summed, consistent = all consistent)
-/// and the CI half-widths in `ci`.
+/// and the CI half-widths in `ci`. kind == "timeline" carries one
+/// throughput bucket of a timeline-enabled run (Fig. 15): rep is the
+/// bucket index, prov.offered the bucket start in seconds,
+/// result.throughput_tps the committed-tx rate inside the bucket, and
+/// result.measured_s the bucket width — flat rows that survive the shard
+/// merge, unlike the free-form side tables they replace.
 struct Record {
   std::string bench;     ///< bench id, e.g. "fig12_scalability"
   std::string artifact;  ///< figure/table name; keys the artifact file
@@ -99,6 +109,17 @@ Record make_aggregate_record(const std::string& bench,
                              const std::string& series,
                              std::uint32_t spec_index, const RunSpec& spec,
                              const std::vector<RunResult>& results);
+
+/// One kind == "timeline" row per throughput bucket of `out` (empty when
+/// the run captured no timeline). Persisting buckets as records — instead
+/// of a free-form side table — lets sharded runs carry their timelines
+/// through bench_merge bit-identically.
+std::vector<Record> make_timeline_records(const std::string& bench,
+                                          const std::string& artifact,
+                                          const std::string& series,
+                                          std::uint32_t spec_index,
+                                          const RunSpec& spec,
+                                          const RunOutput& out);
 
 // --- serialization ---------------------------------------------------------
 
@@ -196,7 +217,8 @@ class ArtifactWriter {
 
 /// Union per-run rows from any number of shard files, order them by
 /// (bench, artifact, spec_index, rep), and regenerate one aggregate row per
-/// spec by the same rep-order fold the unsharded run uses. Input aggregate
+/// spec by the same rep-order fold the unsharded run uses. Timeline rows
+/// pass through in (artifact, spec_index, bucket) order. Input aggregate
 /// rows are dropped (they are recomputed); duplicate (artifact, spec_index,
 /// rep) rows throw std::invalid_argument.
 std::vector<Record> merge_records(std::vector<Record> rows);

@@ -44,8 +44,8 @@ struct MetricSummary {
 
   [[nodiscard]] double mean() const { return stats.mean(); }
   [[nodiscard]] double stddev() const { return stats.stddev(); }
-  /// Half-width of the 95% confidence interval on the mean (normal
-  /// approximation, 1.96 σ/√n; treat as indicative for small n).
+  /// Half-width of the 95% confidence interval on the mean (Student-t
+  /// critical values, exact at the small rep counts benches use).
   [[nodiscard]] double ci95() const;
 };
 

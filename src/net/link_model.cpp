@@ -1,0 +1,120 @@
+#include "net/link_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bamboo::net {
+
+DelayFamily parse_delay_family(const std::string& name) {
+  if (name == "normal" || name.empty()) return DelayFamily::kNormal;
+  if (name == "uniform") return DelayFamily::kUniform;
+  if (name == "lognormal") return DelayFamily::kLogNormal;
+  if (name == "pareto") return DelayFamily::kPareto;
+  throw std::invalid_argument("unknown link delay model: " + name);
+}
+
+const char* delay_family_name(DelayFamily family) {
+  switch (family) {
+    case DelayFamily::kNormal: return "normal";
+    case DelayFamily::kUniform: return "uniform";
+    case DelayFamily::kLogNormal: return "lognormal";
+    case DelayFamily::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& delay_family_names() {
+  static const std::vector<std::string> names = {"normal", "uniform",
+                                                 "lognormal", "pareto"};
+  return names;
+}
+
+void shift_link(LinkSpec& link, double extra_ns) {
+  link.base += extra_ns;
+  if (link.family == DelayFamily::kUniform) link.spread += extra_ns;
+}
+
+namespace {
+
+double lognormal_sigma(const LinkSpec& link) {
+  return link.shape > 0 ? link.shape : kDefaultLogNormalSigma;
+}
+
+double pareto_alpha(const LinkSpec& link) {
+  return link.shape > 1 ? link.shape : kDefaultParetoAlpha;
+}
+
+}  // namespace
+
+sim::Duration sample_delay(const LinkSpec& link, util::Rng& rng) {
+  sim::Duration delay = 0;
+  switch (link.family) {
+    case DelayFamily::kNormal:
+      delay = static_cast<sim::Duration>(rng.gaussian(link.base, link.spread));
+      break;
+    case DelayFamily::kUniform:
+      delay = static_cast<sim::Duration>(rng.uniform(link.base, link.spread));
+      break;
+    case DelayFamily::kLogNormal: {
+      // Location chosen so the distribution's mean is `base`:
+      // E = exp(µ + σ²/2)  ⇒  µ = ln(base) − σ²/2.
+      const double sigma = lognormal_sigma(link);
+      const double mean = link.base > 1.0 ? link.base : 1.0;
+      const double mu = std::log(mean) - sigma * sigma / 2.0;
+      delay = static_cast<sim::Duration>(std::exp(rng.gaussian(mu, sigma)));
+      break;
+    }
+    case DelayFamily::kPareto: {
+      // Scale x_m chosen so the mean is `base`: E = αx_m/(α−1).
+      const double alpha = pareto_alpha(link);
+      const double mean = link.base > 1.0 ? link.base : 1.0;
+      const double xm = mean * (alpha - 1.0) / alpha;
+      // Inverse CDF over u ∈ [0, 1): x_m (1 − u)^(−1/α).
+      delay = static_cast<sim::Duration>(
+          xm * std::pow(1.0 - rng.uniform(), -1.0 / alpha));
+      break;
+    }
+  }
+  if (link.add_mean > 0 || link.add_jitter > 0) {
+    delay += static_cast<sim::Duration>(
+        rng.gaussian(link.add_mean, link.add_jitter));
+  }
+  return delay;
+}
+
+double link_mean_ns(const LinkSpec& link) {
+  double mean = 0;
+  switch (link.family) {
+    case DelayFamily::kNormal:
+    case DelayFamily::kLogNormal:
+    case DelayFamily::kPareto:
+      mean = link.base;
+      break;
+    case DelayFamily::kUniform:
+      mean = (link.base + link.spread) / 2.0;
+      break;
+  }
+  return mean + link.add_mean;
+}
+
+LinkMatrix::LinkMatrix(std::uint32_t n, const LinkSpec& fill)
+    : n_(n), links_(static_cast<std::size_t>(n) * n, fill) {}
+
+LinkSpec& LinkMatrix::at(types::NodeId from, types::NodeId to) {
+  return links_.at(static_cast<std::size_t>(from) * n_ + to);
+}
+
+const LinkSpec& LinkMatrix::at(types::NodeId from, types::NodeId to) const {
+  return links_.at(static_cast<std::size_t>(from) * n_ + to);
+}
+
+sim::Duration LinkMatrix::sample(types::NodeId from, types::NodeId to,
+                                 util::Rng& rng) const {
+  return sample_delay(at(from, to), rng);
+}
+
+double LinkMatrix::loss(types::NodeId from, types::NodeId to) const {
+  return at(from, to).loss;
+}
+
+}  // namespace bamboo::net

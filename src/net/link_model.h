@@ -1,0 +1,120 @@
+#pragma once
+
+// Pluggable per-link delay/loss models — the WAN scenario engine's core.
+//
+// SimNetwork originally sampled every message's one-way delay from one
+// global Normal distribution shared by all replica pairs. This header
+// generalizes that central sampling path: each ordered endpoint pair
+// (from, to) owns a LinkSpec — a delay distribution family (normal,
+// uniform, lognormal, pareto heavy-tail), an optional additive Normal
+// component (the Table I "delay" knob), and an independent per-message
+// loss probability. A Topology (topology.h) generates the per-link
+// parameter matrix for named scenarios; SimNetwork consults the matrix on
+// every link traversal.
+//
+// Determinism: sampling draws from the run's single sim::Simulator RNG in
+// message-schedule order, so the schedule is a pure function of the seed
+// regardless of worker-thread count or shard layout. With the default
+// configuration (uniform topology, normal family, zero loss) the draw
+// sequence — and therefore the entire simulation schedule — is
+// bit-identical to the pre-LinkModel transport (pinned by
+// tests/test_link_model.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "types/ids.h"
+#include "util/rng.h"
+
+namespace bamboo::net {
+
+/// Delay distribution families selectable per directed link.
+enum class DelayFamily {
+  kNormal,     ///< Normal(base, spread) — the paper's Table I model
+  kUniform,    ///< Uniform[base, spread]
+  kLogNormal,  ///< LogNormal with mean `base`, log-scale σ `shape`
+  kPareto,     ///< Pareto with mean `base`, tail index α `shape`
+};
+
+/// Parse a family name ("normal", "uniform", "lognormal", "pareto");
+/// throws std::invalid_argument on unknown names.
+[[nodiscard]] DelayFamily parse_delay_family(const std::string& name);
+[[nodiscard]] const char* delay_family_name(DelayFamily family);
+/// Canonical family names accepted by parse_delay_family.
+[[nodiscard]] const std::vector<std::string>& delay_family_names();
+
+/// Family default shape parameters, used when LinkSpec::shape is 0.
+inline constexpr double kDefaultLogNormalSigma = 0.5;  ///< log-scale σ
+inline constexpr double kDefaultParetoAlpha = 3.0;     ///< tail index α
+/// Uniform half-width as a fraction of the mean when shape is 0.
+inline constexpr double kDefaultUniformRelWidth = 0.5;
+
+/// Parameters of ONE directed link. Delay parameters are doubles in
+/// nanoseconds: the derivation from an RTT config involves non-integer
+/// factors (µ/2, σ/√2) and rounding them would perturb the sampled
+/// schedule.
+struct LinkSpec {
+  DelayFamily family = DelayFamily::kNormal;
+  /// Location: normal mean / lognormal mean / pareto mean / uniform lower
+  /// bound (one-way, ns).
+  double base = 0;
+  /// Scale: normal stddev / uniform upper bound; lognormal and pareto use
+  /// `shape` instead.
+  double spread = 0;
+  /// lognormal: σ of the underlying normal; pareto: tail index α (> 1 for
+  /// a finite mean). 0 selects the family default.
+  double shape = 0;
+  /// Additive Normal component, drawn ONLY when mean or jitter is nonzero
+  /// — the Table I "delay" knob. Kept as a separate conditional draw so
+  /// the default schedule stays bit-compatible with the original
+  /// transport's two-draw structure.
+  double add_mean = 0;
+  double add_jitter = 0;
+  /// Independent per-message drop probability in [0, 1). The loss draw is
+  /// skipped entirely when 0, so lossless runs consume no extra RNG.
+  double loss = 0;
+
+  bool operator==(const LinkSpec&) const = default;
+};
+
+/// Shift a link's delay location by `extra_ns` one-way nanoseconds,
+/// respecting the family's parameterization (uniform shifts both bounds).
+void shift_link(LinkSpec& link, double extra_ns);
+
+/// Draw one one-way delay sample from a link spec (advances rng). May be
+/// negative for normal links — SimNetwork clamps to its configured floor.
+[[nodiscard]] sim::Duration sample_delay(const LinkSpec& link,
+                                         util::Rng& rng);
+
+/// Analytic mean of the link's delay distribution (including the additive
+/// component) — used by tests and topology diagnostics.
+[[nodiscard]] double link_mean_ns(const LinkSpec& link);
+
+/// Per-ordered-pair link parameter matrix for n endpoints, row-major
+/// (entry [from * n + to]). The diagonal is unused: self-sends bypass the
+/// link layer.
+class LinkMatrix {
+ public:
+  LinkMatrix() = default;
+  LinkMatrix(std::uint32_t n, const LinkSpec& fill);
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  [[nodiscard]] LinkSpec& at(types::NodeId from, types::NodeId to);
+  [[nodiscard]] const LinkSpec& at(types::NodeId from, types::NodeId to) const;
+
+  /// Sample the one-way delay for from -> to (advances rng).
+  [[nodiscard]] sim::Duration sample(types::NodeId from, types::NodeId to,
+                                     util::Rng& rng) const;
+  /// Per-message loss probability for from -> to.
+  [[nodiscard]] double loss(types::NodeId from, types::NodeId to) const;
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace bamboo::net

@@ -1,12 +1,55 @@
 #include "net/network.h"
 
 #include <cmath>
+#include <utility>
 
 namespace bamboo::net {
 
+LinkSpec base_link_spec(const NetConfig& config) {
+  LinkSpec link;
+  link.family = parse_delay_family(config.link_model);
+  // RTT ~ Normal(µ, σ); a one-way hop gets half the mean and σ/√2 so two
+  // hops compose back to the modeled RTT distribution.
+  const double one_way = static_cast<double>(config.rtt_mean) / 2.0;
+  switch (link.family) {
+    case DelayFamily::kNormal:
+      link.base = one_way;
+      link.spread = static_cast<double>(config.rtt_stddev) / std::sqrt(2.0);
+      link.add_mean = static_cast<double>(config.added_delay);
+      link.add_jitter = static_cast<double>(config.added_delay_jitter);
+      break;
+    case DelayFamily::kUniform: {
+      const double mean = one_way + static_cast<double>(config.added_delay);
+      const double width =
+          (config.link_shape > 0 ? config.link_shape
+                                 : kDefaultUniformRelWidth) *
+          mean;
+      link.base = mean - width;
+      link.spread = mean + width;
+      // The added delay is folded into the location above; its jitter
+      // rides as a zero-mean Normal component so a jittered condition is
+      // never silently flattened.
+      link.add_jitter = static_cast<double>(config.added_delay_jitter);
+      break;
+    }
+    case DelayFamily::kLogNormal:
+    case DelayFamily::kPareto:
+      link.base = one_way + static_cast<double>(config.added_delay);
+      link.shape = config.link_shape;
+      link.add_jitter = static_cast<double>(config.added_delay_jitter);
+      break;
+  }
+  link.loss = config.link_loss;
+  return link;
+}
+
 SimNetwork::SimNetwork(sim::Simulator& simulator, std::uint32_t num_endpoints,
                        NetConfig config)
-    : sim_(simulator), cfg_(config), endpoints_(num_endpoints) {}
+    : sim_(simulator),
+      cfg_(std::move(config)),
+      links_(make_topology(cfg_.topology, num_endpoints, cfg_.n_replicas,
+                           base_link_spec(cfg_))),
+      endpoints_(num_endpoints) {}
 
 void SimNetwork::set_handler(types::NodeId endpoint, Handler handler) {
   endpoints_.at(endpoint).handler = std::move(handler);
@@ -18,18 +61,9 @@ sim::Duration SimNetwork::serialization_delay(std::uint64_t bytes) const {
   return sim::from_seconds(seconds);
 }
 
-sim::Duration SimNetwork::sample_one_way_delay() {
-  // RTT ~ Normal(µ, σ); a one-way hop gets half the mean and σ/√2 so two
-  // hops compose back to the modeled RTT distribution.
-  const double mean = static_cast<double>(cfg_.rtt_mean) / 2.0;
-  const double sd = static_cast<double>(cfg_.rtt_stddev) / std::sqrt(2.0);
-  auto delay = static_cast<sim::Duration>(sim_.rng().gaussian(mean, sd));
-
-  if (cfg_.added_delay > 0 || cfg_.added_delay_jitter > 0) {
-    delay += static_cast<sim::Duration>(
-        sim_.rng().gaussian(static_cast<double>(cfg_.added_delay),
-                            static_cast<double>(cfg_.added_delay_jitter)));
-  }
+sim::Duration SimNetwork::sample_one_way_delay(types::NodeId from,
+                                               types::NodeId to) {
+  sim::Duration delay = links_.sample(from, to, sim_.rng());
   if (fluct_hi_ > fluct_lo_) {
     delay += sim_.rng().uniform_int(fluct_lo_, fluct_hi_);
   } else if (fluct_hi_ > 0 && fluct_hi_ == fluct_lo_) {
@@ -99,11 +133,20 @@ void SimNetwork::finish_egress(types::NodeId id) {
   ep.egress.pop_front();
 
   if (!ep.down) {
-    Envelope env{id, out.to, out.queued_at, out.bytes, std::move(out.msg)};
-    const sim::Duration link = sample_one_way_delay();
-    sim_.schedule_after(link, [this, env = std::move(env)]() mutable {
-      arrive(std::move(env));
-    });
+    // Independent per-message link loss. The draw is skipped when the link
+    // is lossless so lossless schedules consume no extra RNG; a lost
+    // message still paid the sender-NIC serialization above.
+    const double loss = links_.loss(id, out.to);
+    if (loss > 0 && sim_.rng().bernoulli(loss)) {
+      ++messages_dropped_;
+      ++messages_lost_;
+    } else {
+      Envelope env{id, out.to, out.queued_at, out.bytes, std::move(out.msg)};
+      const sim::Duration link = sample_one_way_delay(id, out.to);
+      sim_.schedule_after(link, [this, env = std::move(env)]() mutable {
+        arrive(std::move(env));
+      });
+    }
   } else {
     ++messages_dropped_;
   }

@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "net/link_model.h"
+#include "net/topology.h"
 #include "sim/simulator.h"
 #include "types/messages.h"
 
@@ -19,7 +22,31 @@ struct NetConfig {
   sim::Duration added_delay = 0;         ///< Table I "delay" (one-way)
   sim::Duration added_delay_jitter = 0;  ///< stddev of the added delay
   sim::Duration min_one_way = sim::microseconds(20);
+
+  // --- WAN scenario engine ------------------------------------------------
+  /// Link delay distribution family ("normal" | "uniform" | "lognormal" |
+  /// "pareto"). "normal" is bit-compatible with the original transport.
+  std::string link_model = "normal";
+  /// Family shape: lognormal log-σ / pareto tail α / uniform half-width as
+  /// a fraction of the mean. 0 = family default.
+  double link_shape = 0;
+  /// Independent per-message loss probability applied to every link.
+  double link_loss = 0;
+  /// Named topology scenario (see topology.h): "uniform", "wan:...",
+  /// "slow-replica:...", "slow-leader:...".
+  std::string topology = "uniform";
+  /// Endpoints [0, n_replicas) are replicas (topology scenarios only
+  /// perturb replica links); 0 means every endpoint is a replica.
+  std::uint32_t n_replicas = 0;
 };
+
+/// Derive the base (LAN) LinkSpec the topology replicates: the configured
+/// family centered on the one-way delay rtt_mean/2. For the normal family
+/// the Table I added delay stays a separate conditional draw
+/// (bit-compatibility with the pre-LinkModel schedule); the other families
+/// fold its mean into their location so distributions compare at equal
+/// mean, with the delay jitter riding as a zero-mean Normal component.
+[[nodiscard]] LinkSpec base_link_spec(const NetConfig& config);
 
 /// A delivered message with its transport metadata.
 struct Envelope {
@@ -33,9 +60,12 @@ struct Envelope {
 /// Simulated message-passing transport (replaces Bamboo's Paxi-derived
 /// TCP/Go-channel network; DESIGN.md §1). Per endpoint it models a
 /// single-server egress queue and ingress queue at NIC bandwidth — giving
-/// t_NIC = 2m/b exactly as in the paper's model — plus a per-message one-way
-/// link delay ~ Normal(µ/2, σ/√2), runtime-adjustable extra delays (the
-/// "slow" command / network fluctuation), partitions, and crash drops.
+/// t_NIC = 2m/b exactly as in the paper's model — plus a per-message
+/// one-way link delay and loss drawn from the per-ordered-pair LinkMatrix
+/// (default: every pair ~ Normal(µ/2, σ/√2), bit-compatible with the
+/// original single-distribution transport), runtime-adjustable extra
+/// delays (the "slow" command / network fluctuation), partitions, and
+/// crash drops.
 ///
 /// Broadcast fans out as unicast copies through the sender's egress queue,
 /// which is what makes leader bandwidth the scalability bottleneck.
@@ -69,12 +99,18 @@ class SimNetwork {
   /// dropped. Empty vector = no partition.
   void set_partition(std::vector<int> group_of_endpoint);
 
+  /// The per-ordered-pair delay/loss matrix this transport samples from.
+  [[nodiscard]] const LinkMatrix& links() const { return links_; }
+
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_dropped() const {
     return messages_dropped_;
   }
+  /// Messages dropped by the per-link loss model alone (a subset of
+  /// messages_dropped()).
+  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
 
   [[nodiscard]] std::uint32_t num_endpoints() const {
     return static_cast<std::uint32_t>(endpoints_.size());
@@ -97,7 +133,8 @@ class SimNetwork {
   };
 
   [[nodiscard]] sim::Duration serialization_delay(std::uint64_t bytes) const;
-  [[nodiscard]] sim::Duration sample_one_way_delay();
+  [[nodiscard]] sim::Duration sample_one_way_delay(types::NodeId from,
+                                                   types::NodeId to);
 
   void start_egress(types::NodeId id);
   void finish_egress(types::NodeId id);
@@ -107,6 +144,7 @@ class SimNetwork {
 
   sim::Simulator& sim_;
   NetConfig cfg_;
+  LinkMatrix links_;
   std::vector<Endpoint> endpoints_;
   std::vector<int> partition_;
   sim::Duration fluct_lo_ = 0;
@@ -114,6 +152,7 @@ class SimNetwork {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_lost_ = 0;
 };
 
 }  // namespace bamboo::net

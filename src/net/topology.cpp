@@ -1,0 +1,196 @@
+#include "net/topology.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace bamboo::net {
+
+namespace {
+
+// Custom scenario factories are read by harness::ParallelRunner workers
+// constructing clusters concurrently; registration takes the writer side.
+std::shared_mutex& registry_mutex() {
+  static std::shared_mutex mu;
+  return mu;
+}
+
+std::map<std::string, TopologyFactory>& custom_registry() {
+  static std::map<std::string, TopologyFactory> registry;
+  return registry;
+}
+
+bool is_builtin(const std::string& name) {
+  return name == "uniform" || name == "wan" || name == "slow-replica" ||
+         name == "slow-leader";
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t next = text.find(sep, start);
+    parts.push_back(text.substr(
+        start, next == std::string::npos ? std::string::npos : next - start));
+    if (next == std::string::npos) break;
+    start = next + 1;
+  }
+  return parts;
+}
+
+double parse_number(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("topology: bad " + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+const std::string& arg_at(const TopologyContext& ctx, std::size_t i,
+                          const std::string& scenario,
+                          const std::string& what) {
+  if (i >= ctx.args.size()) {
+    throw std::invalid_argument("topology " + scenario + ": missing " + what);
+  }
+  return ctx.args[i];
+}
+
+LinkMatrix make_uniform(const TopologyContext& ctx) {
+  return LinkMatrix(ctx.n_endpoints, ctx.base);
+}
+
+LinkMatrix make_wan(const TopologyContext& ctx) {
+  const auto regions = static_cast<std::uint32_t>(
+      parse_number(arg_at(ctx, 0, "wan", "region count"), "region count"));
+  if (regions < 1) {
+    throw std::invalid_argument("topology wan: region count must be >= 1");
+  }
+  // RTT list indexed by ring distance - 1, clamped to the last entry.
+  std::vector<double> rtt_ms;
+  for (const std::string& part :
+       split(arg_at(ctx, 1, "wan", "inter-region RTT list"), ',')) {
+    rtt_ms.push_back(parse_number(part, "inter-region RTT"));
+  }
+
+  LinkMatrix m(ctx.n_endpoints, ctx.base);
+  const auto region_of = [&](types::NodeId id) { return id % regions; };
+  for (types::NodeId from = 0; from < ctx.n_replicas; ++from) {
+    for (types::NodeId to = 0; to < ctx.n_replicas; ++to) {
+      if (from == to) continue;
+      const std::uint32_t a = region_of(from);
+      const std::uint32_t b = region_of(to);
+      if (a == b) continue;
+      const std::uint32_t gap = a > b ? a - b : b - a;
+      const std::uint32_t distance = std::min(gap, regions - gap);
+      const double rtt =
+          rtt_ms[std::min<std::size_t>(distance - 1, rtt_ms.size() - 1)];
+      shift_link(m.at(from, to),
+                 rtt / 2.0 * static_cast<double>(sim::kMillisecond));
+    }
+  }
+  return m;
+}
+
+LinkMatrix make_slow_replica(const TopologyContext& ctx) {
+  const auto victim = static_cast<types::NodeId>(parse_number(
+      arg_at(ctx, 0, "slow-replica", "replica id"), "replica id"));
+  const double extra_ns =
+      parse_number(arg_at(ctx, 1, "slow-replica", "extra delay (ms)"),
+                   "extra delay") *
+      static_cast<double>(sim::kMillisecond);
+  if (victim >= ctx.n_replicas) {
+    throw std::invalid_argument("topology slow-replica: replica id " +
+                                std::to_string(victim) + " out of range");
+  }
+  LinkMatrix m(ctx.n_endpoints, ctx.base);
+  for (types::NodeId other = 0; other < ctx.n_endpoints; ++other) {
+    if (other == victim) continue;
+    shift_link(m.at(victim, other), extra_ns);
+    shift_link(m.at(other, victim), extra_ns);
+  }
+  return m;
+}
+
+LinkMatrix make_slow_leader(const TopologyContext& ctx) {
+  const double extra_ns =
+      parse_number(arg_at(ctx, 0, "slow-leader", "extra delay (ms)"),
+                   "extra delay") *
+      static_cast<double>(sim::kMillisecond);
+  const types::NodeId leader =
+      ctx.args.size() > 1
+          ? static_cast<types::NodeId>(
+                parse_number(ctx.args[1], "replica id"))
+          : 0;
+  if (leader >= ctx.n_replicas) {
+    throw std::invalid_argument("topology slow-leader: replica id " +
+                                std::to_string(leader) + " out of range");
+  }
+  LinkMatrix m(ctx.n_endpoints, ctx.base);
+  for (types::NodeId to = 0; to < ctx.n_endpoints; ++to) {
+    if (to == leader) continue;
+    shift_link(m.at(leader, to), extra_ns);  // outbound only: asymmetric
+  }
+  return m;
+}
+
+}  // namespace
+
+LinkMatrix make_topology(const std::string& spec, std::uint32_t n_endpoints,
+                         std::uint32_t n_replicas, const LinkSpec& base) {
+  TopologyContext ctx;
+  ctx.n_endpoints = n_endpoints;
+  ctx.n_replicas = n_replicas == 0 ? n_endpoints : n_replicas;
+  ctx.base = base;
+
+  std::string name = spec.empty() ? "uniform" : spec;
+  if (const std::size_t colon = name.find(':');
+      colon != std::string::npos) {
+    ctx.args = split(name.substr(colon + 1), ':');
+    name = name.substr(0, colon);
+  }
+
+  if (name == "uniform") return make_uniform(ctx);
+  if (name == "wan") return make_wan(ctx);
+  if (name == "slow-replica") return make_slow_replica(ctx);
+  if (name == "slow-leader") return make_slow_leader(ctx);
+
+  TopologyFactory factory;
+  {
+    std::shared_lock lock(registry_mutex());
+    const auto it = custom_registry().find(name);
+    if (it != custom_registry().end()) factory = it->second;
+  }
+  if (factory) return factory(ctx);
+  throw std::invalid_argument("unknown topology: " + name);
+}
+
+std::vector<std::string> topology_names() {
+  std::vector<std::string> names = {"uniform", "wan", "slow-replica",
+                                    "slow-leader"};
+  std::shared_lock lock(registry_mutex());
+  for (const auto& [name, factory] : custom_registry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void register_topology(const std::string& name, TopologyFactory factory) {
+  if (is_builtin(name)) {
+    throw std::invalid_argument("cannot shadow built-in topology: " + name);
+  }
+  if (!factory) {
+    throw std::invalid_argument("topology factory must not be empty");
+  }
+  if (name.empty() || name.find(':') != std::string::npos) {
+    throw std::invalid_argument("invalid topology name: '" + name + "'");
+  }
+  std::unique_lock lock(registry_mutex());
+  custom_registry()[name] = std::move(factory);
+}
+
+}  // namespace bamboo::net

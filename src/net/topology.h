@@ -1,0 +1,66 @@
+#pragma once
+
+// Named topology scenarios: generate the per-ordered-pair LinkSpec matrix
+// a SimNetwork samples from. Construction is registry-style (like
+// protocols/registry): a scenario spec string "name" or "name:arg:arg..."
+// selects a factory; user scenarios can be registered at runtime.
+//
+// Built-in scenarios (extra delays are one-way; RTT args are round-trip):
+//
+//   uniform
+//     Every pair gets the base (LAN) link — the paper's Table I network.
+//
+//   wan:<regions>:<rtt_ms>[,<rtt_ms>...]
+//     Replicas round-robin into <regions> regions (replica i -> region
+//     i % regions). Same-region links stay at base; cross-region links
+//     add rtt_ms/2 one-way, where the comma list indexes ring distance
+//     between the regions (distance d uses the d-th entry, clamped to the
+//     last) — so "wan:3:40,120" is three regions with 40 ms RTT between
+//     neighbours and 120 ms across. Client-host endpoints keep base links
+//     (the measurement harness is colocated, as in the paper's testbed).
+//
+//   slow-replica:<id>:<extra_ms>
+//     Every link to AND from replica <id> adds extra_ms one-way (a
+//     degraded replica NIC, both directions — the single-slow-replica
+//     scenario of the responsiveness literature).
+//
+//   slow-leader:<extra_ms>[:<id>]
+//     Only the OUTBOUND links of replica <id> (default 0) add extra_ms
+//     one-way — an asymmetric slow leader uplink, the condition under
+//     which chained-BFT chain growth degrades leader-by-leader.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link_model.h"
+
+namespace bamboo::net {
+
+/// Everything a scenario factory needs to lay out a matrix.
+struct TopologyContext {
+  std::uint32_t n_endpoints = 0;  ///< replicas + client hosts
+  std::uint32_t n_replicas = 0;   ///< endpoints [0, n_replicas) are replicas
+  LinkSpec base;                  ///< the LAN link every pair starts from
+  /// Colon-separated args following the scenario name in the spec string.
+  std::vector<std::string> args;
+};
+
+using TopologyFactory = std::function<LinkMatrix(const TopologyContext&)>;
+
+/// Build the matrix for a scenario spec "name[:arg...]". Empty spec means
+/// "uniform". Throws std::invalid_argument on unknown names or bad args.
+[[nodiscard]] LinkMatrix make_topology(const std::string& spec,
+                                       std::uint32_t n_endpoints,
+                                       std::uint32_t n_replicas,
+                                       const LinkSpec& base);
+
+/// Names accepted by make_topology (built-ins plus registrations).
+[[nodiscard]] std::vector<std::string> topology_names();
+
+/// Register a custom scenario generator under `name` (no ':' allowed).
+/// Re-registering replaces the factory; built-ins cannot be shadowed.
+void register_topology(const std::string& name, TopologyFactory factory);
+
+}  // namespace bamboo::net

@@ -5,6 +5,21 @@
 
 namespace bamboo::util {
 
+double t_critical_95(std::size_t df) {
+  // Two-sided t_{0.975, df}, exact table for df <= 30, then the standard
+  // coarse steps (40/60/120) down to the normal limit.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.96;
+}
+
 void RunningStats::add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -28,7 +43,8 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double RunningStats::ci95() const {
   if (count_ < 2) return 0.0;
-  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  return t_critical_95(count_ - 1) * stddev() /
+         std::sqrt(static_cast<double>(count_));
 }
 
 void RunningStats::clear() {

@@ -6,6 +6,13 @@
 
 namespace bamboo::util {
 
+/// Two-sided Student-t critical value at 95% confidence for `df` degrees
+/// of freedom (t_{0.975, df}); converges to the normal 1.96 for large df.
+/// Benchmarks repeat each point under only a handful of seeds, where the
+/// normal approximation understates the interval badly (df = 1 needs
+/// 12.706, not 1.96).
+[[nodiscard]] double t_critical_95(std::size_t df);
+
 /// Streaming mean/variance/min/max via Welford's algorithm.
 class RunningStats {
  public:
@@ -15,9 +22,9 @@ class RunningStats {
   [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;
-  /// Half-width of the 95% confidence interval on the mean (normal
-  /// approximation, 1.96 σ/√n; 0 for fewer than two samples — treat as
-  /// indicative for small n).
+  /// Half-width of the 95% confidence interval on the mean,
+  /// t_{0.975, n-1} σ/√n with Student-t critical values (exact for the
+  /// small rep counts benches run with); 0 for fewer than two samples.
   [[nodiscard]] double ci95() const;
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }

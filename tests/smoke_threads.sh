@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Determinism check for a bench binary: the artifact directory written with
+# --threads 1 must be bit-identical (diff -r) to the one written with
+# --threads 4 — the engine's same-seed => same-schedule guarantee holds
+# across worker-thread counts. Registered in ctest as smoke_threads_<bench>.
+#
+#   smoke_threads.sh <bench-binary> <scratch-dir>
+set -euo pipefail
+
+bench="$1"
+dir="$2"
+
+rm -rf "$dir"
+mkdir -p "$dir"
+
+common=(--reps 3 --duration 0.2 --seed 5 --format csv,json)
+
+"$bench" "${common[@]}" --threads 1 --out "$dir/t1" > /dev/null
+"$bench" "${common[@]}" --threads 4 --out "$dir/t4" > /dev/null
+
+diff -r "$dir/t1" "$dir/t4"
+echo "artifacts are bit-identical across thread counts"

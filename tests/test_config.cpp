@@ -92,6 +92,32 @@ TEST(Config, FromJsonOverrides) {
   EXPECT_EQ(cfg.rtt_mean, sim::milliseconds(2));
 }
 
+TEST(Config, WanScenarioFieldsRoundTripThroughJson) {
+  const auto j = util::Json::parse(R"({
+    "link_model": "pareto", "link_shape": 2.5, "link_loss": 0.05,
+    "topology": "wan:3:40,120"
+  })");
+  const auto cfg = core::Config::from_json(j);
+  EXPECT_EQ(cfg.link_model, "pareto");
+  EXPECT_DOUBLE_EQ(cfg.link_shape, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.link_loss, 0.05);
+  EXPECT_EQ(cfg.topology, "wan:3:40,120");
+  const auto back = core::Config::from_json(cfg.to_json());
+  EXPECT_EQ(back.link_model, cfg.link_model);
+  EXPECT_DOUBLE_EQ(back.link_shape, cfg.link_shape);
+  EXPECT_DOUBLE_EQ(back.link_loss, cfg.link_loss);
+  EXPECT_EQ(back.topology, cfg.topology);
+  // Defaults are the bit-compatible legacy network.
+  const core::Config defaults;
+  EXPECT_EQ(defaults.link_model, "normal");
+  EXPECT_EQ(defaults.topology, "uniform");
+  EXPECT_DOUBLE_EQ(defaults.link_loss, 0.0);
+  // Loss is a probability; 1.0 would drop every message forever.
+  core::Config bad;
+  bad.link_loss = 1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
 TEST(Config, FromJsonMasterCompatibility) {
   // Table I: master 0 means rotating leaders; nonzero pins a static leader.
   const auto rotating =

@@ -1,0 +1,434 @@
+// Tests for the WAN scenario engine (net/link_model.h, net/topology.h):
+// distribution moments per family, per-link loss accounting, topology
+// matrix generation for the named scenarios, registry behavior, and —
+// critically — bit-compatibility of the default normal/uniform scenario
+// with the pre-LinkModel transport (delay sequences and whole-run results
+// pinned to values captured from the original implementation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace bamboo {
+namespace {
+
+constexpr double kMs = 1e6;  // ns per ms
+
+types::MessagePtr small_msg() { return types::make_message(types::VoteMsg{}); }
+
+// ---------------------------------------------------------------------------
+// Distribution moments (seeded sampling)
+// ---------------------------------------------------------------------------
+
+util::RunningStats sample_many(const net::LinkSpec& link, int n = 20000,
+                               std::uint64_t seed = 99) {
+  util::Rng rng(seed);
+  util::RunningStats stats;
+  for (int i = 0; i < n; ++i) {
+    stats.add(static_cast<double>(net::sample_delay(link, rng)));
+  }
+  return stats;
+}
+
+TEST(LinkModel, NormalMoments) {
+  net::LinkSpec link;
+  link.family = net::DelayFamily::kNormal;
+  link.base = 1.0 * kMs;
+  link.spread = 0.1 * kMs;
+  const auto stats = sample_many(link);
+  EXPECT_NEAR(stats.mean(), link.base, 0.02 * link.base);
+  EXPECT_NEAR(stats.stddev(), link.spread, 0.05 * link.spread);
+  EXPECT_DOUBLE_EQ(net::link_mean_ns(link), link.base);
+}
+
+TEST(LinkModel, NormalAdditiveComponent) {
+  net::LinkSpec link;
+  link.base = 1.0 * kMs;
+  link.spread = 0.1 * kMs;
+  link.add_mean = 5.0 * kMs;
+  link.add_jitter = 1.0 * kMs;
+  const auto stats = sample_many(link);
+  EXPECT_NEAR(stats.mean(), 6.0 * kMs, 0.1 * kMs);
+  // Independent normals: σ = √(0.1² + 1²) ms.
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.01) * kMs, 0.05 * kMs);
+  EXPECT_DOUBLE_EQ(net::link_mean_ns(link), 6.0 * kMs);
+}
+
+TEST(LinkModel, UniformMomentsAndBounds) {
+  net::LinkSpec link;
+  link.family = net::DelayFamily::kUniform;
+  link.base = 0.5 * kMs;
+  link.spread = 1.5 * kMs;
+  const auto stats = sample_many(link);
+  EXPECT_NEAR(stats.mean(), 1.0 * kMs, 0.02 * kMs);
+  EXPECT_GE(stats.min(), link.base);
+  EXPECT_LT(stats.max(), link.spread);
+  // Uniform[a, b]: σ = (b − a)/√12.
+  EXPECT_NEAR(stats.stddev(), kMs / std::sqrt(12.0), 0.02 * kMs);
+  EXPECT_DOUBLE_EQ(net::link_mean_ns(link), 1.0 * kMs);
+}
+
+TEST(LinkModel, LogNormalMomentsMatchConfiguredMean) {
+  net::LinkSpec link;
+  link.family = net::DelayFamily::kLogNormal;
+  link.base = 1.0 * kMs;
+  link.shape = 0.5;
+  const auto stats = sample_many(link);
+  EXPECT_NEAR(stats.mean(), link.base, 0.03 * link.base);
+  // LogNormal variance: mean²(e^{σ²} − 1).
+  const double expected_sd = link.base * std::sqrt(std::exp(0.25) - 1.0);
+  EXPECT_NEAR(stats.stddev(), expected_sd, 0.15 * expected_sd);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(LinkModel, ParetoMomentsAndHeavyTail) {
+  net::LinkSpec link;
+  link.family = net::DelayFamily::kPareto;
+  link.base = 1.0 * kMs;
+  link.shape = 3.0;
+  const auto stats = sample_many(link);
+  EXPECT_NEAR(stats.mean(), link.base, 0.05 * link.base);
+  // Scale x_m = mean(α−1)/α is the distribution's minimum.
+  const double xm = link.base * 2.0 / 3.0;
+  EXPECT_GE(stats.min(), xm - 1);
+  // Heavy tail: the max of 20k samples dwarfs the mean.
+  EXPECT_GT(stats.max(), 4.0 * link.base);
+}
+
+TEST(LinkModel, NonNormalFamiliesKeepTheAddedDelayAndJitter) {
+  // cfg.delay folds into the location and cfg.delay_jitter rides as a
+  // zero-mean Normal component — a jittered condition must not silently
+  // flatten when the family is swapped away from "normal".
+  for (const char* family : {"uniform", "lognormal", "pareto"}) {
+    net::NetConfig nc;
+    nc.link_model = family;
+    nc.added_delay = sim::milliseconds(5);
+    nc.added_delay_jitter = sim::milliseconds(1);
+    const net::LinkSpec link = net::base_link_spec(nc);
+    EXPECT_DOUBLE_EQ(net::link_mean_ns(link), 0.5 * kMs + 5.0 * kMs)
+        << family;
+    EXPECT_DOUBLE_EQ(link.add_jitter, 1.0 * kMs) << family;
+    const auto stats = sample_many(link);
+    EXPECT_NEAR(stats.mean(), 5.5 * kMs, 0.15 * kMs) << family;
+    EXPECT_GT(stats.stddev(), 0.9 * kMs) << family;  // jitter is present
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-compatibility with the pre-LinkModel transport
+// ---------------------------------------------------------------------------
+
+// The literals below were captured from the original implementation (the
+// single global Normal sampler in SimNetwork) immediately before the
+// LinkModel refactor. The default configuration must reproduce them
+// bit-for-bit: same RNG draw sequence, same schedule, same results.
+
+TEST(LinkModelCompat, DefaultDelaySequenceIsBitIdentical) {
+  const std::vector<sim::Duration> expected = {
+      582092, 652276, 450440, 527566, 483333, 506241, 474794, 551965};
+  sim::Simulator s(7);
+  net::NetConfig nc;  // defaults: rtt 1 ms, σ 100 µs, min 20 µs
+  net::SimNetwork n(s, 2, nc);
+  std::vector<sim::Duration> delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.push_back(s.now() - e.sent_at);
+  });
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(i * sim::milliseconds(1),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_EQ(delays, expected);
+}
+
+TEST(LinkModelCompat, AddedDelaySequenceIsBitIdentical) {
+  const std::vector<sim::Duration> expected = {
+      7705514, 5810196, 5541513, 6179608, 5598016, 7409099, 6057447, 6251738};
+  sim::Simulator s(7);
+  net::NetConfig nc;
+  nc.added_delay = sim::milliseconds(5);
+  nc.added_delay_jitter = sim::milliseconds(1);
+  net::SimNetwork n(s, 2, nc);
+  std::vector<sim::Duration> delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.push_back(s.now() - e.sent_at);
+  });
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(i * sim::milliseconds(10),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_EQ(delays, expected);
+}
+
+harness::RunSpec compat_spec(const std::string& protocol) {
+  core::Config cfg;
+  cfg.protocol = protocol;
+  cfg.n_replicas = 4;
+  cfg.bsize = 400;
+  cfg.psize = 128;
+  cfg.memsize = 200000;
+  cfg.seed = 11;
+  client::WorkloadConfig wl;
+  wl.mode = client::LoadMode::kClosedLoop;
+  wl.concurrency = 256;
+  harness::RunSpec spec;
+  spec.cfg = cfg;
+  spec.workload = wl;
+  spec.opts.warmup_s = 0.25;
+  spec.opts.measure_s = 0.75;
+  return spec;
+}
+
+TEST(LinkModelCompat, DefaultRunScheduleIsBitIdentical) {
+  const harness::RunResult r = harness::execute(compat_spec("hotstuff"));
+  EXPECT_DOUBLE_EQ(r.throughput_tps, 23634.666666666668);
+  EXPECT_DOUBLE_EQ(r.latency_ms_mean, 10.833212898905604);
+  EXPECT_DOUBLE_EQ(r.latency_ms_p99, 14.032111499999999);
+  EXPECT_EQ(r.views, 448u);
+  EXPECT_EQ(r.blocks_committed, 448u);
+  EXPECT_EQ(r.blocks_received, 448u);
+  EXPECT_EQ(r.net_bytes, 21635262u);
+  EXPECT_EQ(r.latency_samples, 17726u);
+}
+
+TEST(LinkModelCompat, AddedDelayRunScheduleIsBitIdentical) {
+  harness::RunSpec spec = compat_spec("streamlet");
+  spec.cfg.delay = sim::milliseconds(5);
+  spec.cfg.delay_jitter = sim::milliseconds(1);
+  const harness::RunResult r = harness::execute(spec);
+  EXPECT_DOUBLE_EQ(r.throughput_tps, 4550.666666666667);
+  EXPECT_DOUBLE_EQ(r.latency_ms_mean, 56.078316580720703);
+  EXPECT_DOUBLE_EQ(r.latency_ms_p99, 82.563470960000018);
+  EXPECT_EQ(r.views, 66u);
+  EXPECT_EQ(r.blocks_committed, 66u);
+  EXPECT_EQ(r.net_bytes, 16416582u);
+  EXPECT_EQ(r.latency_samples, 3413u);
+}
+
+// ---------------------------------------------------------------------------
+// Loss accounting
+// ---------------------------------------------------------------------------
+
+TEST(LinkModel, LossDropsTheConfiguredFraction) {
+  sim::Simulator s(5);
+  net::NetConfig nc;
+  nc.link_loss = 0.2;
+  net::SimNetwork n(s, 2, nc);
+  int delivered = 0;
+  n.set_handler(1, [&](const net::Envelope&) { ++delivered; });
+  const int sent = 5000;
+  for (int i = 0; i < sent; ++i) {
+    s.schedule_at(i * sim::microseconds(50),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_EQ(delivered + static_cast<int>(n.messages_lost()), sent);
+  EXPECT_EQ(n.messages_dropped(), n.messages_lost());
+  EXPECT_NEAR(static_cast<double>(n.messages_lost()) / sent, 0.2, 0.02);
+}
+
+TEST(LinkModel, LossDrawHappensExactlyWhenLossIsPositive) {
+  const auto arrivals_with = [](double loss) {
+    sim::Simulator s(3);
+    net::NetConfig nc;
+    nc.link_loss = loss;
+    net::SimNetwork n(s, 2, nc);
+    std::vector<sim::Time> arrivals;
+    n.set_handler(1, [&](const net::Envelope&) { arrivals.push_back(s.now()); });
+    for (int i = 0; i < 100; ++i) {
+      s.schedule_at(i * sim::microseconds(80),
+                    [&n] { n.send(0, 1, small_msg()); });
+    }
+    s.run_all();
+    return arrivals;
+  };
+  // A vanishing but positive loss consumes one Bernoulli draw per message
+  // (dropping nothing at p = 1e-12), which shifts every delay draw after
+  // the first — so the schedules must differ. At loss == 0 the draw is
+  // skipped entirely: that schedule is pinned bit-exactly against the
+  // pre-LinkModel capture by DefaultDelaySequenceIsBitIdentical above.
+  const auto lossless = arrivals_with(0.0);
+  const auto epsilon = arrivals_with(1e-12);
+  EXPECT_EQ(lossless.size(), epsilon.size());  // nothing actually dropped
+  EXPECT_NE(lossless, epsilon);
+}
+
+TEST(LinkModel, LossyRunStaysConsistent) {
+  harness::RunSpec spec = compat_spec("hotstuff");
+  spec.cfg.link_loss = 0.01;
+  spec.opts.measure_s = 0.4;
+  const harness::RunResult r = harness::execute(spec);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.blocks_committed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology matrix generation
+// ---------------------------------------------------------------------------
+
+net::LinkSpec lan_base() {
+  net::LinkSpec base;
+  base.base = 0.5 * kMs;
+  base.spread = 0.07 * kMs;
+  return base;
+}
+
+TEST(Topology, UniformFillsEveryPairWithBase) {
+  const auto m = net::make_topology("uniform", 4, 4, lan_base());
+  EXPECT_EQ(m.size(), 4u);
+  for (types::NodeId a = 0; a < 4; ++a) {
+    for (types::NodeId b = 0; b < 4; ++b) {
+      EXPECT_EQ(m.at(a, b), lan_base());
+    }
+  }
+}
+
+TEST(Topology, WanAddsHalfRttOnCrossRegionReplicaLinks) {
+  // 6 replicas + 2 clients, 3 regions: region(i) = i % 3.
+  const auto m = net::make_topology("wan:3:40", 8, 6, lan_base());
+  const double lan = lan_base().base;
+  // Same region (0 and 3): untouched.
+  EXPECT_DOUBLE_EQ(m.at(0, 3).base, lan);
+  // Cross region: +20 ms one-way, both directions.
+  EXPECT_DOUBLE_EQ(m.at(0, 1).base, lan + 20.0 * kMs);
+  EXPECT_DOUBLE_EQ(m.at(1, 0).base, lan + 20.0 * kMs);
+  EXPECT_DOUBLE_EQ(m.at(2, 4).base, lan + 20.0 * kMs);
+  // Client hosts (6, 7) keep base links in both directions.
+  EXPECT_DOUBLE_EQ(m.at(6, 1).base, lan);
+  EXPECT_DOUBLE_EQ(m.at(1, 7).base, lan);
+}
+
+TEST(Topology, WanRttListIndexesRingDistance) {
+  // 4 regions, distance-1 RTT 40 ms, distance-2 RTT 120 ms.
+  const auto m = net::make_topology("wan:4:40,120", 4, 4, lan_base());
+  const double lan = lan_base().base;
+  EXPECT_DOUBLE_EQ(m.at(0, 1).base, lan + 20.0 * kMs);   // distance 1
+  EXPECT_DOUBLE_EQ(m.at(0, 2).base, lan + 60.0 * kMs);   // distance 2
+  EXPECT_DOUBLE_EQ(m.at(0, 3).base, lan + 20.0 * kMs);   // ring: distance 1
+}
+
+TEST(Topology, SlowReplicaIsSymmetric) {
+  const auto m = net::make_topology("slow-replica:2:15", 5, 4, lan_base());
+  const double lan = lan_base().base;
+  EXPECT_DOUBLE_EQ(m.at(2, 0).base, lan + 15.0 * kMs);
+  EXPECT_DOUBLE_EQ(m.at(0, 2).base, lan + 15.0 * kMs);
+  EXPECT_DOUBLE_EQ(m.at(2, 4).base, lan + 15.0 * kMs);  // client link too
+  EXPECT_DOUBLE_EQ(m.at(0, 1).base, lan);               // bystanders
+}
+
+TEST(Topology, SlowLeaderIsOutboundOnly) {
+  const auto m = net::make_topology("slow-leader:25", 4, 4, lan_base());
+  const double lan = lan_base().base;
+  EXPECT_DOUBLE_EQ(m.at(0, 1).base, lan + 25.0 * kMs);  // outbound: slow
+  EXPECT_DOUBLE_EQ(m.at(1, 0).base, lan);               // inbound: fast
+  EXPECT_DOUBLE_EQ(m.at(1, 2).base, lan);
+  // Explicit leader id.
+  const auto m2 = net::make_topology("slow-leader:25:2", 4, 4, lan_base());
+  EXPECT_DOUBLE_EQ(m2.at(2, 0).base, lan + 25.0 * kMs);
+  EXPECT_DOUBLE_EQ(m2.at(0, 2).base, lan);
+}
+
+TEST(Topology, ShiftRespectsUniformParameterization) {
+  net::LinkSpec link;
+  link.family = net::DelayFamily::kUniform;
+  link.base = 1.0 * kMs;
+  link.spread = 2.0 * kMs;
+  net::shift_link(link, 10.0 * kMs);
+  EXPECT_DOUBLE_EQ(link.base, 11.0 * kMs);
+  EXPECT_DOUBLE_EQ(link.spread, 12.0 * kMs);
+  EXPECT_DOUBLE_EQ(net::link_mean_ns(link), 11.5 * kMs);
+}
+
+TEST(Topology, BadSpecsThrow) {
+  EXPECT_THROW(net::make_topology("nonsense", 4, 4, lan_base()),
+               std::invalid_argument);
+  EXPECT_THROW(net::make_topology("wan", 4, 4, lan_base()),
+               std::invalid_argument);  // missing args
+  EXPECT_THROW(net::make_topology("wan:3:abc", 4, 4, lan_base()),
+               std::invalid_argument);  // bad number
+  EXPECT_THROW(net::make_topology("slow-replica:9:10", 4, 4, lan_base()),
+               std::invalid_argument);  // id out of range
+  EXPECT_THROW(static_cast<void>(net::parse_delay_family("cauchy")),
+               std::invalid_argument);
+}
+
+TEST(Topology, RegistryAcceptsCustomScenarioAndGuardsBuiltins) {
+  net::register_topology("test-star", [](const net::TopologyContext& ctx) {
+    // Every link to/from endpoint 0 doubled.
+    net::LinkMatrix m(ctx.n_endpoints, ctx.base);
+    for (types::NodeId other = 1; other < ctx.n_endpoints; ++other) {
+      m.at(0, other).base *= 2;
+      m.at(other, 0).base *= 2;
+    }
+    return m;
+  });
+  const auto m = net::make_topology("test-star", 3, 3, lan_base());
+  EXPECT_DOUBLE_EQ(m.at(0, 1).base, 2 * lan_base().base);
+  EXPECT_DOUBLE_EQ(m.at(1, 2).base, lan_base().base);
+  const auto names = net::topology_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-star"), names.end());
+  EXPECT_THROW(net::register_topology("wan", [](const net::TopologyContext&) {
+                 return net::LinkMatrix();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(net::register_topology("bad:name",
+                                      [](const net::TopologyContext&) {
+                                        return net::LinkMatrix();
+                                      }),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scenarios through the harness
+// ---------------------------------------------------------------------------
+
+TEST(LinkModelEndToEnd, WanScenariosRunDeterministically) {
+  for (const char* family : {"uniform", "lognormal", "pareto"}) {
+    harness::RunSpec spec = compat_spec("hotstuff");
+    spec.cfg.n_replicas = 6;
+    spec.cfg.link_model = family;
+    spec.cfg.topology = "wan:3:10";
+    spec.cfg.timeout = sim::milliseconds(300);
+    spec.opts.warmup_s = 0.1;
+    spec.opts.measure_s = 0.4;
+    const harness::RunResult a = harness::execute(spec);
+    const harness::RunResult b = harness::execute(spec);
+    EXPECT_EQ(a, b) << family;  // same seed => same schedule
+    EXPECT_TRUE(a.consistent) << family;
+    EXPECT_GT(a.blocks_committed, 0u) << family;
+  }
+}
+
+TEST(LinkModelEndToEnd, WanDelaySlowsLatencyVersusLan) {
+  harness::RunSpec lan = compat_spec("hotstuff");
+  lan.opts.measure_s = 0.4;
+  harness::RunSpec wan = lan;
+  wan.cfg.topology = "wan:2:20";
+  wan.cfg.timeout = sim::milliseconds(300);
+  const harness::RunResult rl = harness::execute(lan);
+  const harness::RunResult rw = harness::execute(wan);
+  EXPECT_GT(rw.latency_ms_mean, rl.latency_ms_mean + 5.0);
+}
+
+TEST(LinkModelEndToEnd, UnknownModelThrowsAtClusterConstruction) {
+  harness::RunSpec spec = compat_spec("hotstuff");
+  spec.cfg.link_model = "cauchy";
+  EXPECT_THROW(harness::execute(spec), std::invalid_argument);
+  harness::RunSpec spec2 = compat_spec("hotstuff");
+  spec2.cfg.topology = "moebius:3";
+  EXPECT_THROW(harness::execute(spec2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bamboo

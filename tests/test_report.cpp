@@ -320,5 +320,62 @@ TEST(MergeRecords, ThrowsOnMissingRep) {
   EXPECT_THROW(harness::report::merge_records(rows), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Timeline records (Fig. 15 buckets as flat rows)
+// ---------------------------------------------------------------------------
+
+std::vector<Record> fixture_timeline(std::uint32_t spec_index) {
+  harness::RunSpec spec = fixture_spec();
+  spec.timeline_bucket_s = 0.5;
+  harness::RunOutput out;
+  out.bucket_start_s = {0.0, 0.5, 1.0};
+  out.tx_per_s = {71500.0, 72000.0 + spec_index, 70250.0};
+  return harness::report::make_timeline_records(
+      "fig15", "fig15_timeline", "t10-HS", spec_index, spec, out);
+}
+
+TEST(TimelineRecords, CarryBucketsAsFlatRows) {
+  const std::vector<Record> rows = fixture_timeline(2);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::uint32_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].kind, "timeline");
+    EXPECT_EQ(rows[i].rep, i);  // bucket index
+    EXPECT_EQ(rows[i].spec_index, 2u);
+    EXPECT_DOUBLE_EQ(rows[i].prov.offered, 0.5 * i);  // bucket start
+    EXPECT_DOUBLE_EQ(rows[i].result.measured_s, 0.5);  // bucket width
+  }
+  EXPECT_DOUBLE_EQ(rows[1].result.throughput_tps, 72002.0);
+  // Lossless through the JSON path like any other record.
+  const util::Json j =
+      util::Json::parse(harness::report::to_json(rows[1]).dump());
+  EXPECT_EQ(harness::report::record_from_json(j), rows[1]);
+}
+
+TEST(MergeRecords, TimelineRowsPassThroughInBucketOrder) {
+  // Two specs' timelines arriving from different shards, interleaved and
+  // out of order, alongside a run/aggregate group in another artifact.
+  std::vector<Record> rows = fixture_records();
+  const std::vector<Record> t0 = fixture_timeline(0);
+  const std::vector<Record> t1 = fixture_timeline(1);
+  rows.insert(rows.end(), {t1[2], t0[1], t1[0], t0[0], t1[1], t0[2]});
+
+  const std::vector<Record> merged = harness::report::merge_records(rows);
+  // 3 runs + regenerated aggregate + 6 timeline rows.
+  ASSERT_EQ(merged.size(), 10u);
+  std::vector<Record> timeline;
+  for (const Record& r : merged) {
+    if (r.kind == "timeline") timeline.push_back(r);
+  }
+  const std::vector<Record> expected = {t0[0], t0[1], t0[2],
+                                        t1[0], t1[1], t1[2]};
+  EXPECT_EQ(timeline, expected);
+}
+
+TEST(MergeRecords, ThrowsOnDuplicateTimelineBucket) {
+  std::vector<Record> rows = fixture_timeline(0);
+  rows.push_back(rows[1]);
+  EXPECT_THROW(harness::report::merge_records(rows), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bamboo

@@ -123,13 +123,13 @@ TEST(RunningStats, EmptyIsZero) {
 }
 
 TEST(RunningStats, KnownValuesSmallSample) {
-  // {1, 2, 3, 4}: mean 2.5, sample variance 5/3, ci95 = 1.96 σ/√4.
+  // {1, 2, 3, 4}: mean 2.5, sample variance 5/3, ci95 = t_{0.975,3} σ/√4.
   util::RunningStats s;
   for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
   EXPECT_DOUBLE_EQ(s.mean(), 2.5);
   EXPECT_DOUBLE_EQ(s.variance(), 5.0 / 3.0);
   EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(5.0 / 3.0));
-  EXPECT_DOUBLE_EQ(s.ci95(), 1.96 * std::sqrt(5.0 / 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 3.182 * std::sqrt(5.0 / 3.0) / 2.0);
   EXPECT_DOUBLE_EQ(s.sum(), 10.0);
 }
 
@@ -138,8 +138,23 @@ TEST(RunningStats, Ci95NeedsTwoSamples) {
   s.add(7.0);
   EXPECT_EQ(s.ci95(), 0.0);
   s.add(9.0);
-  // Two samples: σ = √2, ci = 1.96 √2 / √2 = 1.96.
-  EXPECT_DOUBLE_EQ(s.ci95(), 1.96);
+  // Two samples: σ = √2, ci = t_{0.975,1} √2 / √2 = 12.706.
+  EXPECT_DOUBLE_EQ(s.ci95(), 12.706);
+}
+
+TEST(RunningStats, StudentTCriticalValues) {
+  EXPECT_DOUBLE_EQ(util::t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(2), 4.303);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(35), 2.021);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(50), 2.000);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(100), 1.980);
+  EXPECT_DOUBLE_EQ(util::t_critical_95(1000), 1.96);
+  // Monotone non-increasing in df.
+  for (std::size_t df = 2; df <= 200; ++df) {
+    EXPECT_LE(util::t_critical_95(df), util::t_critical_95(df - 1)) << df;
+  }
 }
 
 TEST(RunningStats, MergeKnownValues) {
@@ -159,7 +174,7 @@ TEST(RunningStats, MergeKnownValues) {
   EXPECT_DOUBLE_EQ(a.min(), 1.0);
   EXPECT_DOUBLE_EQ(a.max(), 5.0);
   EXPECT_DOUBLE_EQ(a.sum(), 15.0);
-  EXPECT_DOUBLE_EQ(a.ci95(), 1.96 * std::sqrt(2.5) / std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(a.ci95(), 2.776 * std::sqrt(2.5) / std::sqrt(5.0));
 }
 
 TEST(RunningStats, MergeWithEmptyIsIdentity) {

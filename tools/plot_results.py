@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Render SVG figures from bench --out artifact directories.
+
+Walks the given directories for ``manifest*.json`` files (written by the
+bench binaries' ArtifactWriter or by bench_merge), loads every CSV artifact,
+and renders one SVG per figure/table into --svg-dir:
+
+* record artifacts (rows with a ``kind`` column):
+  - ``aggregate`` rows -> latency/throughput curves vs the ``offered`` sweep
+    label, one line per ``series``, error bars from the ``*_ci95`` columns
+    (Student-t 95% half-widths);
+  - ``timeline`` rows (Fig. 15 buckets) -> committed-tx rate vs time, one
+    line per ``series``.
+* free-form side tables (no ``kind`` column) -> first column as x, every
+  other numeric column as a line.
+
+Usage:
+    tools/plot_results.py build/smoke --svg-dir build/plots
+    tools/plot_results.py --list build/smoke      # dry run, no matplotlib
+
+Only the actual rendering needs matplotlib; ``--list`` works without it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_manifests(roots: list[str]) -> list[Path]:
+    manifests: list[Path] = []
+    for root in roots:
+        path = Path(root)
+        if path.is_file():
+            manifests.append(path)
+            continue
+        manifests.extend(sorted(path.rglob("manifest*.json")))
+    return manifests
+
+
+def load_artifacts(manifests: list[Path]) -> dict[str, dict]:
+    """\"bench.artifact\" -> {"bench", "name", "path", "rows"} from CSVs.
+
+    An unsharded (or bench_merge'd) manifest is authoritative for its
+    artifacts. When only ``--shard i/n`` manifests are present, the shard
+    slices are unioned so the full row set is still plotted; a shard slice
+    never overrides or double-counts an authoritative row set.
+    """
+    artifacts: dict[str, dict] = {}
+    for manifest_path in manifests:
+        manifest = json.loads(manifest_path.read_text())
+        sharded = manifest.get("shard", {}).get("count", 1) > 1
+        for artifact in manifest.get("artifacts", []):
+            name = artifact.get("name", "")
+            key = f"{manifest.get('bench', 'bench')}.{name}"
+            for file in artifact.get("files", []):
+                if file.get("format") != "csv":
+                    continue
+                path = manifest_path.parent / file["path"]
+                with path.open(newline="") as handle:
+                    rows = list(csv.DictReader(handle))
+                entry = artifacts.get(key)
+                if entry is None or (entry["sharded"] and not sharded):
+                    artifacts[key] = {
+                        "bench": manifest.get("bench", "bench"),
+                        "name": name,
+                        "path": path,
+                        "rows": rows,
+                        "sharded": sharded,
+                    }
+                elif sharded and entry["sharded"]:
+                    entry["rows"].extend(rows)  # union the shard slices
+                # else: authoritative set already loaded; skip the slice
+    return artifacts
+
+
+def classify(rows: list[dict]) -> str:
+    if not rows:
+        return "empty"
+    if "kind" not in rows[0]:
+        return "table"
+    kinds = {row["kind"] for row in rows}
+    if "timeline" in kinds:
+        return "timeline"
+    if "aggregate" in kinds:
+        return "sweep"
+    return "runs"
+
+
+def series_of(rows: list[dict], kind: str) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = defaultdict(list)
+    for row in rows:
+        if row["kind"] != kind:
+            continue
+        grouped[row["series"]].append(row)
+    for label in grouped:
+        grouped[label].sort(key=lambda r: float(r["offered"]))
+    return grouped
+
+
+def floats(rows: list[dict], column: str) -> list[float]:
+    return [float(row[column]) for row in rows]
+
+
+def plot_sweep(plt, artifact: dict, out_path: Path) -> None:
+    grouped = series_of(artifact["rows"], "aggregate")
+    fig, (ax_thr, ax_lat) = plt.subplots(1, 2, figsize=(11, 4.2))
+    for label, rows in grouped.items():
+        offered = floats(rows, "offered")
+        thr = [t / 1e3 for t in floats(rows, "throughput_tps")]
+        thr_ci = [c / 1e3 for c in floats(rows, "throughput_tps_ci95")]
+        lat = floats(rows, "latency_ms_mean")
+        lat_ci = floats(rows, "latency_ms_mean_ci95")
+        ax_thr.errorbar(offered, thr, yerr=thr_ci, marker="o", capsize=3,
+                        label=label)
+        ax_lat.errorbar(offered, lat, yerr=lat_ci, marker="o", capsize=3,
+                        label=label)
+    ax_thr.set_xlabel("offered load")
+    ax_thr.set_ylabel("throughput (KTx/s)")
+    ax_lat.set_xlabel("offered load")
+    ax_lat.set_ylabel("latency, mean (ms)")
+    for ax in (ax_thr, ax_lat):
+        ax.grid(True, alpha=0.3)
+    ax_thr.legend(fontsize=7)
+    fig.suptitle(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def plot_timeline(plt, artifact: dict, out_path: Path) -> None:
+    grouped = series_of(artifact["rows"], "timeline")
+    fig, ax = plt.subplots(figsize=(9, 4.2))
+    for label, rows in grouped.items():
+        t = floats(rows, "offered")  # bucket start (s)
+        rate = [r / 1e3 for r in floats(rows, "throughput_tps")]
+        ax.plot(t, rate, label=label)
+    ax.set_xlabel("time (s)")
+    ax.set_ylabel("committed (KTx/s)")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    ax.set_title(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def plot_table(plt, artifact: dict, out_path: Path) -> None:
+    rows = artifact["rows"]
+    headers = list(rows[0].keys())
+    x_name, y_names = headers[0], headers[1:]
+    fig, ax = plt.subplots(figsize=(9, 4.2))
+    x = [float(row[x_name]) for row in rows]
+    for y_name in y_names:
+        try:
+            y = [float(row[y_name]) for row in rows]
+        except ValueError:
+            continue  # non-numeric column (e.g. another shard's "-")
+        ax.plot(x, y, label=y_name)
+    ax.set_xlabel(x_name)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    ax.set_title(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="artifact directories (searched recursively) "
+                             "or manifest.json files")
+    parser.add_argument("--svg-dir", default="plots",
+                        help="output directory for the SVGs")
+    parser.add_argument("--list", action="store_true",
+                        help="only list what would be plotted (no matplotlib)")
+    args = parser.parse_args()
+
+    manifests = find_manifests(args.inputs)
+    if not manifests:
+        print("plot_results: no manifest*.json found under inputs",
+              file=sys.stderr)
+        return 2
+    artifacts = load_artifacts(manifests)
+
+    plan = []
+    for key, artifact in sorted(artifacts.items()):
+        shape = classify(artifact["rows"])
+        if shape == "empty":
+            continue
+        plan.append((key, shape, artifact))
+    if args.list:
+        for key, shape, artifact in plan:
+            print(f"{key}: {shape} ({len(artifact['rows'])} rows)")
+        return 0
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("plot_results: matplotlib is required for rendering "
+              "(pip install matplotlib), or use --list", file=sys.stderr)
+        return 3
+
+    out_dir = Path(args.svg_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    renderers = {"sweep": plot_sweep, "timeline": plot_timeline,
+                 "table": plot_table}
+    written = 0
+    for key, shape, artifact in plan:
+        if shape == "runs":
+            continue  # no aggregate rows to plot (per-run rows only)
+        out_path = out_dir / f"{key}.svg"
+        renderers[shape](plt, artifact, out_path)
+        print(f"wrote {out_path}")
+        written += 1
+    if written == 0:
+        print("plot_results: nothing plottable found", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
