@@ -4,12 +4,14 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [protocol] [topology] [link_model]
+//   ./build/quickstart [protocol] [topology] [link_model] [churn-dsl]
 // where protocol is one of: hotstuff (default), 2chs, streamlet,
 // fasthotstuff; topology is a WAN scenario spec (e.g. "wan:3:40",
-// "slow-leader:20"); link_model is normal | uniform | lognormal | pareto.
-// Try:
-//   ./build/examples/quickstart hotstuff wan:3:40 pareto
+// "slow-leader:20"); link_model is normal | uniform | lognormal | pareto;
+// churn-dsl is a network-churn schedule (docs/SCENARIOS.md). Try:
+//   ./build/quickstart hotstuff wan:3:40 pareto
+//   ./build/quickstart hotstuff uniform normal \
+//       'partition@0.5s:groups=0-1|2-3;heal@0.8s'
 
 #include <iostream>
 #include <string>
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   cfg.seed = 2021;
   if (argc > 2) cfg.topology = argv[2];
   if (argc > 3) cfg.link_model = argv[3];
+  if (argc > 4) cfg.churn = argv[4];
   // WAN scenarios add tens of ms per hop; keep view timers clear of it.
   if (cfg.topology != "uniform") cfg.timeout = sim::milliseconds(300);
 
@@ -42,6 +45,8 @@ int main(int argc, char** argv) {
   std::cout << "protocol   : " << cfg.protocol << "\n"
             << "network    : " << cfg.topology << " / " << cfg.link_model
             << " links\n"
+            << "churn      : " << (cfg.churn.empty() ? "none" : cfg.churn)
+            << "\n"
             << "replicas   : " << cfg.n_replicas << " (quorum "
             << cfg.quorum() << ")\n"
             << "block size : " << cfg.bsize << " txns\n"
@@ -49,7 +54,16 @@ int main(int argc, char** argv) {
             << "\nrunning " << opts.warmup_s + opts.measure_s
             << "s of simulated time...\n\n";
 
-  const harness::RunResult r = harness::run_experiment(cfg, wl, opts);
+  // Config parsing, topology construction and churn installation all
+  // throw std::invalid_argument on user typos — exit cleanly, not via
+  // std::terminate.
+  harness::RunResult r;
+  try {
+    r = harness::run_experiment(cfg, wl, opts);
+  } catch (const std::exception& e) {
+    std::cerr << "invalid configuration: " << e.what() << "\n";
+    return 2;
+  }
 
   std::cout << "throughput     : " << static_cast<long>(r.throughput_tps)
             << " tx/s\n"

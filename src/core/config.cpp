@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/churn.h"
+
 namespace bamboo::core {
 
 ByzStrategy parse_strategy(const std::string& name) {
@@ -34,7 +36,15 @@ void Config::validate() const {
     throw std::invalid_argument("need at least one client host");
   if (link_loss < 0 || link_loss >= 1)
     throw std::invalid_argument("link_loss must be in [0, 1)");
+  if (ge_p < 0 || ge_p >= 1 || ge_r < 0 || ge_r >= 1)
+    throw std::invalid_argument("ge_p / ge_r must be in [0, 1)");
+  if (ge_loss_good < 0 || ge_loss_good > 1 || ge_loss_bad < 0 ||
+      ge_loss_bad > 1)
+    throw std::invalid_argument("ge_loss_good / ge_loss_bad must be in [0, 1]");
   (void)parse_strategy(strategy);  // throws on unknown strategy
+  // A churn schedule either parses completely or the experiment refuses to
+  // start — the old FaultPlan silently ignored half-specified windows.
+  (void)parse_churn(churn);  // throws std::invalid_argument with the event
   // link_model / topology strings are validated where they are consumed
   // (net::parse_delay_family / net::make_topology at cluster construction).
 }
@@ -73,6 +83,11 @@ Config Config::from_json(const util::Json& j) {
   c.link_shape = j.get_number("link_shape", c.link_shape);
   c.link_loss = j.get_number("link_loss", c.link_loss);
   c.topology = j.get_string("topology", c.topology);
+  c.churn = j.get_string("churn", c.churn);
+  c.ge_p = j.get_number("ge_p", c.ge_p);
+  c.ge_r = j.get_number("ge_r", c.ge_r);
+  c.ge_loss_good = j.get_number("ge_loss_good", c.ge_loss_good);
+  c.ge_loss_bad = j.get_number("ge_loss_bad", c.ge_loss_bad);
   c.rtt_mean = sim::from_milliseconds(
       j.get_number("rtt_ms", sim::to_milliseconds(c.rtt_mean)));
   c.rtt_stddev = sim::from_milliseconds(j.get_number(
@@ -109,6 +124,11 @@ util::Json Config::to_json() const {
   o.emplace("link_shape", util::Json(link_shape));
   o.emplace("link_loss", util::Json(link_loss));
   o.emplace("topology", util::Json(topology));
+  o.emplace("churn", util::Json(churn));
+  o.emplace("ge_p", util::Json(ge_p));
+  o.emplace("ge_r", util::Json(ge_r));
+  o.emplace("ge_loss_good", util::Json(ge_loss_good));
+  o.emplace("ge_loss_bad", util::Json(ge_loss_bad));
   o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
   return util::Json(std::move(o));
 }

@@ -77,6 +77,21 @@ struct Config {
   /// "wan:<regions>:<rtt_ms>[,...]", "slow-replica:<id>:<extra_ms>",
   /// "slow-leader:<extra_ms>[:<id>]" (see net/topology.h).
   std::string topology = "uniform";
+
+  // --- network-churn engine (core/churn.h) --------------------------------
+  /// Scheduled mid-run network churn, as the compact event DSL — e.g.
+  /// "degrade@2s:link=0-3:+40ms;partition@4s:groups=0-1|2-3;heal@6s".
+  /// Empty = no churn (bit-compatible with the pre-churn engine).
+  /// validate() rejects any unparseable or half-specified schedule.
+  std::string churn;
+  /// Gilbert-Elliott two-state bursty-loss channel, per directed link,
+  /// layered UNDER the independent Bernoulli `link_loss`. ge_p > 0 enables
+  /// the channel; with it at 0 (default) no extra RNG is drawn and the
+  /// schedule stays bit-compatible.
+  double ge_p = 0;  ///< per-message P(good -> bad) transition, [0, 1)
+  double ge_r = 0;  ///< per-message P(bad -> good) transition, [0, 1)
+  double ge_loss_good = 0;  ///< per-message loss rate in the good state
+  double ge_loss_bad = 1.0;  ///< per-message loss rate in the bad state
   sim::Duration cpu_sign = sim::microseconds(50);     ///< secp256k1 sign
   sim::Duration cpu_verify = sim::microseconds(80);   ///< secp256k1 verify
   /// Per-transaction server-side request handling (HTTP parse, mempool

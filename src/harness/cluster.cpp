@@ -32,6 +32,10 @@ net::NetConfig net_config_of(const core::Config& cfg) {
   nc.link_shape = cfg.link_shape;
   nc.link_loss = cfg.link_loss;
   nc.topology = cfg.topology;
+  nc.ge_p = cfg.ge_p;
+  nc.ge_r = cfg.ge_r;
+  nc.ge_loss_good = cfg.ge_loss_good;
+  nc.ge_loss_bad = cfg.ge_loss_bad;
   nc.n_replicas = cfg.n_replicas;
   return nc;
 }

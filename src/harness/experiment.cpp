@@ -1,6 +1,9 @@
 #include "harness/experiment.h"
 
+#include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/stats.h"
@@ -86,37 +89,274 @@ client::WorkloadConfig with_payload(const client::WorkloadConfig& wl,
   return out;
 }
 
-/// Schedule the spec's fluctuation window and fault injection.
-void install_fault_plan(Cluster& cluster, const FaultPlan& plan) {
-  auto& simulator = cluster.simulator();
-  // Both ends must be given: a lone start would schedule the reset at a
-  // negative time (clamped to t=0) and leave the fluctuation on forever.
-  if (plan.fluct_start_s >= 0 && plan.fluct_end_s >= plan.fluct_start_s) {
-    const sim::Duration lo = plan.fluct_lo;
-    const sim::Duration hi = plan.fluct_hi;
-    simulator.schedule_at(sim::from_seconds(plan.fluct_start_s),
-                          [&cluster, lo, hi] {
-                            cluster.network().set_fluctuation(lo, hi);
-                          });
-    simulator.schedule_at(sim::from_seconds(plan.fluct_end_s), [&cluster] {
-      cluster.network().set_fluctuation(0, 0);
-    });
+[[noreturn]] void churn_fail(const core::ChurnEvent& ev,
+                             const std::string& why) {
+  throw std::invalid_argument("churn event '" +
+                              core::format_churn({ev}) + "': " + why);
+}
+
+/// Resolve an event's link target into directed (from, to) pairs over the
+/// cluster's endpoints, range-checking every id against the config.
+std::vector<std::pair<types::NodeId, types::NodeId>> target_links(
+    const core::ChurnEvent& ev, const core::Config& cfg) {
+  const std::uint32_t n = cfg.num_endpoints();
+  std::vector<std::pair<types::NodeId, types::NodeId>> pairs;
+  const auto both = [&pairs](types::NodeId a, types::NodeId b) {
+    pairs.emplace_back(a, b);
+    pairs.emplace_back(b, a);
+  };
+  switch (ev.target) {
+    case core::ChurnTarget::kAll:
+      for (types::NodeId from = 0; from < n; ++from) {
+        for (types::NodeId to = 0; to < n; ++to) {
+          if (from != to) pairs.emplace_back(from, to);
+        }
+      }
+      break;
+    case core::ChurnTarget::kLink:
+      if (ev.a >= n || ev.b >= n) {
+        churn_fail(ev, "link endpoint out of range (have " +
+                           std::to_string(n) + " endpoints)");
+      }
+      if (ev.directed) {
+        pairs.emplace_back(ev.a, ev.b);
+      } else {
+        both(ev.a, ev.b);
+      }
+      break;
+    case core::ChurnTarget::kReplica:
+      if (ev.a >= n) {
+        churn_fail(ev, "endpoint out of range (have " + std::to_string(n) +
+                           " endpoints)");
+      }
+      for (types::NodeId other = 0; other < n; ++other) {
+        if (other != ev.a) both(ev.a, other);
+      }
+      break;
+    case core::ChurnTarget::kRegion: {
+      // Round-robin regions as in the wan topology: replica i is in region
+      // i % regions. Degrade every link CROSSING the region boundary, both
+      // directions — the region's uplink; intra-region links stay LAN.
+      // The DSL parser guarantees 1 <= regions and region < regions, but a
+      // programmatic FaultPlan can hand us anything (regions defaults to
+      // 0, which would be a modulo-by-zero SIGFPE below).
+      if (ev.regions < 1 || ev.region >= ev.regions) {
+        churn_fail(ev, "region target wants region < regions and "
+                       "regions >= 1");
+      }
+      const auto in_region = [&](types::NodeId id) {
+        return id < cfg.n_replicas && id % ev.regions == ev.region;
+      };
+      for (types::NodeId from = 0; from < n; ++from) {
+        for (types::NodeId to = 0; to < n; ++to) {
+          if (from == to) continue;
+          if (in_region(from) != in_region(to)) pairs.emplace_back(from, to);
+        }
+      }
+      break;
+    }
+    case core::ChurnTarget::kLeader:
+      if (ev.a >= cfg.n_replicas) {
+        churn_fail(ev, "leader replica out of range (have " +
+                           std::to_string(cfg.n_replicas) + " replicas)");
+      }
+      for (types::NodeId to = 0; to < n; ++to) {
+        if (to != ev.a) pairs.emplace_back(ev.a, to);  // outbound only
+      }
+      break;
   }
-  if (plan.crash_at_s > 0) {
-    const types::NodeId victim = plan.crash_replica;
-    const FaultKind fault = plan.fault;
-    simulator.schedule_at(sim::from_seconds(plan.crash_at_s),
-                          [&cluster, victim, fault] {
-                            if (fault == FaultKind::kCrash) {
-                              cluster.crash_replica(victim);
-                            } else {
-                              cluster.silence_replica(victim);
-                            }
-                          });
+  return pairs;
+}
+
+/// Expand a partition event into SimNetwork's group-of-endpoint vector.
+/// Endpoints not named by any group (client hosts, unlisted replicas or
+/// regions) join the FIRST group, so the observer side keeps its clients.
+std::vector<int> partition_of(const core::ChurnEvent& ev,
+                              const core::Config& cfg) {
+  std::vector<int> group(cfg.num_endpoints(), 0);
+  std::vector<bool> assigned(cfg.num_endpoints(), false);
+  const auto assign = [&](types::NodeId id, int g) {
+    if (assigned[id]) {
+      churn_fail(ev, "replica " + std::to_string(id) +
+                         " appears in two partition groups");
+    }
+    assigned[id] = true;
+    group[id] = g;
+  };
+  for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+    for (std::uint32_t member : ev.groups[g]) {
+      if (ev.regions > 0) {
+        // Region form: member is a region id. The parser validates both,
+        // but a programmatic schedule may not have been through it.
+        if (member >= ev.regions) {
+          churn_fail(ev, "region id " + std::to_string(member) +
+                             " out of range for " +
+                             std::to_string(ev.regions) + " regions");
+        }
+        for (types::NodeId id = 0; id < cfg.n_replicas; ++id) {
+          if (id % ev.regions == member) assign(id, static_cast<int>(g));
+        }
+      } else {
+        if (member >= cfg.n_replicas) {
+          churn_fail(ev, "replica " + std::to_string(member) +
+                             " out of range (have " +
+                             std::to_string(cfg.n_replicas) + " replicas)");
+        }
+        assign(member, static_cast<int>(g));
+      }
+    }
   }
+  return group;
 }
 
 }  // namespace
+
+core::ChurnSchedule effective_churn(const FaultPlan& faults,
+                                    const core::Config& cfg) {
+  core::ChurnSchedule schedule = faults.schedule;
+  if (!cfg.churn.empty()) {
+    const core::ChurnSchedule parsed = core::parse_churn(cfg.churn);
+    schedule.insert(schedule.end(), parsed.begin(), parsed.end());
+  }
+  return schedule;
+}
+
+void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
+  auto& simulator = cluster.simulator();
+  const core::Config& cfg = cluster.config();
+
+  // Overlapping-window bookkeeping, shared by this schedule's callbacks:
+  // a window's end must not clobber another window that is still open on
+  // the same knob (the latest-started open window wins, matching the
+  // overwrite order of the start callbacks). Keyed by a per-install
+  // monotonically increasing window id.
+  struct FluctWindow {
+    int id;
+    sim::Duration lo, hi;
+  };
+  struct BurstEntry {
+    int id;
+    double loss;
+  };
+  struct ActiveWindows {
+    std::vector<FluctWindow> fluct;  // open fluct windows, start order
+    // Open burst windows per directed link, start order.
+    std::map<std::pair<types::NodeId, types::NodeId>,
+             std::vector<BurstEntry>> burst;
+  };
+  auto active = std::make_shared<ActiveWindows>();
+  int next_window = 0;
+
+  for (const core::ChurnEvent& ev : schedule) {
+    const sim::Time at = sim::from_seconds(ev.at_s);
+    switch (ev.kind) {
+      case core::ChurnKind::kLinkDegrade: {
+        auto pairs = target_links(ev, cfg);
+        const double extra_ns =
+            ev.extra_ms * static_cast<double>(sim::kMillisecond);
+        simulator.schedule_at(at, [&cluster, pairs = std::move(pairs),
+                                   extra_ns] {
+          for (const auto& [from, to] : pairs) {
+            cluster.network().degrade_link(from, to, extra_ns);
+          }
+        });
+        break;
+      }
+      case core::ChurnKind::kLinkRestore: {
+        if (ev.target == core::ChurnTarget::kAll) {
+          simulator.schedule_at(
+              at, [&cluster] { cluster.network().restore_all_links(); });
+          break;
+        }
+        auto pairs = target_links(ev, cfg);
+        simulator.schedule_at(at, [&cluster, pairs = std::move(pairs)] {
+          for (const auto& [from, to] : pairs) {
+            cluster.network().restore_link(from, to);
+          }
+        });
+        break;
+      }
+      case core::ChurnKind::kPartitionStart: {
+        auto groups = partition_of(ev, cfg);
+        simulator.schedule_at(at, [&cluster, groups = std::move(groups)] {
+          cluster.network().set_partition(groups);
+        });
+        break;
+      }
+      case core::ChurnKind::kPartitionHeal:
+        simulator.schedule_at(
+            at, [&cluster] { cluster.network().set_partition({}); });
+        break;
+      case core::ChurnKind::kLossBurst: {
+        auto pairs = target_links(ev, cfg);
+        const double loss = ev.loss;
+        const int id = next_window++;
+        simulator.schedule_at(at, [&cluster, active, pairs, loss, id] {
+          for (const auto& [from, to] : pairs) {
+            active->burst[{from, to}].push_back(BurstEntry{id, loss});
+            cluster.network().set_link_loss(from, to, loss);
+          }
+        });
+        simulator.schedule_at(
+            sim::from_seconds(ev.at_s + ev.for_s),
+            [&cluster, active, pairs = std::move(pairs), id] {
+              for (const auto& [from, to] : pairs) {
+                auto& open = active->burst[{from, to}];
+                std::erase_if(open,
+                              [id](const BurstEntry& e) { return e.id == id; });
+                if (open.empty()) {
+                  cluster.network().restore_link_loss(from, to);
+                } else {
+                  // Another burst still covers this link: reapply the
+                  // latest-started one instead of the baseline.
+                  cluster.network().set_link_loss(from, to,
+                                                  open.back().loss);
+                }
+              }
+            });
+        break;
+      }
+      case core::ChurnKind::kFluctuation: {
+        const sim::Duration lo = sim::from_milliseconds(ev.lo_ms);
+        const sim::Duration hi = sim::from_milliseconds(ev.hi_ms);
+        const int id = next_window++;
+        simulator.schedule_at(at, [&cluster, active, lo, hi, id] {
+          active->fluct.push_back(FluctWindow{id, lo, hi});
+          cluster.network().set_fluctuation(lo, hi);
+        });
+        simulator.schedule_at(
+            sim::from_seconds(ev.at_s + ev.for_s), [&cluster, active, id] {
+              std::erase_if(active->fluct,
+                            [id](const FluctWindow& w) { return w.id == id; });
+              if (active->fluct.empty()) {
+                cluster.network().set_fluctuation(0, 0);
+              } else {
+                const FluctWindow& w = active->fluct.back();
+                cluster.network().set_fluctuation(w.lo, w.hi);
+              }
+            });
+        break;
+      }
+      case core::ChurnKind::kCrash:
+      case core::ChurnKind::kSilence: {
+        if (ev.a >= cfg.n_replicas) {
+          churn_fail(ev, "replica out of range (have " +
+                             std::to_string(cfg.n_replicas) + " replicas)");
+        }
+        const types::NodeId victim = ev.a;
+        const bool hard = ev.kind == core::ChurnKind::kCrash;
+        simulator.schedule_at(at, [&cluster, victim, hard] {
+          if (hard) {
+            cluster.crash_replica(victim);
+          } else {
+            cluster.silence_replica(victim);
+          }
+        });
+        break;
+      }
+    }
+  }
+}
 
 RunOutput execute_full(const RunSpec& spec) {
   Cluster cluster(spec.cfg);
@@ -150,7 +390,7 @@ RunOutput execute_full(const RunSpec& spec) {
     driver.set_timeline(timeline.get());
   }
   driver.install();
-  install_fault_plan(cluster, spec.faults);
+  install_churn(cluster, effective_churn(spec.faults, spec.cfg));
 
   cluster.start();
   driver.start();
@@ -281,13 +521,43 @@ RunSpec timeline_spec(const core::Config& cfg,
   spec.opts.measure_s = horizon_s;
   spec.measure_whole_run = true;
   spec.timeline_bucket_s = bucket_s;
-  spec.faults.fluct_start_s = fluct_start_s;
-  spec.faults.fluct_end_s = fluct_end_s;
-  spec.faults.fluct_lo = fluct_lo;
-  spec.faults.fluct_hi = fluct_hi;
-  spec.faults.crash_at_s = crash_at_s;
-  spec.faults.crash_replica = crash_replica;
-  spec.faults.fault = fault;
+
+  // The legacy two-event plan expressed as churn events, carried in
+  // cfg.churn so the schedule reaches provenance and shard merges.
+  core::ChurnSchedule schedule;
+  if (fluct_start_s >= 0) {
+    if (fluct_end_s < fluct_start_s) {
+      throw std::invalid_argument(
+          "timeline_spec: half-specified fluctuation window (start " +
+          std::to_string(fluct_start_s) + "s, end " +
+          std::to_string(fluct_end_s) + "s) — give both ends");
+    }
+    if (fluct_end_s > fluct_start_s) {  // a zero-length window is a no-op
+      core::ChurnEvent ev;
+      ev.kind = core::ChurnKind::kFluctuation;
+      ev.at_s = fluct_start_s;
+      ev.for_s = fluct_end_s - fluct_start_s;
+      ev.lo_ms = sim::to_milliseconds(fluct_lo);
+      ev.hi_ms = sim::to_milliseconds(fluct_hi);
+      schedule.push_back(ev);
+    }
+  }
+  if (crash_at_s > 0) {
+    core::ChurnEvent ev;
+    ev.kind = fault == FaultKind::kCrash ? core::ChurnKind::kCrash
+                                         : core::ChurnKind::kSilence;
+    ev.at_s = crash_at_s;
+    ev.target = core::ChurnTarget::kReplica;
+    ev.a = crash_replica;
+    schedule.push_back(ev);
+  }
+  // Append to (never clobber) a schedule the caller already put in
+  // cfg.churn — scenario benches pre-load their own DSL.
+  const std::string extra = core::format_churn(schedule);
+  if (!extra.empty()) {
+    spec.cfg.churn =
+        spec.cfg.churn.empty() ? extra : spec.cfg.churn + ";" + extra;
+  }
   return spec;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "client/workload.h"
+#include "core/churn.h"
 #include "core/config.h"
 #include "harness/cluster.h"
 
@@ -59,21 +60,36 @@ enum class FaultKind {
   kCrash,    ///< hard fail-stop
 };
 
-/// Mid-run fault / network-fluctuation schedule (Fig. 15). Disabled by
-/// default; times are simulated seconds from run start.
+/// The mid-run network-churn schedule: an ordered list of typed, timed
+/// events (link degradation/restoration, partitions, loss bursts, global
+/// fluctuation windows, crash/silence faults — see core/churn.h) executed
+/// by the simulator at their scheduled times. This generalizes the old
+/// two-event plan (one fluctuation window + one crash, Fig. 15) into a
+/// scenario language; the legacy shape is now just a two-event schedule.
+///
+/// Empty by default. Programmatic schedules go here; DSL strings ride in
+/// core::Config::churn (so they reach provenance) and are appended to
+/// this schedule at execute() time.
 struct FaultPlan {
-  /// Fluctuation window [start, end): applied only when start >= 0 AND
-  /// end >= start; a half-specified window is ignored.
-  double fluct_start_s = -1;
-  double fluct_end_s = -1;
-  sim::Duration fluct_lo = 0;  ///< extra one-way delay, uniform in [lo, hi]
-  sim::Duration fluct_hi = 0;
-  double crash_at_s = -1;  ///< <=0 disables the fault injection
-  types::NodeId crash_replica = 0;
-  FaultKind fault = FaultKind::kSilence;
+  core::ChurnSchedule schedule;
+
+  [[nodiscard]] bool empty() const { return schedule.empty(); }
 
   bool operator==(const FaultPlan&) const = default;
 };
+
+/// The effective schedule execute() installs for a spec: the programmatic
+/// FaultPlan events followed by the parsed core::Config::churn DSL events
+/// (throws std::invalid_argument on an unparseable DSL, like
+/// Config::validate()).
+[[nodiscard]] core::ChurnSchedule effective_churn(
+    const FaultPlan& faults, const core::Config& cfg);
+
+/// Schedule every churn event of `schedule` on the cluster's simulator
+/// (call before Cluster::start()). Endpoint/replica ids are range-checked
+/// against the cluster's configuration here — std::invalid_argument names
+/// the offending event. Exposed for tests; execute() calls it.
+void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule);
 
 /// The complete, self-contained description of ONE simulation run: protocol
 /// + cluster configuration, offered workload, measurement windows, seed
@@ -158,7 +174,13 @@ std::vector<SweepPoint> sweep_open_loop(const core::Config& cfg,
                                         const std::vector<double>& rates_tps,
                                         const RunOptions& opts = {});
 
-/// Build the spec for a Fig. 15 responsiveness timeline run.
+/// Build the spec for a Fig. 15 responsiveness timeline run. The
+/// fluctuation window and fault are expressed as churn-DSL events in the
+/// returned spec's cfg.churn (so they reach provenance); a negative
+/// fluct_start_s or non-positive crash_at_s omits the respective event.
+/// Throws std::invalid_argument on a half-specified window
+/// (fluct_start_s >= 0 with fluct_end_s < fluct_start_s) — the old
+/// FaultPlan silently ignored it.
 RunSpec timeline_spec(const core::Config& cfg,
                       const client::WorkloadConfig& wl, double horizon_s,
                       double bucket_s, double fluct_start_s,

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/churn.h"
 #include "sim/time.h"
 
 namespace bamboo::harness::report {
@@ -140,6 +141,15 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
   p.link_shape = spec.cfg.link_shape;
   p.link_loss = spec.cfg.link_loss;
   p.topology = spec.cfg.topology;
+  // The EFFECTIVE schedule — programmatic FaultPlan events followed by
+  // the cfg.churn DSL, exactly what execute() installs — in canonical
+  // form, so re-parsing a persisted row reproduces the executed plan
+  // even for runs driven through spec.faults.
+  p.churn = core::format_churn(effective_churn(spec.faults, spec.cfg));
+  p.ge_p = spec.cfg.ge_p;
+  p.ge_r = spec.cfg.ge_r;
+  p.ge_loss_good = spec.cfg.ge_loss_good;
+  p.ge_loss_bad = spec.cfg.ge_loss_bad;
   p.mode =
       spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
   p.concurrency = spec.workload.concurrency;
@@ -213,7 +223,8 @@ const std::vector<std::string>& csv_columns() {
       "bench", "artifact", "series", "kind", "spec_index", "rep", "reps",
       "protocol", "n_replicas", "byz_no", "strategy", "election", "bsize",
       "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms",
-      "link_model", "link_shape", "link_loss", "topology", "mode",
+      "link_model", "link_shape", "link_loss", "topology", "churn", "ge_p",
+      "ge_r", "ge_loss_good", "ge_loss_bad", "mode",
       "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
       "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
       "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
@@ -259,6 +270,11 @@ std::string csv_row(const Record& r) {
       num(r.prov.link_shape),
       num(r.prov.link_loss),
       csv_escape(r.prov.topology),
+      csv_escape(r.prov.churn),
+      num(r.prov.ge_p),
+      num(r.prov.ge_r),
+      num(r.prov.ge_loss_good),
+      num(r.prov.ge_loss_bad),
       csv_escape(r.prov.mode),
       std::to_string(r.prov.concurrency),
       num(r.prov.arrival_rate_tps),
@@ -325,6 +341,11 @@ util::Json to_json(const Record& r) {
   o.emplace("link_shape", util::Json(r.prov.link_shape));
   o.emplace("link_loss", util::Json(r.prov.link_loss));
   o.emplace("topology", util::Json(r.prov.topology));
+  o.emplace("churn", util::Json(r.prov.churn));
+  o.emplace("ge_p", util::Json(r.prov.ge_p));
+  o.emplace("ge_r", util::Json(r.prov.ge_r));
+  o.emplace("ge_loss_good", util::Json(r.prov.ge_loss_good));
+  o.emplace("ge_loss_bad", util::Json(r.prov.ge_loss_bad));
   o.emplace("mode", util::Json(r.prov.mode));
   o.emplace("concurrency",
             util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
@@ -400,6 +421,11 @@ Record record_from_json(const util::Json& j) {
   r.prov.link_shape = j.get_number("link_shape", 0);
   r.prov.link_loss = j.get_number("link_loss", 0);
   r.prov.topology = j.get_string("topology", "uniform");
+  r.prov.churn = j.get_string("churn", "");
+  r.prov.ge_p = j.get_number("ge_p", 0);
+  r.prov.ge_r = j.get_number("ge_r", 0);
+  r.prov.ge_loss_good = j.get_number("ge_loss_good", 0);
+  r.prov.ge_loss_bad = j.get_number("ge_loss_bad", 1.0);
   r.prov.mode = j.get_string("mode", "closed");
   r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
   r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);

@@ -43,6 +43,17 @@ struct Provenance {
   double link_shape = 0;
   double link_loss = 0;
   std::string topology = "uniform";
+  // Network-churn engine provenance: the canonical churn DSL of the
+  // EFFECTIVE schedule (programmatic FaultPlan events + the cfg.churn
+  // DSL, exactly what execute() installs), so re-parsing a persisted row
+  // yields the schedule the run executed; empty = no churn. The
+  // Gilbert-Elliott bursty-loss channel parameters ride as four flat
+  // columns like the rest of the link model.
+  std::string churn;
+  double ge_p = 0;
+  double ge_r = 0;
+  double ge_loss_good = 0;
+  double ge_loss_bad = 1.0;
   std::string mode;  ///< "closed" | "open"
   std::uint32_t concurrency = 0;
   double arrival_rate_tps = 0;

@@ -29,6 +29,14 @@ const std::vector<std::string>& delay_family_names() {
   return names;
 }
 
+bool gilbert_elliott_step(const LinkSpec& link, bool& bad, util::Rng& rng) {
+  const double rate = bad ? link.ge_loss_bad : link.ge_loss_good;
+  const bool lost = rate > 0 && rng.bernoulli(rate);
+  const double flip = bad ? link.ge_r : link.ge_p;
+  if (flip > 0 && rng.bernoulli(flip)) bad = !bad;
+  return lost;
+}
+
 void shift_link(LinkSpec& link, double extra_ns) {
   link.base += extra_ns;
   if (link.family == DelayFamily::kUniform) link.spread += extra_ns;

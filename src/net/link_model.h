@@ -75,9 +75,33 @@ struct LinkSpec {
   /// Independent per-message drop probability in [0, 1). The loss draw is
   /// skipped entirely when 0, so lossless runs consume no extra RNG.
   double loss = 0;
+  /// Gilbert-Elliott two-state bursty-loss channel, layered UNDER the
+  /// independent Bernoulli loss above: each message first passes the
+  /// stateful channel (loss rate picked by the link's current good/bad
+  /// state, then one transition draw), then the memoryless `loss` draw.
+  /// ge_p > 0 enables the channel; at the default 0 the message consumes
+  /// no extra RNG and schedules stay bit-compatible with the pre-churn
+  /// transport. Classic parameterization: stationary P(bad) = p/(p+r),
+  /// stationary loss = (loss_good*r + loss_bad*p)/(p+r), mean bad-burst
+  /// length 1/r messages (geometric).
+  double ge_p = 0;          ///< per-message P(good -> bad), [0, 1)
+  double ge_r = 0;          ///< per-message P(bad -> good), [0, 1)
+  double ge_loss_good = 0;  ///< loss rate while in the good state, [0, 1]
+  double ge_loss_bad = 1.0;  ///< loss rate while in the bad state, [0, 1]
+
+  [[nodiscard]] bool gilbert_elliott_enabled() const { return ge_p > 0; }
 
   bool operator==(const LinkSpec&) const = default;
 };
+
+/// One Gilbert-Elliott step for a single message on `link`: decide loss
+/// from the CURRENT state's rate, then draw the state transition. `bad` is
+/// the link's mutable channel state (starts good == false). Consumes one
+/// RNG draw for the loss only when the current state's rate is nonzero,
+/// plus one draw for the transition when a transition out of the current
+/// state is possible — so a disabled or inert channel costs no RNG.
+[[nodiscard]] bool gilbert_elliott_step(const LinkSpec& link, bool& bad,
+                                        util::Rng& rng);
 
 /// Shift a link's delay location by `extra_ns` one-way nanoseconds,
 /// respecting the family's parameterization (uniform shifts both bounds).

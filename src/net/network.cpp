@@ -40,6 +40,10 @@ LinkSpec base_link_spec(const NetConfig& config) {
       break;
   }
   link.loss = config.link_loss;
+  link.ge_p = config.ge_p;
+  link.ge_r = config.ge_r;
+  link.ge_loss_good = config.ge_loss_good;
+  link.ge_loss_bad = config.ge_loss_bad;
   return link;
 }
 
@@ -49,6 +53,8 @@ SimNetwork::SimNetwork(sim::Simulator& simulator, std::uint32_t num_endpoints,
       cfg_(std::move(config)),
       links_(make_topology(cfg_.topology, num_endpoints, cfg_.n_replicas,
                            base_link_spec(cfg_))),
+      base_links_(links_),
+      ge_bad_(static_cast<std::size_t>(num_endpoints) * num_endpoints, false),
       endpoints_(num_endpoints) {}
 
 void SimNetwork::set_handler(types::NodeId endpoint, Handler handler) {
@@ -133,11 +139,24 @@ void SimNetwork::finish_egress(types::NodeId id) {
   ep.egress.pop_front();
 
   if (!ep.down) {
-    // Independent per-message link loss. The draw is skipped when the link
-    // is lossless so lossless schedules consume no extra RNG; a lost
-    // message still paid the sender-NIC serialization above.
-    const double loss = links_.loss(id, out.to);
-    if (loss > 0 && sim_.rng().bernoulli(loss)) {
+    // Loss layering: the stateful Gilbert-Elliott channel first (loss rate
+    // from the link's current good/bad state, then a transition draw),
+    // then the independent per-message Bernoulli loss. Both draws are
+    // skipped when their model is off, so lossless schedules consume no
+    // extra RNG; a lost message still paid the sender-NIC serialization.
+    const LinkSpec& spec = links_.at(id, out.to);
+    bool lost = false;
+    if (spec.gilbert_elliott_enabled()) {
+      const std::size_t idx =
+          static_cast<std::size_t>(id) * endpoints_.size() + out.to;
+      bool bad = ge_bad_[idx];
+      lost = gilbert_elliott_step(spec, bad, sim_.rng());
+      ge_bad_[idx] = bad;
+    }
+    if (!lost && spec.loss > 0 && sim_.rng().bernoulli(spec.loss)) {
+      lost = true;
+    }
+    if (lost) {
       ++messages_dropped_;
       ++messages_lost_;
     } else {
@@ -212,6 +231,26 @@ void SimNetwork::set_fluctuation(sim::Duration lo, sim::Duration hi) {
 
 void SimNetwork::set_partition(std::vector<int> group_of_endpoint) {
   partition_ = std::move(group_of_endpoint);
+}
+
+void SimNetwork::degrade_link(types::NodeId from, types::NodeId to,
+                              double extra_ns) {
+  shift_link(links_.at(from, to), extra_ns);
+}
+
+void SimNetwork::restore_link(types::NodeId from, types::NodeId to) {
+  links_.at(from, to) = base_links_.at(from, to);
+}
+
+void SimNetwork::restore_all_links() { links_ = base_links_; }
+
+void SimNetwork::set_link_loss(types::NodeId from, types::NodeId to,
+                               double loss) {
+  links_.at(from, to).loss = loss;
+}
+
+void SimNetwork::restore_link_loss(types::NodeId from, types::NodeId to) {
+  links_.at(from, to).loss = base_links_.at(from, to).loss;
 }
 
 }  // namespace bamboo::net

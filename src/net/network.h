@@ -35,6 +35,12 @@ struct NetConfig {
   /// Named topology scenario (see topology.h): "uniform", "wan:...",
   /// "slow-replica:...", "slow-leader:...".
   std::string topology = "uniform";
+  /// Gilbert-Elliott bursty-loss channel applied to every link (see
+  /// LinkSpec); ge_p == 0 disables it and costs no RNG.
+  double ge_p = 0;
+  double ge_r = 0;
+  double ge_loss_good = 0;
+  double ge_loss_bad = 1.0;
   /// Endpoints [0, n_replicas) are replicas (topology scenarios only
   /// perturb replica links); 0 means every endpoint is a replica.
   std::uint32_t n_replicas = 0;
@@ -99,8 +105,30 @@ class SimNetwork {
   /// dropped. Empty vector = no partition.
   void set_partition(std::vector<int> group_of_endpoint);
 
+  // --- runtime link mutation (the churn engine) ---------------------------
+  // The construction-time matrix is kept as the baseline; degradations and
+  // loss overrides mutate the live matrix and restore_* resets from the
+  // baseline. Mutations never touch the Gilbert-Elliott channel STATE —
+  // a link that is mid-burst stays mid-burst.
+
+  /// Shift the directed link's delay location by extra one-way ns
+  /// (cumulative across calls; respects the family parameterization).
+  void degrade_link(types::NodeId from, types::NodeId to, double extra_ns);
+  /// Reset the directed link's full spec (delay, loss, GE parameters) to
+  /// its construction-time baseline.
+  void restore_link(types::NodeId from, types::NodeId to);
+  /// Reset every link to the baseline matrix.
+  void restore_all_links();
+  /// Override the directed link's per-message Bernoulli loss probability.
+  void set_link_loss(types::NodeId from, types::NodeId to, double loss);
+  /// Reset the directed link's loss to its construction-time baseline,
+  /// leaving delay mutations in place.
+  void restore_link_loss(types::NodeId from, types::NodeId to);
+
   /// The per-ordered-pair delay/loss matrix this transport samples from.
   [[nodiscard]] const LinkMatrix& links() const { return links_; }
+  /// The construction-time matrix restore_* resets from.
+  [[nodiscard]] const LinkMatrix& base_links() const { return base_links_; }
 
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
@@ -145,6 +173,10 @@ class SimNetwork {
   sim::Simulator& sim_;
   NetConfig cfg_;
   LinkMatrix links_;
+  LinkMatrix base_links_;  ///< construction-time copy; restore_* source
+  /// Per-directed-link Gilbert-Elliott state (row-major, [from * n + to]);
+  /// false = good. Mutated on every traversal of a GE-enabled link.
+  std::vector<bool> ge_bad_;
   std::vector<Endpoint> endpoints_;
   std::vector<int> partition_;
   sim::Duration fluct_lo_ = 0;

@@ -1,12 +1,12 @@
 #include "net/topology.h"
 
-#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
 
 #include "sim/time.h"
+#include "util/parse.h"
 
 namespace bamboo::net {
 
@@ -29,26 +29,14 @@ bool is_builtin(const std::string& name) {
          name == "slow-leader";
 }
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t next = text.find(sep, start);
-    parts.push_back(text.substr(
-        start, next == std::string::npos ? std::string::npos : next - start));
-    if (next == std::string::npos) break;
-    start = next + 1;
-  }
-  return parts;
-}
+using util::split;
 
 double parse_number(const std::string& text, const std::string& what) {
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0') {
+  const std::optional<double> v = util::parse_finite_double(text);
+  if (!v) {
     throw std::invalid_argument("topology: bad " + what + ": '" + text + "'");
   }
-  return v;
+  return *v;
 }
 
 const std::string& arg_at(const TopologyContext& ctx, std::size_t i,

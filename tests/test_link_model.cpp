@@ -274,6 +274,148 @@ TEST(LinkModel, LossyRunStaysConsistent) {
 }
 
 // ---------------------------------------------------------------------------
+// Gilbert-Elliott bursty loss
+// ---------------------------------------------------------------------------
+
+// Classic two-state channel: P(good->bad) = p, P(bad->good) = r per
+// message, loss rate k in good / h in bad. Stationary P(bad) = p/(p+r),
+// stationary loss = (k*r + h*p)/(p+r), bad sojourns Geometric(r) with
+// mean 1/r and variance (1-r)/r^2.
+
+TEST(GilbertElliott, StationaryLossRateMatchesTheory) {
+  net::LinkSpec link;
+  link.ge_p = 0.05;
+  link.ge_r = 0.25;
+  link.ge_loss_good = 0;
+  link.ge_loss_bad = 1.0;
+  ASSERT_TRUE(link.gilbert_elliott_enabled());
+  util::Rng rng(17);
+  bool bad = false;
+  const int n = 200000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (net::gilbert_elliott_step(link, bad, rng)) ++lost;
+  }
+  // p/(p+r) = 0.05/0.30 = 1/6 of messages land in the bad (always-lose)
+  // state.
+  EXPECT_NEAR(static_cast<double>(lost) / n, 1.0 / 6.0, 0.01);
+}
+
+TEST(GilbertElliott, MixedLossRatesMatchTheory) {
+  net::LinkSpec link;
+  link.ge_p = 0.02;
+  link.ge_r = 0.2;
+  link.ge_loss_good = 0.1;
+  link.ge_loss_bad = 0.9;
+  util::Rng rng(18);
+  bool bad = false;
+  const int n = 200000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (net::gilbert_elliott_step(link, bad, rng)) ++lost;
+  }
+  // (k*r + h*p)/(p+r) = (0.1*0.2 + 0.9*0.02)/0.22 ~ 17.27%.
+  EXPECT_NEAR(static_cast<double>(lost) / n, (0.1 * 0.2 + 0.9 * 0.02) / 0.22,
+              0.01);
+}
+
+TEST(GilbertElliott, BurstLengthMomentsAreGeometric) {
+  // With loss_bad = 1 and loss_good = 0, loss bursts ARE the bad-state
+  // sojourns: Geometric(r), mean 1/r, variance (1-r)/r^2.
+  net::LinkSpec link;
+  link.ge_p = 0.05;
+  link.ge_r = 0.25;
+  link.ge_loss_good = 0;
+  link.ge_loss_bad = 1.0;
+  util::Rng rng(19);
+  bool bad = false;
+  util::RunningStats bursts;
+  int current = 0;
+  for (int i = 0; i < 400000; ++i) {
+    if (net::gilbert_elliott_step(link, bad, rng)) {
+      ++current;
+    } else if (current > 0) {
+      bursts.add(current);
+      current = 0;
+    }
+  }
+  ASSERT_GT(bursts.count(), 1000u);
+  EXPECT_NEAR(bursts.mean(), 1.0 / 0.25, 0.15);  // mean 4 messages
+  const double expected_sd = std::sqrt((1.0 - 0.25) / (0.25 * 0.25));
+  EXPECT_NEAR(bursts.stddev(), expected_sd, 0.2 * expected_sd);
+}
+
+TEST(GilbertElliott, LayersUnderBernoulliLoss) {
+  // Both models on: survival = (1 - GE stationary loss)(1 - Bernoulli).
+  sim::Simulator s(5);
+  net::NetConfig nc;
+  nc.ge_p = 0.3;
+  nc.ge_r = 0.3;
+  nc.ge_loss_bad = 1.0;
+  nc.link_loss = 0.2;
+  net::SimNetwork n(s, 2, nc);
+  int delivered = 0;
+  n.set_handler(1, [&](const net::Envelope&) { ++delivered; });
+  const int sent = 20000;
+  for (int i = 0; i < sent; ++i) {
+    s.schedule_at(i * sim::microseconds(50),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_EQ(delivered + static_cast<int>(n.messages_lost()), sent);
+  // Stationary GE loss 0.5; combined drop 1 - 0.5*0.8 = 0.6.
+  EXPECT_NEAR(static_cast<double>(n.messages_lost()) / sent, 0.6, 0.02);
+}
+
+TEST(GilbertElliott, DisabledChannelKeepsThePinnedSchedule) {
+  // ge_p == 0 must consume no RNG: the default delay sequence is the
+  // pre-churn pinned one even with ge_r / loss rates set.
+  const std::vector<sim::Duration> expected = {
+      582092, 652276, 450440, 527566, 483333, 506241, 474794, 551965};
+  sim::Simulator s(7);
+  net::NetConfig nc;
+  nc.ge_p = 0;  // disabled
+  nc.ge_r = 0.5;
+  nc.ge_loss_good = 0.5;
+  net::SimNetwork n(s, 2, nc);
+  std::vector<sim::Duration> delays;
+  n.set_handler(1, [&](const net::Envelope& e) {
+    delays.push_back(s.now() - e.sent_at);
+  });
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_at(i * sim::milliseconds(1),
+                  [&n] { n.send(0, 1, small_msg()); });
+  }
+  s.run_all();
+  EXPECT_EQ(delays, expected);
+}
+
+TEST(GilbertElliott, PerLinkStateIsIndependent) {
+  // Two directed links with a deterministic channel (p = r = ~1): each
+  // link's state machine advances independently per ITS traffic, so the
+  // 0->1 burst pattern is unaffected by interleaved 1->0 sends.
+  sim::Simulator s(11);
+  net::NetConfig nc;
+  nc.ge_p = 0.999999;  // flip almost every message
+  nc.ge_r = 0.999999;
+  nc.ge_loss_bad = 1.0;
+  net::SimNetwork n(s, 2, nc);
+  int to1 = 0, to0 = 0;
+  n.set_handler(1, [&](const net::Envelope&) { ++to1; });
+  n.set_handler(0, [&](const net::Envelope&) { ++to0; });
+  for (int i = 0; i < 1000; ++i) {
+    s.schedule_at(i * sim::microseconds(200), [&n] {
+      n.send(0, 1, small_msg());
+      n.send(1, 0, small_msg());
+    });
+  }
+  s.run_all();
+  // Alternating good/bad per link: ~half of each direction delivered.
+  EXPECT_NEAR(to1, 500, 25);
+  EXPECT_NEAR(to0, 500, 25);
+}
+
+// ---------------------------------------------------------------------------
 // Topology matrix generation
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Documentation checks, run by the CI docs job and the docs_check ctest.
+
+1. Every intra-repo markdown link in every tracked .md file must resolve
+   to an existing file or directory (http(s)/mailto/pure-anchor links are
+   skipped; fragments are stripped before the existence check).
+2. Every figure bench binary (bench/bench_*.cpp, minus the bench_merge
+   tool and the optional bench_micro) must appear in the README
+   reproduction matrix.
+3. Every `bench_<name>` mentioned anywhere in the docs must correspond to
+   an existing bench source — catches stale binary names left behind by
+   renames.
+
+Usage: check_docs.py [repo-root]   (default: the parent of this script)
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude", "node_modules"}
+# Bench sources that are tools or optional, not figure reproductions.
+NON_FIGURE_BENCHES = {"bench_merge", "bench_micro"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BENCH_REF_RE = re.compile(r"\b(bench_[a-z0-9_]+)\b")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(root):
+    errors = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#")[0])
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def bench_sources(root):
+    bench_dir = os.path.join(root, "bench")
+    return {
+        name[: -len(".cpp")]
+        for name in os.listdir(bench_dir)
+        if name.startswith("bench_") and name.endswith(".cpp")
+    }
+
+
+def check_readme_matrix(root, benches):
+    # Scope the completeness check to the matrix TABLE itself — a bench
+    # mentioned only in surrounding prose must still fail the gate.
+    errors = []
+    readme = os.path.join(root, "README.md")
+    with open(readme, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    table = [
+        line
+        for line in lines
+        if line.lstrip().startswith("|") and "Paper artifact" not in line
+    ]
+    if not table:
+        return ["README.md: no reproduction-matrix table found "
+                "(rows starting with '|')"]
+    text = "\n".join(table)
+    for bench in sorted(benches - NON_FIGURE_BENCHES):
+        if bench not in text:
+            errors.append(
+                f"README.md: bench binary '{bench}' is missing from the "
+                "reproduction matrix table"
+            )
+    return errors
+
+
+def check_stale_bench_refs(root, benches):
+    errors = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for ref in set(BENCH_REF_RE.findall(text)):
+            if ref not in benches and ref != "bench_common":
+                rel = os.path.relpath(path, root)
+                errors.append(f"{rel}: stale bench reference '{ref}' (no "
+                              f"bench/{ref}.cpp)")
+    return errors
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    benches = bench_sources(root)
+    errors = (
+        check_links(root)
+        + check_readme_matrix(root, benches)
+        + check_stale_bench_refs(root, benches)
+    )
+    if errors:
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        print(f"\n{len(errors)} docs error(s)", file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, README matrix covers every bench binary")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
