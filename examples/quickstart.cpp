@@ -10,8 +10,8 @@
 // "slow-leader:20"); link_model is normal | uniform | lognormal | pareto;
 // churn-dsl is a network-churn schedule (docs/SCENARIOS.md). Try:
 //   ./build/quickstart hotstuff wan:3:40 pareto
-//   ./build/quickstart hotstuff uniform normal \
-//       'partition@0.5s:groups=0-1|2-3;heal@0.8s'
+//   ./build/quickstart hotstuff uniform normal 'partition@0.5s:...;heal@0.8s'
+// (the trailing argument takes any churn-DSL schedule)
 
 #include <iostream>
 #include <string>

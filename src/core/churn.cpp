@@ -140,6 +140,11 @@ bool parse_target(const std::string& arg, ChurnEvent& ev,
     return true;
   }
   if (key == "leader") {
+    if (value == "follow") {
+      ev.target = ChurnTarget::kLeaderFollow;
+      ev.a = 0;
+      return true;
+    }
     ev.target = ChurnTarget::kLeader;
     ev.a = parse_id(value, event, "replica id");
     return true;
@@ -181,7 +186,7 @@ ChurnEvent parse_event(const std::string& raw) {
 
   bool have_target = false, have_delta = false, have_loss = false,
        have_for = false, have_lo = false, have_hi = false,
-       have_replica = false;
+       have_replica = false, have_every = false;
 
   const auto parse_common = [&](const std::string& arg) {
     if (arg.empty()) fail(text, "empty argument");
@@ -215,6 +220,11 @@ ChurnEvent parse_event(const std::string& raw) {
       if (have_hi) fail(text, "duplicate hi=");
       have_hi = true;
       ev.hi_ms = parse_time_ms(value, text, "fluctuation upper bound");
+    } else if (key == "every") {
+      if (have_every) fail(text, "duplicate every=");
+      have_every = true;
+      ev.every_s = parse_time_s(value, text, "repeat period");
+      if (ev.every_s <= 0) fail(text, "repeat period must be > 0");
     } else if (parse_target(arg, ev, text)) {
       if (have_target) fail(text, "duplicate target");
       have_target = true;
@@ -231,7 +241,7 @@ ChurnEvent parse_event(const std::string& raw) {
     // engine-accepted event round-trips through the DSL.
     if (!have_delta) fail(text, "degrade needs a delay delta (e.g. '+40ms')");
     if (have_loss || have_for || have_lo || have_hi) {
-      fail(text, "degrade takes only a target and a delay delta");
+      fail(text, "degrade takes only a target, a delay delta and every=");
     }
   } else if (kind_name == "restore") {
     ev.kind = ChurnKind::kLinkRestore;
@@ -289,7 +299,10 @@ ChurnEvent parse_event(const std::string& raw) {
     if (!have_loss) fail(text, "burst needs loss=<probability>");
     if (!have_for) fail(text, "burst needs for=<duration>");
     if (have_delta || have_lo || have_hi) {
-      fail(text, "burst takes a target, loss= and for= only");
+      fail(text, "burst takes a target, loss=, for= and every= only");
+    }
+    if (ev.target == ChurnTarget::kLeaderFollow) {
+      fail(text, "leader=follow is only valid on degrade/restore");
     }
   } else if (kind_name == "fluct") {
     ev.kind = ChurnKind::kFluctuation;
@@ -311,7 +324,8 @@ ChurnEvent parse_event(const std::string& raw) {
     ev.kind = kind_name == "crash" ? ChurnKind::kCrash : ChurnKind::kSilence;
     for (std::size_t i = 1; i < parts.size(); ++i) parse_common(parts[i]);
     if (!have_replica) fail(text, kind_name + " needs replica=<id>");
-    if (have_delta || have_loss || have_for || have_lo || have_hi) {
+    if (have_delta || have_loss || have_for || have_lo || have_hi ||
+        have_every) {
       fail(text, kind_name + " takes only replica=<id>");
     }
   } else {
@@ -343,6 +357,8 @@ std::string format_target(const ChurnEvent& ev) {
              std::to_string(ev.regions);
     case ChurnTarget::kLeader:
       return ":leader=" + std::to_string(ev.a);
+    case ChurnTarget::kLeaderFollow:
+      return ":leader=follow";
   }
   return "";
 }
@@ -386,6 +402,7 @@ std::string format_event(const ChurnEvent& ev) {
       out += ":replica=" + std::to_string(ev.a);
       break;
   }
+  if (ev.every_s > 0) out += ":every=" + num(ev.every_s) + "s";
   return out;
 }
 

@@ -41,15 +41,24 @@
 //   silence@T:replica=I           replica I stops proposing (Fig. 15's
 //                                 "silence attack (crash)")
 //
+// degrade, restore, burst and fluct additionally accept every=<dur>: the
+// event re-fires every <dur> of simulated time until the end of the run
+// (flaky-link soak scenarios — pair a repeating degrade with a repeating
+// restore half a period later). partition/heal/crash/silence reject it.
+//
 // Targets name a set of directed links:
 //
-//   link=A-B     both directions between endpoints A and B
-//   link=A>B     the directed link A -> B only
-//   replica=I    every link to AND from endpoint I
-//   region=R/N   every link crossing the boundary of region R (replica
-//                i is in region i % N), both directions
-//   leader[=I]   the OUTBOUND links of replica I (default 0) — the
-//                slow-leader role
+//   link=A-B       both directions between endpoints A and B
+//   link=A>B       the directed link A -> B only
+//   replica=I      every link to AND from endpoint I
+//   region=R/N     every link crossing the boundary of region R (replica
+//                  i is in region i % N), both directions
+//   leader[=I]     the OUTBOUND links of replica I (default 0) — the
+//                  slow-leader role pinned to one replica
+//   leader=follow  the OUTBOUND links of whoever currently leads: the
+//                  degradation moves with the rotating leader via a
+//                  view-entry hook (degrade/restore only; a restore with
+//                  this target — or restore-all — stops the following)
 //
 // Parsing is strict: unknown kinds/args, half-specified windows (a fluct
 // without lo, hi AND for; a burst without loss AND for), malformed times
@@ -89,6 +98,8 @@ enum class ChurnTarget {
   kReplica,  ///< every link touching endpoint a
   kRegion,   ///< links crossing region `region` of `regions` round-robin
   kLeader,   ///< outbound links of replica a (slow-leader role)
+  kLeaderFollow,  ///< outbound links of the CURRENT leader, re-targeted
+                  ///< as leadership rotates (degrade/restore only)
 };
 
 /// One scheduled churn event. A plain value: field-for-field comparable,
@@ -111,6 +122,8 @@ struct ChurnEvent {
   double for_s = 0;     ///< burst / fluct: window length (s), > 0
   double lo_ms = 0;     ///< fluct: extra delay lower bound (one-way ms)
   double hi_ms = 0;     ///< fluct: extra delay upper bound (>= lo)
+  /// degrade / restore / burst / fluct: re-fire period (s); 0 = one-shot.
+  double every_s = 0;
   /// partition: replica (or region, when `regions` > 0) id groups.
   std::vector<std::vector<std::uint32_t>> groups;
 

@@ -41,6 +41,10 @@ void Config::validate() const {
   if (ge_loss_good < 0 || ge_loss_good > 1 || ge_loss_bad < 0 ||
       ge_loss_bad > 1)
     throw std::invalid_argument("ge_loss_good / ge_loss_bad must be in [0, 1]");
+  if (sync_batch == 0)
+    throw std::invalid_argument("sync_batch must be >= 1");
+  if (sync_timeout <= 0)
+    throw std::invalid_argument("sync_timeout must be positive");
   (void)parse_strategy(strategy);  // throws on unknown strategy
   // A churn schedule either parses completely or the experiment refuses to
   // start — the old FaultPlan silently ignored half-specified windows.
@@ -88,6 +92,12 @@ Config Config::from_json(const util::Json& j) {
   c.ge_r = j.get_number("ge_r", c.ge_r);
   c.ge_loss_good = j.get_number("ge_loss_good", c.ge_loss_good);
   c.ge_loss_bad = j.get_number("ge_loss_bad", c.ge_loss_bad);
+  c.sync_batch =
+      static_cast<std::uint32_t>(j.get_int("sync_batch", c.sync_batch));
+  c.sync_timeout = sim::from_milliseconds(j.get_number(
+      "sync_timeout_ms", sim::to_milliseconds(c.sync_timeout)));
+  c.sync_retries =
+      static_cast<std::uint32_t>(j.get_int("sync_retries", c.sync_retries));
   c.rtt_mean = sim::from_milliseconds(
       j.get_number("rtt_ms", sim::to_milliseconds(c.rtt_mean)));
   c.rtt_stddev = sim::from_milliseconds(j.get_number(
@@ -129,6 +139,11 @@ util::Json Config::to_json() const {
   o.emplace("ge_r", util::Json(ge_r));
   o.emplace("ge_loss_good", util::Json(ge_loss_good));
   o.emplace("ge_loss_bad", util::Json(ge_loss_bad));
+  o.emplace("sync_batch", util::Json(static_cast<std::int64_t>(sync_batch)));
+  o.emplace("sync_timeout_ms",
+            util::Json(sim::to_milliseconds(sync_timeout)));
+  o.emplace("sync_retries",
+            util::Json(static_cast<std::int64_t>(sync_retries)));
   o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
   return util::Json(std::move(o));
 }

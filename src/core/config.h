@@ -92,6 +92,18 @@ struct Config {
   double ge_r = 0;  ///< per-message P(bad -> good) transition, [0, 1)
   double ge_loss_good = 0;  ///< per-message loss rate in the good state
   double ge_loss_bad = 1.0;  ///< per-message loss rate in the bad state
+
+  // --- recovery & state sync (sync/syncer.h) ------------------------------
+  /// Max certified blocks per ChainResponseMsg. 1 (default) keeps the
+  /// legacy one-block-per-round semantics and wire sizes; larger values
+  /// let lagging replicas fetch whole missed ranges in few round trips.
+  std::uint32_t sync_batch = 1;
+  /// Outstanding-fetch timer: an unanswered ChainRequestMsg is retried
+  /// against the next peer after this long (loss cannot wedge recovery).
+  sim::Duration sync_timeout = sim::milliseconds(500);
+  /// Peer-rotating retries per fetch after the first attempt; the entry
+  /// expires afterwards so a later trigger starts fresh.
+  std::uint32_t sync_retries = 3;
   sim::Duration cpu_sign = sim::microseconds(50);     ///< secp256k1 sign
   sim::Duration cpu_verify = sim::microseconds(80);   ///< secp256k1 verify
   /// Per-transaction server-side request handling (HTTP parse, mempool

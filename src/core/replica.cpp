@@ -37,7 +37,18 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
               [this](View v) { broadcast_timeout(v); },
               [this](View v, pacemaker::AdvanceReason r) {
                 enter_view(v, r);
-              }}) {}
+              }}),
+      syncer_(simulator, forest_,
+              sync::Syncer::Settings{config.sync_batch, config.sync_timeout,
+                                     config.sync_retries},
+              id, config.n_replicas,
+              sync::Syncer::Hooks{
+                  [this](types::NodeId to, types::MessagePtr msg) {
+                    net_.send(id_, to, std::move(msg));
+                  },
+                  [this](const types::BlockPtr& block, types::NodeId from) {
+                    return ingest_synced_block(block, from);
+                  }}) {}
 
 void Replica::start() {
   net_.set_handler(id_, [this](const net::Envelope& env) {
@@ -53,6 +64,7 @@ void Replica::start() {
 void Replica::crash() {
   crashed_ = true;
   pacemaker_.stop();
+  syncer_.stop();
   cpu_queue_.clear();
   net_.set_down(id_, true);
 }
@@ -115,13 +127,24 @@ sim::Duration Replica::cost_of(const types::Message& msg) const {
     sim::Duration operator()(const types::ClientResponseMsg&) const {
       return sim::microseconds(1);
     }
-    sim::Duration operator()(const types::BlockRequestMsg&) const {
-      return sim::microseconds(2);
+    sim::Duration operator()(const types::ChainRequestMsg& r) const {
+      // The serve cost scales with the range the responder may walk and
+      // ship (capped like the server itself caps the batch); at the
+      // legacy batch of 1 this is exactly the old flat request cost.
+      const auto batch = static_cast<sim::Duration>(
+          std::clamp<std::uint32_t>(r.batch, 1, sync::kMaxServeBatch));
+      return batch * sim::microseconds(2);
     }
-    sim::Duration operator()(const types::BlockResponseMsg& r) const {
-      const auto ntx =
-          static_cast<sim::Duration>(r.block ? r.block->txns().size() : 0);
-      return cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+    sim::Duration operator()(const types::ChainResponseMsg& r) const {
+      // One QC verification + per-tx validation per carried block (the
+      // batch fast path pays CPU proportional to what it ships).
+      sim::Duration cost = 0;
+      for (const types::BlockPtr& b : r.blocks) {
+        const auto ntx =
+            static_cast<sim::Duration>(b ? b->txns().size() : 0);
+        cost += cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+      }
+      return cost;
     }
   };
   return std::visit(Visitor{cfg_}, msg);
@@ -169,10 +192,10 @@ void Replica::dispatch(const net::Envelope& env) {
     on_timeout_msg(t, env.from);
   } else if (std::holds_alternative<types::TcMsg>(msg)) {
     on_tc_msg(std::get<types::TcMsg>(msg), env.from);
-  } else if (std::holds_alternative<types::BlockRequestMsg>(msg)) {
-    on_block_request(std::get<types::BlockRequestMsg>(msg), env.from);
-  } else if (std::holds_alternative<types::BlockResponseMsg>(msg)) {
-    on_block_response(std::get<types::BlockResponseMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::ChainRequestMsg>(msg)) {
+    syncer_.on_request(std::get<types::ChainRequestMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::ChainResponseMsg>(msg)) {
+    syncer_.on_response(std::get<types::ChainResponseMsg>(msg), env.from);
   }
 }
 
@@ -448,6 +471,7 @@ void Replica::on_tc_msg(const types::TcMsg& m, NodeId) {
 }
 
 void Replica::enter_view(View view, pacemaker::AdvanceReason reason) {
+  if (hooks_.on_enter_view) hooks_.on_enter_view(view);
   // Garbage collection of per-view state.
   const View gc_horizon = view > 64 ? view - 64 : 0;
   votes_.gc_below(gc_horizon);
@@ -461,8 +485,6 @@ void Replica::enter_view(View view, pacemaker::AdvanceReason reason) {
                : std::next(it);
     }
   }
-  if (requested_blocks_.size() > 1024) requested_blocks_.clear();
-
   try_propose(view, reason);
 }
 
@@ -561,47 +583,26 @@ std::optional<ProposalPlan> Replica::plan_with_attack(View view) {
 // --------------------------------------------------------------------------
 
 void Replica::request_block(const crypto::Digest& hash, NodeId from) {
-  if (from == id_ || from >= cfg_.n_replicas) return;
-  if (forest_.contains(hash)) return;
-  if (!requested_blocks_.insert(hash).second) return;
-  types::BlockRequestMsg req;
-  req.block_hash = hash;
-  net_.send(id_, from, types::make_message(req));
+  // The Syncer owns the fetch lifecycle: in-flight dedupe, the chain
+  // locator (committed height + sync_batch), timeouts, and peer rotation.
+  syncer_.request(hash, from);
 }
 
-void Replica::on_block_request(const types::BlockRequestMsg& r, NodeId from) {
-  if (from >= cfg_.n_replicas) return;
-  if (const BlockPtr block = forest_.get(r.block_hash)) {
-    types::BlockResponseMsg resp;
-    resp.block = block;
-    net_.send(id_, from, types::make_message(std::move(resp)));
-  }
-}
-
-void Replica::on_block_response(const types::BlockResponseMsg& r,
-                                NodeId from) {
-  if (!r.block) return;
-  const forest::AddResult result = forest_.add(r.block);
-  switch (result) {
-    case forest::AddResult::kAdded: {
-      ++stats_.blocks_received;
-      requested_blocks_.erase(r.block->hash());
-      note_public_qc(r.block->justify());
-      process_qc(r.block->justify(), from);
-      if (const types::QuorumCert* qc = forest_.qc_for(r.block->hash());
-          qc != nullptr && !qc->is_genesis()) {
-        apply_qc(*qc);
-      }
-      retry_pending_proposals();
-      break;
+forest::AddResult Replica::ingest_synced_block(const types::BlockPtr& block,
+                                               NodeId from) {
+  if (!block) return forest::AddResult::kInvalid;
+  const forest::AddResult result = forest_.add(block);
+  if (result == forest::AddResult::kAdded) {
+    ++stats_.blocks_received;
+    note_public_qc(block->justify());
+    process_qc(block->justify(), from);
+    if (const types::QuorumCert* qc = forest_.qc_for(block->hash());
+        qc != nullptr && !qc->is_genesis()) {
+      apply_qc(*qc);
     }
-    case forest::AddResult::kOrphaned:
-      request_block(r.block->parent_hash(), from);
-      break;
-    case forest::AddResult::kDuplicate:
-    case forest::AddResult::kInvalid:
-      break;
+    retry_pending_proposals();
   }
+  return result;
 }
 
 }  // namespace bamboo::core

@@ -19,6 +19,7 @@
 #include "pacemaker/pacemaker.h"
 #include "quorum/vote_aggregator.h"
 #include "sim/simulator.h"
+#include "sync/syncer.h"
 
 namespace bamboo::core {
 
@@ -58,6 +59,9 @@ class Replica {
     /// A transaction served by this replica committed.
     std::function<void(const types::Transaction&, sim::Time when)>
         on_tx_committed;
+    /// This replica entered a view (before it proposes there). The churn
+    /// engine's leader-follow target hangs off this.
+    std::function<void(types::View)> on_enter_view;
   };
 
   Replica(sim::Simulator& simulator, net::SimNetwork& network,
@@ -94,6 +98,9 @@ class Replica {
     return strategy_ != ByzStrategy::kHonest;
   }
   [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] const sync::SyncStats& sync_stats() const {
+    return syncer_.stats();
+  }
 
  private:
   // --- CPU queue ----------------------------------------------------------
@@ -118,9 +125,11 @@ class Replica {
   void note_public_qc(const types::QuorumCert& qc);
   void on_timeout_msg(const types::TimeoutMsg& t, types::NodeId from);
   void on_tc_msg(const types::TcMsg& m, types::NodeId from);
-  void on_block_request(const types::BlockRequestMsg& r, types::NodeId from);
-  void on_block_response(const types::BlockResponseMsg& r,
-                         types::NodeId from);
+  /// Syncer ingestion hook: insert one fetched block and, when it
+  /// connects, run the same QC/pending-proposal pipeline an inline block
+  /// arrival runs.
+  forest::AddResult ingest_synced_block(const types::BlockPtr& block,
+                                        types::NodeId from);
 
   // --- consensus actions ---------------------------------------------------
   void enter_view(types::View view, pacemaker::AdvanceReason reason);
@@ -156,6 +165,7 @@ class Replica {
   quorum::VoteAggregator votes_;
   quorum::TimeoutAggregator timeouts_;
   pacemaker::Pacemaker pacemaker_;
+  sync::Syncer syncer_;
 
   // CPU
   std::deque<CpuWork> cpu_queue_;
@@ -168,7 +178,6 @@ class Replica {
   types::QuorumCert public_high_qc_;  ///< highest QC seen on the wire
   std::optional<types::TimeoutCert> last_tc_;
   std::unordered_map<crypto::Digest, types::ProposalMsg> pending_proposals_;
-  std::unordered_set<crypto::Digest> requested_blocks_;
   std::map<types::View, std::unordered_set<crypto::Digest>> echo_seen_;
 
   ReplicaStats stats_;

@@ -265,6 +265,15 @@ std::vector<crypto::Digest> BlockForest::missing_parents() const {
   return out;
 }
 
+bool BlockForest::buffered(const crypto::Digest& hash) const {
+  for (const auto& [parent_hash, bucket] : orphans_) {
+    for (const BlockPtr& b : bucket) {
+      if (b->hash() == hash) return true;
+    }
+  }
+  return false;
+}
+
 std::size_t BlockForest::orphan_count() const {
   std::size_t n = 0;
   for (const auto& [parent_hash, bucket] : orphans_) n += bucket.size();

@@ -93,6 +93,10 @@ class BlockForest {
   /// Hashes whose parents are missing (targets for chain sync).
   [[nodiscard]] std::vector<crypto::Digest> missing_parents() const;
 
+  /// True if `hash` sits in the orphan buffer: the block arrived (e.g.
+  /// via a sync batch) but is not yet connected to the forest.
+  [[nodiscard]] bool buffered(const crypto::Digest& hash) const;
+
   [[nodiscard]] std::size_t size() const { return vertices_.size(); }
   [[nodiscard]] std::size_t orphan_count() const;
 

@@ -57,14 +57,29 @@ void Cluster::set_hooks(types::NodeId id, core::Replica::Hooks hooks) {
   pending_hooks_.at(id) = std::move(hooks);
 }
 
+void Cluster::add_view_listener(
+    std::function<void(types::NodeId, types::View)> listener) {
+  view_listeners_.push_back(std::move(listener));
+}
+
 void Cluster::start() {
   if (started_) return;
   started_ = true;
   replicas_.reserve(cfg_.n_replicas);
   for (types::NodeId id = 0; id < cfg_.n_replicas; ++id) {
+    core::Replica::Hooks hooks = std::move(pending_hooks_[id]);
+    if (!view_listeners_.empty()) {
+      // Chain the cluster-wide listeners in front of any per-replica hook.
+      auto user = std::move(hooks.on_enter_view);
+      hooks.on_enter_view = [this, id,
+                             user = std::move(user)](types::View view) {
+        for (const auto& listener : view_listeners_) listener(id, view);
+        if (user) user(view);
+      };
+    }
     replicas_.push_back(std::make_unique<core::Replica>(
         sim_, net_, keys_, cfg_, id, protocols::make_protocol(cfg_.protocol),
-        *election_, std::move(pending_hooks_[id])));
+        *election_, std::move(hooks)));
   }
   for (auto& replica : replicas_) replica->start();
 }

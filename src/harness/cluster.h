@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,12 @@ class Cluster {
   /// Install commit hooks on one replica. Must be called before start().
   void set_hooks(types::NodeId id, core::Replica::Hooks hooks);
 
+  /// Register a cluster-wide view-entry listener (any replica entering a
+  /// view fires it, before that replica proposes). Must be called before
+  /// start(); the churn engine's leader-follow target uses this.
+  void add_view_listener(
+      std::function<void(types::NodeId, types::View)> listener);
+
   /// Crash a replica (fail-stop) — used by the responsiveness experiment.
   void crash_replica(types::NodeId id) { replicas_.at(id)->crash(); }
 
@@ -79,6 +86,8 @@ class Cluster {
   net::SimNetwork net_;
   std::unique_ptr<election::LeaderElection> election_;
   std::vector<core::Replica::Hooks> pending_hooks_;
+  std::vector<std::function<void(types::NodeId, types::View)>>
+      view_listeners_;
   std::vector<std::unique_ptr<core::Replica>> replicas_;
   bool started_ = false;
 };

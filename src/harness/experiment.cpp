@@ -26,6 +26,9 @@ struct Snapshot {
   types::View view = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t net_bytes = 0;
+  std::uint64_t sync_requests = 0;
+  std::uint64_t sync_blocks = 0;
+  std::uint64_t sync_bytes = 0;
 
   static Snapshot of(const Cluster& cluster) {
     const core::Replica& obs = cluster.replica(0);
@@ -36,6 +39,14 @@ struct Snapshot {
     s.view = obs.current_view();
     s.timeouts = cluster.total_timeouts();
     s.net_bytes = cluster.network().bytes_sent();
+    // Sync activity happens at the LAGGING replicas, so these counters
+    // are cluster-wide sums, like net_bytes.
+    for (types::NodeId id = 0; id < cluster.size(); ++id) {
+      const sync::SyncStats& ss = cluster.replica(id).sync_stats();
+      s.sync_requests += ss.requests_sent;
+      s.sync_blocks += ss.blocks_applied;
+      s.sync_bytes += ss.bytes_received;
+    }
     return s;
   }
 };
@@ -63,6 +74,9 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
   r.blocks_forked = after.blocks_forked - before.blocks_forked;
   r.timeouts = after.timeouts - before.timeouts;
   r.net_bytes = after.net_bytes - before.net_bytes;
+  r.sync_requests = after.sync_requests - before.sync_requests;
+  r.sync_blocks = after.sync_blocks - before.sync_blocks;
+  r.sync_bytes = after.sync_bytes - before.sync_bytes;
   r.rejected = driver.stats().rejected;
 
   r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /
@@ -164,6 +178,11 @@ std::vector<std::pair<types::NodeId, types::NodeId>> target_links(
         if (to != ev.a) pairs.emplace_back(ev.a, to);  // outbound only
       }
       break;
+    case core::ChurnTarget::kLeaderFollow:
+      // The follow target is resolved dynamically by install_churn's view
+      // listener, never to a static link set (and only degrade/restore
+      // support it — the DSL parser enforces the same).
+      churn_fail(ev, "leader=follow is only valid on degrade/restore");
   }
   return pairs;
 }
@@ -209,7 +228,100 @@ std::vector<int> partition_of(const core::ChurnEvent& ev,
   return group;
 }
 
+// --- recovery probe --------------------------------------------------------
+
+struct RecoveryPoll {
+  types::Height target = 0;
+  std::vector<types::NodeId> lagging;
+  std::size_t event_index = 0;
+  bool any_caught_up = false;
+};
+
+/// Fixed observation cadence; draws no RNG and sends nothing.
+constexpr sim::Duration kRecoveryPollPeriod = sim::milliseconds(5);
+
+void poll_recovery(Cluster& cluster, RecoveryProbe& probe,
+                   const std::shared_ptr<RecoveryPoll>& poll) {
+  std::erase_if(poll->lagging, [&](types::NodeId id) {
+    const core::Replica& r = cluster.replica(id);
+    if (r.crashed()) return true;  // can never catch up: drop it
+    if (r.forest().committed_height() >= poll->target) {
+      poll->any_caught_up = true;
+      return true;
+    }
+    return false;
+  });
+  if (poll->lagging.empty()) {
+    // If the list emptied only through crashes, nothing recovered —
+    // recording "recovered now" would skew recovery_ms downward.
+    if (poll->any_caught_up) {
+      probe.events[poll->event_index].recovered_at_s =
+          sim::to_seconds(cluster.simulator().now());
+    } else {
+      probe.events[poll->event_index].abandoned = true;
+    }
+    return;
+  }
+  cluster.simulator().schedule_after(kRecoveryPollPeriod, [&cluster, &probe,
+                                                          poll] {
+    poll_recovery(cluster, probe, poll);
+  });
+}
+
+/// Sample the cluster at a healing moment; if any honest live replica lags
+/// the max committed height, record an event and poll until it caught up.
+void arm_recovery_probe(Cluster& cluster, RecoveryProbe& probe) {
+  auto poll = std::make_shared<RecoveryPoll>();
+  for (types::NodeId id = 0; id < cluster.size(); ++id) {
+    const core::Replica& r = cluster.replica(id);
+    if (r.is_byzantine() || r.crashed()) continue;
+    poll->target = std::max(poll->target, r.forest().committed_height());
+  }
+  for (types::NodeId id = 0; id < cluster.size(); ++id) {
+    const core::Replica& r = cluster.replica(id);
+    if (r.is_byzantine() || r.crashed()) continue;
+    if (r.forest().committed_height() < poll->target) {
+      poll->lagging.push_back(id);
+    }
+  }
+  if (poll->lagging.empty()) return;
+  probe.events.push_back(
+      RecoveryProbe::Event{sim::to_seconds(cluster.simulator().now()), -1});
+  poll->event_index = probe.events.size() - 1;
+  poll_recovery(cluster, probe, poll);
+}
+
+// --- repeating events ------------------------------------------------------
+
+struct Repeat {
+  std::function<void()> fire;
+  sim::Duration period;
+};
+
+void schedule_repeating(sim::Simulator& simulator, sim::Time at,
+                        const std::shared_ptr<Repeat>& repeat) {
+  simulator.schedule_at(at, [&simulator, repeat] {
+    repeat->fire();
+    // Self-rescheduling keeps exactly one pending occurrence; whatever is
+    // pending when the run's horizon ends simply never executes.
+    schedule_repeating(simulator, simulator.now() + repeat->period, repeat);
+  });
+}
+
 }  // namespace
+
+double RecoveryProbe::mean_ms(double end_s) const {
+  double sum = 0;
+  std::size_t measurable = 0;
+  for (const Event& ev : events) {
+    if (ev.abandoned) continue;
+    const double recovered =
+        ev.recovered_at_s >= 0 ? ev.recovered_at_s : end_s;
+    sum += (recovered - ev.heal_at_s) * 1e3;
+    ++measurable;
+  }
+  return measurable > 0 ? sum / static_cast<double>(measurable) : 0.0;
+}
 
 core::ChurnSchedule effective_churn(const FaultPlan& faults,
                                     const core::Config& cfg) {
@@ -221,7 +333,8 @@ core::ChurnSchedule effective_churn(const FaultPlan& faults,
   return schedule;
 }
 
-void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
+void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule,
+                   RecoveryProbe* probe) {
   auto& simulator = cluster.simulator();
   const core::Config& cfg = cluster.config();
 
@@ -238,24 +351,84 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
     int id;
     double loss;
   };
+  // One leader-follow degradation: the accumulated outbound delay delta
+  // moves with the rotating leader via the cluster view listener.
+  struct FollowState {
+    bool active = false;
+    double applied_ns = 0;       ///< outbound delta currently on `current`
+    types::NodeId current = 0;   ///< leader carrying the degradation
+  };
   struct ActiveWindows {
     std::vector<FluctWindow> fluct;  // open fluct windows, start order
     // Open burst windows per directed link, start order.
     std::map<std::pair<types::NodeId, types::NodeId>,
              std::vector<BurstEntry>> burst;
+    int next_window = 0;
+    std::vector<std::shared_ptr<FollowState>> follows;
+    types::View max_view = 1;  ///< highest view entered cluster-wide
   };
   auto active = std::make_shared<ActiveWindows>();
-  int next_window = 0;
+
+  // Stop every leader-follow degradation, lifting exactly the delta it
+  // applied (not a full baseline reset — concurrent mutations like an
+  // open loss burst on the carrier's links must survive).
+  const auto deactivate_follows = [&cluster, active] {
+    for (const auto& fs : active->follows) {
+      if (!fs->active) continue;
+      const std::uint32_t n = cluster.config().num_endpoints();
+      for (types::NodeId to = 0; to < n; ++to) {
+        if (to != fs->current) {
+          cluster.network().degrade_link(fs->current, to, -fs->applied_ns);
+        }
+      }
+      fs->active = false;
+      fs->applied_ns = 0;
+    }
+  };
+
+  bool follow_used = false;
 
   for (const core::ChurnEvent& ev : schedule) {
     const sim::Time at = sim::from_seconds(ev.at_s);
+    // One-shot events keep the pre-repetition scheduling shape (events
+    // inserted at install time); every=<dur> events self-reschedule.
+    const auto fire_at = [&simulator, at, &ev](std::function<void()> fire) {
+      if (ev.every_s <= 0) {
+        simulator.schedule_at(at, std::move(fire));
+      } else {
+        schedule_repeating(
+            simulator, at,
+            std::make_shared<Repeat>(
+                Repeat{std::move(fire), sim::from_seconds(ev.every_s)}));
+      }
+    };
     switch (ev.kind) {
       case core::ChurnKind::kLinkDegrade: {
+        if (ev.target == core::ChurnTarget::kLeaderFollow) {
+          auto fs = std::make_shared<FollowState>();
+          active->follows.push_back(fs);
+          follow_used = true;
+          const double extra_ns =
+              ev.extra_ms * static_cast<double>(sim::kMillisecond);
+          fire_at([&cluster, active, fs, extra_ns] {
+            if (!fs->active) {
+              fs->active = true;
+              fs->current = cluster.election().leader(active->max_view);
+            }
+            fs->applied_ns += extra_ns;
+            const std::uint32_t n = cluster.config().num_endpoints();
+            for (types::NodeId to = 0; to < n; ++to) {
+              if (to != fs->current) {
+                cluster.network().degrade_link(fs->current, to, extra_ns);
+              }
+            }
+          });
+          break;
+        }
         auto pairs = target_links(ev, cfg);
         const double extra_ns =
             ev.extra_ms * static_cast<double>(sim::kMillisecond);
-        simulator.schedule_at(at, [&cluster, pairs = std::move(pairs),
-                                   extra_ns] {
+        fire_at([&cluster, pairs = std::move(pairs), extra_ns] {
           for (const auto& [from, to] : pairs) {
             cluster.network().degrade_link(from, to, extra_ns);
           }
@@ -263,16 +436,41 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
         break;
       }
       case core::ChurnKind::kLinkRestore: {
+        if (ev.target == core::ChurnTarget::kLeaderFollow) {
+          fire_at([&cluster, deactivate_follows, probe] {
+            deactivate_follows();
+            if (probe) arm_recovery_probe(cluster, *probe);
+          });
+          break;
+        }
         if (ev.target == core::ChurnTarget::kAll) {
-          simulator.schedule_at(
-              at, [&cluster] { cluster.network().restore_all_links(); });
+          fire_at([&cluster, deactivate_follows, probe] {
+            // A full reset also stops any leader-following degradation —
+            // otherwise the listener would keep moving a delta that the
+            // reset just wiped.
+            deactivate_follows();
+            cluster.network().restore_all_links();
+            if (probe) arm_recovery_probe(cluster, *probe);
+          });
           break;
         }
         auto pairs = target_links(ev, cfg);
-        simulator.schedule_at(at, [&cluster, pairs = std::move(pairs)] {
+        fire_at([&cluster, active, pairs = std::move(pairs), probe] {
           for (const auto& [from, to] : pairs) {
             cluster.network().restore_link(from, to);
           }
+          // A targeted restore that reset an active follow-carrier's
+          // outbound link wiped the follow delta with it: re-impose it,
+          // so the later rotation subtraction still lands at baseline.
+          for (const auto& fs : active->follows) {
+            if (!fs->active) continue;
+            for (const auto& [from, to] : pairs) {
+              if (from == fs->current && to != fs->current) {
+                cluster.network().degrade_link(from, to, fs->applied_ns);
+              }
+            }
+          }
+          if (probe) arm_recovery_probe(cluster, *probe);
         });
         break;
       }
@@ -284,57 +482,97 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
         break;
       }
       case core::ChurnKind::kPartitionHeal:
-        simulator.schedule_at(
-            at, [&cluster] { cluster.network().set_partition({}); });
+        simulator.schedule_at(at, [&cluster, probe] {
+          cluster.network().set_partition({});
+          if (probe) arm_recovery_probe(cluster, *probe);
+        });
         break;
       case core::ChurnKind::kLossBurst: {
         auto pairs = target_links(ev, cfg);
         const double loss = ev.loss;
-        const int id = next_window++;
-        simulator.schedule_at(at, [&cluster, active, pairs, loss, id] {
-          for (const auto& [from, to] : pairs) {
+        const auto begin_burst = [&cluster, active, loss](
+                                     const auto& links, int id) {
+          for (const auto& [from, to] : links) {
             active->burst[{from, to}].push_back(BurstEntry{id, loss});
             cluster.network().set_link_loss(from, to, loss);
           }
-        });
-        simulator.schedule_at(
-            sim::from_seconds(ev.at_s + ev.for_s),
-            [&cluster, active, pairs = std::move(pairs), id] {
-              for (const auto& [from, to] : pairs) {
-                auto& open = active->burst[{from, to}];
-                std::erase_if(open,
-                              [id](const BurstEntry& e) { return e.id == id; });
-                if (open.empty()) {
-                  cluster.network().restore_link_loss(from, to);
-                } else {
-                  // Another burst still covers this link: reapply the
-                  // latest-started one instead of the baseline.
-                  cluster.network().set_link_loss(from, to,
-                                                  open.back().loss);
-                }
-              }
+        };
+        const auto end_burst = [&cluster, active, probe](const auto& links,
+                                                         int id) {
+          bool healed = false;
+          for (const auto& [from, to] : links) {
+            auto& open = active->burst[{from, to}];
+            std::erase_if(open,
+                          [id](const BurstEntry& e) { return e.id == id; });
+            if (open.empty()) {
+              cluster.network().restore_link_loss(from, to);
+              healed = true;
+            } else {
+              // Another burst still covers this link: reapply the
+              // latest-started one instead of the baseline.
+              cluster.network().set_link_loss(from, to, open.back().loss);
+            }
+          }
+          // Only a burst end that actually returned a link to baseline is
+          // a healing moment; the end of a window nested inside a wider
+          // one changes nothing and must not arm the probe.
+          if (healed && probe) arm_recovery_probe(cluster, *probe);
+        };
+        if (ev.every_s <= 0) {
+          const int id = active->next_window++;
+          simulator.schedule_at(at, [begin_burst, pairs, id] {
+            begin_burst(pairs, id);
+          });
+          simulator.schedule_at(sim::from_seconds(ev.at_s + ev.for_s),
+                                [end_burst, pairs = std::move(pairs), id] {
+                                  end_burst(pairs, id);
+                                });
+        } else {
+          // Each occurrence opens its own window and schedules its own
+          // end relative to the fire time.
+          const sim::Duration window = sim::from_seconds(ev.for_s);
+          fire_at([&simulator, active, begin_burst, end_burst,
+                   pairs = std::move(pairs), window] {
+            const int id = active->next_window++;
+            begin_burst(pairs, id);
+            simulator.schedule_after(window, [end_burst, pairs, id] {
+              end_burst(pairs, id);
             });
+          });
+        }
         break;
       }
       case core::ChurnKind::kFluctuation: {
         const sim::Duration lo = sim::from_milliseconds(ev.lo_ms);
         const sim::Duration hi = sim::from_milliseconds(ev.hi_ms);
-        const int id = next_window++;
-        simulator.schedule_at(at, [&cluster, active, lo, hi, id] {
+        const auto begin_fluct = [&cluster, active, lo, hi](int id) {
           active->fluct.push_back(FluctWindow{id, lo, hi});
           cluster.network().set_fluctuation(lo, hi);
-        });
-        simulator.schedule_at(
-            sim::from_seconds(ev.at_s + ev.for_s), [&cluster, active, id] {
-              std::erase_if(active->fluct,
-                            [id](const FluctWindow& w) { return w.id == id; });
-              if (active->fluct.empty()) {
-                cluster.network().set_fluctuation(0, 0);
-              } else {
-                const FluctWindow& w = active->fluct.back();
-                cluster.network().set_fluctuation(w.lo, w.hi);
-              }
-            });
+        };
+        const auto end_fluct = [&cluster, active](int id) {
+          std::erase_if(active->fluct,
+                        [id](const FluctWindow& w) { return w.id == id; });
+          if (active->fluct.empty()) {
+            cluster.network().set_fluctuation(0, 0);
+          } else {
+            const FluctWindow& w = active->fluct.back();
+            cluster.network().set_fluctuation(w.lo, w.hi);
+          }
+        };
+        if (ev.every_s <= 0) {
+          const int id = active->next_window++;
+          simulator.schedule_at(at, [begin_fluct, id] { begin_fluct(id); });
+          simulator.schedule_at(sim::from_seconds(ev.at_s + ev.for_s),
+                                [end_fluct, id] { end_fluct(id); });
+        } else {
+          const sim::Duration window = sim::from_seconds(ev.for_s);
+          fire_at([&simulator, active, begin_fluct, end_fluct, window] {
+            const int id = active->next_window++;
+            begin_fluct(id);
+            simulator.schedule_after(window,
+                                     [end_fluct, id] { end_fluct(id); });
+          });
+        }
         break;
       }
       case core::ChurnKind::kCrash:
@@ -356,9 +594,38 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule) {
       }
     }
   }
+
+  if (follow_used) {
+    // The view listener both tracks the cluster-wide max view and moves
+    // every active follow-degradation onto the new view's leader.
+    cluster.add_view_listener([&cluster, active](types::NodeId,
+                                                 types::View view) {
+      if (view <= active->max_view) return;
+      active->max_view = view;
+      const types::NodeId leader = cluster.election().leader(view);
+      for (const auto& fs : active->follows) {
+        if (!fs->active || fs->current == leader) continue;
+        const std::uint32_t n = cluster.config().num_endpoints();
+        for (types::NodeId to = 0; to < n; ++to) {
+          if (to != fs->current) {
+            cluster.network().degrade_link(fs->current, to, -fs->applied_ns);
+          }
+        }
+        for (types::NodeId to = 0; to < n; ++to) {
+          if (to != leader) {
+            cluster.network().degrade_link(leader, to, fs->applied_ns);
+          }
+        }
+        fs->current = leader;
+      }
+    });
+  }
 }
 
 RunOutput execute_full(const RunSpec& spec) {
+  // Declared before the cluster so the simulator's pending probe events
+  // (which hold a reference) never outlive it.
+  RecoveryProbe probe;
   Cluster cluster(spec.cfg);
   auto obs = std::make_shared<ObserverState>();
   obs->measuring = spec.measure_whole_run;
@@ -390,7 +657,7 @@ RunOutput execute_full(const RunSpec& spec) {
     driver.set_timeline(timeline.get());
   }
   driver.install();
-  install_churn(cluster, effective_churn(spec.faults, spec.cfg));
+  install_churn(cluster, effective_churn(spec.faults, spec.cfg), &probe);
 
   cluster.start();
   driver.start();
@@ -413,6 +680,8 @@ RunOutput execute_full(const RunSpec& spec) {
 
   RunOutput out;
   out.result = finalize(cluster, driver, *obs, before, after);
+  out.result.recovery_ms =
+      probe.mean_ms(sim::to_seconds(cluster.simulator().now()));
   if (timeline) {
     const auto buckets =
         static_cast<std::size_t>(horizon_s / spec.timeline_bucket_s);

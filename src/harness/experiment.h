@@ -40,6 +40,15 @@ struct RunResult {
   /// Network bytes sent cluster-wide inside the measurement window.
   std::uint64_t net_bytes = 0;
 
+  // recovery & state sync (sync::Syncer), summed over every replica
+  std::uint64_t sync_requests = 0;  ///< ChainRequestMsg sent (incl. retries)
+  std::uint64_t sync_blocks = 0;    ///< fetched blocks accepted into forests
+  std::uint64_t sync_bytes = 0;     ///< wire bytes of accepted responses
+  /// Mean heal-to-caught-up latency (ms) across the run's churn recovery
+  /// events (partition heal / link restore / loss-burst end); events still
+  /// unrecovered at run end count up to the end. 0 = no recovery event.
+  double recovery_ms = 0;
+
   // invariants
   bool consistent = true;
   std::uint64_t safety_violations = 0;
@@ -85,11 +94,38 @@ struct FaultPlan {
 [[nodiscard]] core::ChurnSchedule effective_churn(
     const FaultPlan& faults, const core::Config& cfg);
 
+/// Heal-to-caught-up measurement, armed by install_churn at every
+/// "healing" churn moment: a partition heal, a link restore, or the end
+/// of a loss-burst window. At that instant the probe samples the max
+/// committed height across honest live replicas; replicas below it are
+/// lagging, and the event's recovery latency is the time from the heal
+/// until every laggard has committed up to that height (laggards that
+/// crash are dropped). Polling is pure observation at a fixed 5 ms
+/// cadence — it draws no randomness and sends no messages, so arming the
+/// probe never perturbs the run. Heals with no laggards record nothing.
+struct RecoveryProbe {
+  struct Event {
+    double heal_at_s = 0;
+    double recovered_at_s = -1;  ///< -1 = still lagging at run end
+    /// Every laggard crashed before catching up: the event has nothing
+    /// left to measure and is excluded from the mean.
+    bool abandoned = false;
+  };
+  std::vector<Event> events;
+
+  /// Mean heal→recovered latency in ms over measurable events;
+  /// unfinished events count to end_s, abandoned ones are skipped.
+  [[nodiscard]] double mean_ms(double end_s) const;
+};
+
 /// Schedule every churn event of `schedule` on the cluster's simulator
 /// (call before Cluster::start()). Endpoint/replica ids are range-checked
 /// against the cluster's configuration here — std::invalid_argument names
-/// the offending event. Exposed for tests; execute() calls it.
-void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule);
+/// the offending event. A non-null `probe` must outlive the simulation;
+/// it accumulates one RecoveryProbe::Event per healing moment that found
+/// lagging replicas. Exposed for tests; execute() calls it.
+void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule,
+                   RecoveryProbe* probe = nullptr);
 
 /// The complete, self-contained description of ONE simulation run: protocol
 /// + cluster configuration, offered workload, measurement windows, seed

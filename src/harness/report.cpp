@@ -66,7 +66,9 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   Aggregate agg;
   util::RunningStats p50;
   double measured_s = 0, latency_samples = 0, views = 0, committed = 0,
-         received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0;
+         received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0,
+         sync_requests = 0, sync_blocks = 0, sync_bytes = 0, recovery_ms = 0,
+         recovery_reps = 0;
   for (const RunResult& r : results) {
     agg.add(r);
     fold(p50, r.latency_ms_p50);
@@ -79,6 +81,16 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
     timeouts += static_cast<double>(r.timeouts);
     rejected += static_cast<double>(r.rejected);
     net_bytes += static_cast<double>(r.net_bytes);
+    sync_requests += static_cast<double>(r.sync_requests);
+    sync_blocks += static_cast<double>(r.sync_blocks);
+    sync_bytes += static_cast<double>(r.sync_bytes);
+    // recovery_ms == 0 means "no recovery event this rep" (the probe
+    // records events only when a heal found laggards); averaging those
+    // zeros in would understate the observed latency.
+    if (r.recovery_ms > 0) {
+      recovery_ms += r.recovery_ms;
+      recovery_reps += 1;
+    }
   }
   const double n = results.empty() ? 1.0 : static_cast<double>(results.size());
 
@@ -109,6 +121,11 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   rec.result.timeouts = round_u64(timeouts / n);
   rec.result.rejected = round_u64(rejected / n);
   rec.result.net_bytes = round_u64(net_bytes / n);
+  rec.result.sync_requests = round_u64(sync_requests / n);
+  rec.result.sync_blocks = round_u64(sync_blocks / n);
+  rec.result.sync_bytes = round_u64(sync_bytes / n);
+  rec.result.recovery_ms =
+      recovery_reps > 0 ? recovery_ms / recovery_reps : 0.0;
   rec.result.consistent = agg.all_consistent;
   rec.result.safety_violations = agg.safety_violations;
 
@@ -150,6 +167,9 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
   p.ge_r = spec.cfg.ge_r;
   p.ge_loss_good = spec.cfg.ge_loss_good;
   p.ge_loss_bad = spec.cfg.ge_loss_bad;
+  p.sync_batch = spec.cfg.sync_batch;
+  p.sync_timeout_ms = sim::to_milliseconds(spec.cfg.sync_timeout);
+  p.sync_retries = spec.cfg.sync_retries;
   p.mode =
       spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
   p.concurrency = spec.workload.concurrency;
@@ -224,7 +244,8 @@ const std::vector<std::string>& csv_columns() {
       "protocol", "n_replicas", "byz_no", "strategy", "election", "bsize",
       "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms",
       "link_model", "link_shape", "link_loss", "topology", "churn", "ge_p",
-      "ge_r", "ge_loss_good", "ge_loss_bad", "mode",
+      "ge_r", "ge_loss_good", "ge_loss_bad", "sync_batch", "sync_timeout_ms",
+      "sync_retries", "mode",
       "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
       "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
       "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
@@ -233,6 +254,7 @@ const std::vector<std::string>& csv_columns() {
       "cgr_per_block_ci95", "block_interval", "block_interval_ci95",
       "measured_s", "latency_samples", "views", "blocks_committed",
       "blocks_received", "blocks_forked", "timeouts", "rejected", "net_bytes",
+      "sync_requests", "sync_blocks", "sync_bytes", "recovery_ms",
       "consistent", "safety_violations"};
   return columns;
 }
@@ -275,6 +297,9 @@ std::string csv_row(const Record& r) {
       num(r.prov.ge_r),
       num(r.prov.ge_loss_good),
       num(r.prov.ge_loss_bad),
+      std::to_string(r.prov.sync_batch),
+      num(r.prov.sync_timeout_ms),
+      std::to_string(r.prov.sync_retries),
       csv_escape(r.prov.mode),
       std::to_string(r.prov.concurrency),
       num(r.prov.arrival_rate_tps),
@@ -306,6 +331,10 @@ std::string csv_row(const Record& r) {
       std::to_string(r.result.timeouts),
       std::to_string(r.result.rejected),
       std::to_string(r.result.net_bytes),
+      std::to_string(r.result.sync_requests),
+      std::to_string(r.result.sync_blocks),
+      std::to_string(r.result.sync_bytes),
+      num(r.result.recovery_ms),
       r.result.consistent ? "true" : "false",
       std::to_string(r.result.safety_violations)};
   std::string out;
@@ -346,6 +375,11 @@ util::Json to_json(const Record& r) {
   o.emplace("ge_r", util::Json(r.prov.ge_r));
   o.emplace("ge_loss_good", util::Json(r.prov.ge_loss_good));
   o.emplace("ge_loss_bad", util::Json(r.prov.ge_loss_bad));
+  o.emplace("sync_batch",
+            util::Json(static_cast<std::int64_t>(r.prov.sync_batch)));
+  o.emplace("sync_timeout_ms", util::Json(r.prov.sync_timeout_ms));
+  o.emplace("sync_retries",
+            util::Json(static_cast<std::int64_t>(r.prov.sync_retries)));
   o.emplace("mode", util::Json(r.prov.mode));
   o.emplace("concurrency",
             util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
@@ -388,6 +422,13 @@ util::Json to_json(const Record& r) {
             util::Json(static_cast<std::int64_t>(r.result.rejected)));
   o.emplace("net_bytes",
             util::Json(static_cast<std::int64_t>(r.result.net_bytes)));
+  o.emplace("sync_requests",
+            util::Json(static_cast<std::int64_t>(r.result.sync_requests)));
+  o.emplace("sync_blocks",
+            util::Json(static_cast<std::int64_t>(r.result.sync_blocks)));
+  o.emplace("sync_bytes",
+            util::Json(static_cast<std::int64_t>(r.result.sync_bytes)));
+  o.emplace("recovery_ms", util::Json(r.result.recovery_ms));
   o.emplace("consistent", util::Json(r.result.consistent));
   o.emplace("safety_violations", util::Json(static_cast<std::int64_t>(
                                      r.result.safety_violations)));
@@ -426,6 +467,10 @@ Record record_from_json(const util::Json& j) {
   r.prov.ge_r = j.get_number("ge_r", 0);
   r.prov.ge_loss_good = j.get_number("ge_loss_good", 0);
   r.prov.ge_loss_bad = j.get_number("ge_loss_bad", 1.0);
+  r.prov.sync_batch = static_cast<std::uint32_t>(j.get_int("sync_batch", 1));
+  r.prov.sync_timeout_ms = j.get_number("sync_timeout_ms", 500);
+  r.prov.sync_retries =
+      static_cast<std::uint32_t>(j.get_int("sync_retries", 3));
   r.prov.mode = j.get_string("mode", "closed");
   r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
   r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);
@@ -461,6 +506,13 @@ Record record_from_json(const util::Json& j) {
   r.result.timeouts = static_cast<std::uint64_t>(j.get_int("timeouts", 0));
   r.result.rejected = static_cast<std::uint64_t>(j.get_int("rejected", 0));
   r.result.net_bytes = static_cast<std::uint64_t>(j.get_int("net_bytes", 0));
+  r.result.sync_requests =
+      static_cast<std::uint64_t>(j.get_int("sync_requests", 0));
+  r.result.sync_blocks =
+      static_cast<std::uint64_t>(j.get_int("sync_blocks", 0));
+  r.result.sync_bytes =
+      static_cast<std::uint64_t>(j.get_int("sync_bytes", 0));
+  r.result.recovery_ms = j.get_number("recovery_ms", 0);
   r.result.consistent = j.get_bool("consistent", true);
   r.result.safety_violations =
       static_cast<std::uint64_t>(j.get_int("safety_violations", 0));

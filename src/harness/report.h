@@ -54,6 +54,10 @@ struct Provenance {
   double ge_r = 0;
   double ge_loss_good = 0;
   double ge_loss_bad = 1.0;
+  // Recovery & state-sync provenance (sync/syncer.h), flat like the rest.
+  std::uint32_t sync_batch = 1;
+  double sync_timeout_ms = 500;
+  std::uint32_t sync_retries = 3;
   std::string mode;  ///< "closed" | "open"
   std::uint32_t concurrency = 0;
   double arrival_rate_tps = 0;

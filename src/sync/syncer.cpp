@@ -1,0 +1,181 @@
+#include "sync/syncer.h"
+
+#include <algorithm>
+
+namespace bamboo::sync {
+
+Syncer::Syncer(sim::Simulator& simulator, const forest::BlockForest& forest,
+               Settings settings, types::NodeId id, std::uint32_t n_replicas,
+               Hooks hooks)
+    : sim_(simulator),
+      forest_(forest),
+      settings_(settings),
+      id_(id),
+      n_replicas_(n_replicas),
+      hooks_(std::move(hooks)) {
+  if (settings_.batch == 0) settings_.batch = 1;
+}
+
+void Syncer::stop() {
+  stopped_ = true;
+  for (auto& [want, pending] : pending_) {
+    if (pending.timer != sim::kInvalidEventId) sim_.cancel(pending.timer);
+  }
+  pending_.clear();
+}
+
+types::NodeId Syncer::rotate_peer(types::NodeId prev) const {
+  types::NodeId next = (prev + 1) % n_replicas_;
+  if (next == id_) next = (next + 1) % n_replicas_;
+  return next;
+}
+
+void Syncer::send_request(const crypto::Digest& want, Pending& pending) {
+  types::ChainRequestMsg req;
+  req.want_hash = want;
+  req.committed_height = forest_.committed_height();
+  req.batch = settings_.batch;
+  ++stats_.requests_sent;
+  pending.timer = sim_.schedule_after(settings_.timeout,
+                                      [this, want] { on_timer(want); });
+  hooks_.send(pending.peer, types::make_message(std::move(req)));
+}
+
+void Syncer::request(const crypto::Digest& want, types::NodeId from) {
+  if (stopped_ || from == id_ || from >= n_replicas_) return;
+  if (forest_.contains(want)) return;
+  if (pending_.count(want) > 0) return;  // dedupe in-flight fetches
+  Pending pending;
+  pending.peer = from;
+  send_request(want, pending);
+  pending_.emplace(want, pending);
+}
+
+void Syncer::on_timer(const crypto::Digest& want) {
+  const auto it = pending_.find(want);
+  if (it == pending_.end()) return;
+  ++stats_.timeouts;
+  it->second.timer = sim::kInvalidEventId;
+  if (forest_.contains(want) || forest_.buffered(want)) {
+    // Connected via another path, or the block itself already arrived and
+    // waits in the orphan buffer for its ancestors (which have their own
+    // fetches): re-fetching bytes we hold is pointless.
+    pending_.erase(it);
+    return;
+  }
+  if (it->second.attempt >= settings_.retries) {
+    // Expire the entry: a later trigger starts a fresh fetch instead of
+    // being deduped against a fetch that will never complete.
+    ++stats_.exhausted;
+    pending_.erase(it);
+    return;
+  }
+  ++it->second.attempt;
+  ++stats_.retries;
+  it->second.peer = rotate_peer(it->second.peer);
+  send_request(want, it->second);
+}
+
+void Syncer::on_request(const types::ChainRequestMsg& req,
+                        types::NodeId from) {
+  if (stopped_ || from == id_ || from >= n_replicas_) return;
+  const types::BlockPtr tip = forest_.get(req.want_hash);
+  if (!tip) return;
+
+  // Walk parents from the wanted block down to the requester's committed
+  // height, newest first, then reverse to parent-first order.
+  const std::uint32_t batch =
+      std::min(std::max<std::uint32_t>(req.batch, 1), kMaxServeBatch);
+  types::ChainResponseMsg resp;
+  resp.blocks.push_back(tip);
+  types::BlockPtr cursor = tip;
+  while (resp.blocks.size() < batch) {
+    const types::BlockPtr parent = forest_.get(cursor->parent_hash());
+    if (!parent || parent->height() <= req.committed_height) break;
+    resp.blocks.push_back(parent);
+    cursor = parent;
+  }
+  std::reverse(resp.blocks.begin(), resp.blocks.end());
+
+  ++stats_.requests_served;
+  stats_.blocks_served += resp.blocks.size();
+  hooks_.send(from, types::make_message(std::move(resp)));
+}
+
+void Syncer::on_response(const types::ChainResponseMsg& resp,
+                         types::NodeId from) {
+  if (stopped_) return;
+  if (resp.blocks.empty() || !resp.blocks.back() ||
+      resp.blocks.size() > settings_.batch) {
+    // Empty, or more blocks than the locator asked for — an honest peer
+    // never exceeds the requested batch cap.
+    ++stats_.responses_rejected;
+    return;
+  }
+  const crypto::Digest want = resp.blocks.back()->hash();
+  const auto it = pending_.find(want);
+  if (it == pending_.end()) {
+    // Stale (already satisfied or expired) or never requested at all: a
+    // Byzantine peer cannot push blocks we did not ask for.
+    ++stats_.responses_rejected;
+    return;
+  }
+  // The batch must be one contiguous parent chain ending at the wanted
+  // hash; anything else is rejected wholesale before touching the forest.
+  for (std::size_t i = 0; i < resp.blocks.size(); ++i) {
+    if (!resp.blocks[i] ||
+        (i > 0 &&
+         resp.blocks[i]->parent_hash() != resp.blocks[i - 1]->hash())) {
+      ++stats_.responses_rejected;
+      stats_.blocks_rejected += resp.blocks.size();
+      return;
+    }
+  }
+
+  if (it->second.timer != sim::kInvalidEventId) {
+    sim_.cancel(it->second.timer);
+    it->second.timer = sim::kInvalidEventId;
+  }
+  ++stats_.responses_applied;
+  stats_.bytes_received += types::wire_size(types::Message(resp));
+
+  for (const types::BlockPtr& block : resp.blocks) {
+    const forest::AddResult result = hooks_.apply_block(block, from);
+    if (result == forest::AddResult::kInvalid) {
+      ++stats_.blocks_rejected;
+      pending_.erase(want);
+      return;  // no forest pollution: drop the rest of the batch
+    }
+    // A fetched block counts as applied whether it connected immediately
+    // or was buffered for the deeper range still in flight (kOrphaned);
+    // only duplicate deliveries don't count.
+    if (result == forest::AddResult::kAdded ||
+        result == forest::AddResult::kOrphaned) {
+      ++stats_.blocks_applied;
+    }
+  }
+
+  // Drop every fetch this batch satisfied — including entries for other
+  // hashes the orphan flush just connected transitively.
+  std::erase_if(pending_, [this](auto& entry) {
+    if (!forest_.contains(entry.first)) return false;
+    if (entry.second.timer != sim::kInvalidEventId) {
+      sim_.cancel(entry.second.timer);
+    }
+    return true;
+  });
+  if (forest_.contains(want)) return;
+  // The whole batch hangs below a still-missing ancestor. Keep the entry
+  // (it dedupes further triggers for `want` while the gap persists — the
+  // legacy semantics), re-arm its timer so a stalled continuation still
+  // expires, and continue the fetch from the same peer, one chain
+  // locator per round.
+  const auto kept = pending_.find(want);
+  if (kept != pending_.end()) {
+    kept->second.timer = sim_.schedule_after(settings_.timeout,
+                                             [this, want] { on_timer(want); });
+  }
+  request(resp.blocks.front()->parent_hash(), from);
+}
+
+}  // namespace bamboo::sync

@@ -1,0 +1,137 @@
+#pragma once
+
+// The recovery & state-sync subsystem: a per-replica chain-sync state
+// machine that fetches ranges of missing certified blocks from peers.
+//
+// It replaces the replica's original ad-hoc request path (one
+// BlockRequestMsg per missing parent, sent to a single peer, with no
+// timeout — one lost response wedged recovery forever). The Syncer owns
+// the whole fetch lifecycle:
+//
+//   request(want, from)   a hash referenced by `from` is missing locally.
+//     │                   Deduped against in-flight fetches; `from`
+//     ▼                   becomes the first peer asked.
+//   ChainRequestMsg       chain locator: want hash + local committed
+//     │                   height + batch cap (Config::sync_batch).
+//     ▼
+//   ChainResponseMsg      up to `batch` certified blocks, parent-first,
+//     │                   ending at the requested hash. The responder
+//     ▼                   walks parents from the wanted block down to the
+//   apply, parent-first   requester's committed height.
+//
+// Outstanding requests carry a simulator timer (Config::sync_timeout):
+// on expiry the fetch is retried against the NEXT peer (rotating past
+// this replica and the peer that just failed), up to Config::sync_retries
+// retries, after which the entry expires — a later trigger simply starts
+// a fresh fetch, so message loss can delay recovery but never wedge it.
+//
+// Responses are validated before anything touches the forest: a response
+// whose tip was never requested (or was already satisfied) is rejected
+// wholesale, and the blocks must form one contiguous parent chain — a
+// Byzantine peer cannot pollute the forest with unrequested or unchained
+// blocks. Each accepted block is handed to the replica's ingestion hook
+// (forest insert + justify-QC processing), so a fetched certified chain
+// fast-paths QC application the moment it connects.
+//
+// With sync_batch == 1 the protocol degenerates to the legacy semantics
+// (one block per round, requested from the peer that revealed the hash,
+// identical wire sizes), which keeps default no-loss runs byte-identical
+// to the pre-Syncer engine.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "forest/block_forest.h"
+#include "sim/simulator.h"
+#include "types/messages.h"
+
+namespace bamboo::sync {
+
+/// Server-side ceiling on one response, whatever batch a (possibly
+/// Byzantine) requester asks for; the serve CPU cost is capped to match.
+inline constexpr std::uint32_t kMaxServeBatch = 1024;
+
+/// Counters exported per replica (summed into RunResult::sync_*).
+struct SyncStats {
+  std::uint64_t requests_sent = 0;  ///< ChainRequestMsg sent (incl. retries)
+  std::uint64_t timeouts = 0;       ///< request timers that fired
+  std::uint64_t retries = 0;        ///< timeout-driven re-requests
+  std::uint64_t exhausted = 0;      ///< fetches dropped after max retries
+  std::uint64_t responses_applied = 0;
+  std::uint64_t responses_rejected = 0;  ///< stale / duplicate / unrequested
+  std::uint64_t blocks_applied = 0;      ///< blocks accepted into the forest
+  std::uint64_t blocks_rejected = 0;     ///< invalid / unchained blocks
+  std::uint64_t bytes_received = 0;      ///< wire bytes of accepted responses
+  std::uint64_t requests_served = 0;     ///< server side: requests answered
+  std::uint64_t blocks_served = 0;       ///< server side: blocks shipped
+};
+
+class Syncer {
+ public:
+  struct Settings {
+    std::uint32_t batch = 1;  ///< blocks per response (Config::sync_batch)
+    sim::Duration timeout = sim::milliseconds(500);
+    std::uint32_t retries = 3;  ///< peer-rotating retries after first send
+  };
+
+  struct Hooks {
+    /// Transport: send one message to a peer.
+    std::function<void(types::NodeId, types::MessagePtr)> send;
+    /// Ingest one fetched block through the replica's pipeline (forest
+    /// insert, justify-QC processing, pending-proposal retry). Returns
+    /// the forest's verdict; kInvalid aborts the rest of the response.
+    std::function<forest::AddResult(const types::BlockPtr&, types::NodeId)>
+        apply_block;
+  };
+
+  Syncer(sim::Simulator& simulator, const forest::BlockForest& forest,
+         Settings settings, types::NodeId id, std::uint32_t n_replicas,
+         Hooks hooks);
+  ~Syncer() { stop(); }
+  Syncer(const Syncer&) = delete;
+  Syncer& operator=(const Syncer&) = delete;
+
+  /// Ensure a fetch for `want` is in flight. `from` (the peer whose
+  /// message referenced the hash) is asked first; self/client/unknown
+  /// sources and already-present or already-in-flight hashes are no-ops.
+  void request(const crypto::Digest& want, types::NodeId from);
+
+  /// Serve a peer's chain request from the local forest (no-op when the
+  /// wanted block is unknown; the requester's timer handles it).
+  void on_request(const types::ChainRequestMsg& req, types::NodeId from);
+
+  /// Validate and apply a chain response (see file comment).
+  void on_response(const types::ChainResponseMsg& resp, types::NodeId from);
+
+  /// Cancel every outstanding timer (crash / teardown).
+  void stop();
+
+  [[nodiscard]] const SyncStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    types::NodeId peer = 0;     ///< peer the live request went to
+    std::uint32_t attempt = 0;  ///< 0 = first send, 1.. = retries
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+
+  void send_request(const crypto::Digest& want, Pending& pending);
+  void on_timer(const crypto::Digest& want);
+  /// Next replica id after `prev`, skipping this replica — the rotation
+  /// that routes a retry around a suspected-dead peer.
+  [[nodiscard]] types::NodeId rotate_peer(types::NodeId prev) const;
+
+  sim::Simulator& sim_;
+  const forest::BlockForest& forest_;
+  Settings settings_;
+  types::NodeId id_;
+  std::uint32_t n_replicas_;
+  Hooks hooks_;
+  bool stopped_ = false;
+  std::unordered_map<crypto::Digest, Pending> pending_;
+  SyncStats stats_;
+};
+
+}  // namespace bamboo::sync

@@ -25,9 +25,18 @@ struct WireSizeVisitor {
     return m.tx.wire_size();
   }
   std::uint64_t operator()(const ClientResponseMsg&) const { return 64; }
-  std::uint64_t operator()(const BlockRequestMsg&) const { return 48; }
-  std::uint64_t operator()(const BlockResponseMsg& m) const {
-    return 16 + (m.block ? m.block->wire_size() : 0);
+  std::uint64_t operator()(const ChainRequestMsg&) const {
+    // want hash + committed height + batch cap + framing; matches the
+    // legacy single-block request size, so sync_batch == 1 runs are
+    // byte-identical on the wire.
+    return 48;
+  }
+  std::uint64_t operator()(const ChainResponseMsg& m) const {
+    std::uint64_t bytes = 16;
+    for (const BlockPtr& b : m.blocks) {
+      if (b) bytes += b->wire_size();
+    }
+    return bytes;
   }
 };
 
@@ -38,8 +47,8 @@ struct KindVisitor {
   const char* operator()(const TcMsg&) const { return "tc"; }
   const char* operator()(const ClientRequestMsg&) const { return "request"; }
   const char* operator()(const ClientResponseMsg&) const { return "response"; }
-  const char* operator()(const BlockRequestMsg&) const { return "blockreq"; }
-  const char* operator()(const BlockResponseMsg&) const { return "blockresp"; }
+  const char* operator()(const ChainRequestMsg&) const { return "chainreq"; }
+  const char* operator()(const ChainResponseMsg&) const { return "chainresp"; }
 };
 
 }  // namespace

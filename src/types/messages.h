@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <variant>
+#include <vector>
 
 #include "crypto/signer.h"
 #include "types/block.h"
@@ -61,19 +62,27 @@ struct ClientResponseMsg {
   bool rejected = false;
 };
 
-/// Ask a peer for a block missing from the local forest (chain sync).
-struct BlockRequestMsg {
-  crypto::Digest block_hash{};
+/// Batched chain-sync fetch (sync::Syncer): ask a peer for the block
+/// `want_hash` plus up to `batch - 1` of its ancestors above the
+/// requester's committed height — the chain locator. With batch == 1 this
+/// degenerates to the legacy one-block-per-round request (same wire size).
+struct ChainRequestMsg {
+  crypto::Digest want_hash{};
+  Height committed_height = 0;  ///< requester's committed tip (exclusive)
+  std::uint32_t batch = 1;      ///< max blocks the responder may return
 };
 
-/// Answer to BlockRequestMsg.
-struct BlockResponseMsg {
-  BlockPtr block;
+/// Answer to ChainRequestMsg: up to `batch` blocks, PARENT-FIRST, ending
+/// at the requested hash (`blocks.back()->hash()` identifies the request).
+/// Each block's justify QC certifies its parent, so applying a fetched
+/// chain in order fast-paths QC application without extra round trips.
+struct ChainResponseMsg {
+  std::vector<BlockPtr> blocks;
 };
 
 using Message =
     std::variant<ProposalMsg, VoteMsg, TimeoutMsg, TcMsg, ClientRequestMsg,
-                 ClientResponseMsg, BlockRequestMsg, BlockResponseMsg>;
+                 ClientResponseMsg, ChainRequestMsg, ChainResponseMsg>;
 
 /// Messages are immutable and shared between broadcast recipients.
 using MessagePtr = std::shared_ptr<const Message>;

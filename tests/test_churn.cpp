@@ -83,6 +83,13 @@ TEST(ChurnDsl, ParsesEveryTargetForm) {
   EXPECT_EQ(leader2[0].target, ChurnTarget::kLeader);
   EXPECT_EQ(leader2[0].a, 2u);
 
+  const auto follow = core::parse_churn("degrade@1s:leader=follow:+5ms");
+  EXPECT_EQ(follow[0].target, ChurnTarget::kLeaderFollow);
+  const auto follow_restore = core::parse_churn("restore@2s:leader=follow");
+  EXPECT_EQ(follow_restore[0].target, ChurnTarget::kLeaderFollow);
+  EXPECT_EQ(core::canonical_churn("degrade@1s:leader=follow:+5ms"),
+            "degrade@1s:leader=follow:+5ms");
+
   // No target = every link, mirroring restore/burst.
   const auto all = core::parse_churn("degrade@1s:+5ms");
   EXPECT_EQ(all[0].target, ChurnTarget::kAll);
@@ -122,6 +129,43 @@ TEST(ChurnDsl, ParsesRegionPartitions) {
   ASSERT_EQ(s[0].groups.size(), 2u);
   EXPECT_EQ(s[0].groups[0], (std::vector<std::uint32_t>{0}));
   EXPECT_EQ(s[0].groups[1], (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(ChurnDsl, ParsesAndRejectsPeriodicEvents) {
+  // every=<dur> re-fires degrade/restore/burst/fluct until end-of-run.
+  const auto s = core::parse_churn(
+      "degrade@1s:link=0-1:+30ms:every=2s;restore@2s:link=0-1:every=2s;"
+      "burst@0.5s:replica=3:loss=0.5:for=250ms:every=1s;"
+      "fluct@1s:for=0.5s:lo=5ms:hi=20ms:every=3s");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0].every_s, 2.0);
+  EXPECT_DOUBLE_EQ(s[1].every_s, 2.0);
+  EXPECT_DOUBLE_EQ(s[2].every_s, 1.0);
+  EXPECT_DOUBLE_EQ(s[3].every_s, 3.0);
+  // every= accepted in any position, canonicalized to the tail.
+  EXPECT_EQ(core::canonical_churn("degrade@1s:every=2s:link=0-1:+30ms"),
+            "degrade@1s:link=0-1:+30ms:every=2s");
+
+  // Rejected on partition/heal/crash/silence, and degenerate periods.
+  for (const char* dsl :
+       {"partition@2s:groups=0-1|2-3:every=2s", "heal@2s:every=2s",
+        "crash@2s:replica=1:every=2s", "silence@2s:replica=1:every=2s",
+        "degrade@1s:link=0-1:+5ms:every=0s",
+        "degrade@1s:link=0-1:+5ms:every=1s:every=2s"}) {
+    EXPECT_THROW(static_cast<void>(core::parse_churn(dsl)),
+                 std::invalid_argument)
+        << dsl;
+  }
+}
+
+TEST(ChurnDsl, RejectsLeaderFollowOutsideDegradeRestore) {
+  for (const char* dsl :
+       {"burst@1s:leader=follow:loss=0.5:for=1s",
+        "crash@1s:leader=follow", "silence@1s:leader=follow"}) {
+    EXPECT_THROW(static_cast<void>(core::parse_churn(dsl)),
+                 std::invalid_argument)
+        << dsl;
+  }
 }
 
 TEST(ChurnDsl, RejectsMalformedSchedules) {
@@ -218,6 +262,13 @@ TEST(ChurnDsl, ConfigValidateRejectsBadGilbertElliott) {
 ChurnEvent random_event(util::Rng& rng) {
   ChurnEvent ev;
   ev.at_s = rng.uniform(0.0, 30.0);
+  const auto pick_every = [&] {
+    if (rng.bernoulli(0.5)) ev.every_s = rng.uniform(0.1, 10.0);
+  };
+  const auto pick_follow = [&] {
+    ev.target = ChurnTarget::kLeaderFollow;
+    ev.a = 0;
+  };
   const auto pick_target = [&](bool allow_all) {
     const int choice =
         static_cast<int>(rng.uniform_u64(allow_all ? 5 : 4)) +
@@ -251,12 +302,24 @@ ChurnEvent random_event(util::Rng& rng) {
   switch (rng.uniform_u64(8)) {
     case 0:
       ev.kind = ChurnKind::kLinkDegrade;
-      pick_target(true);  // kAll allowed: no-target degrade = every link
+      // kAll allowed (no-target degrade = every link); degrade may also
+      // follow the rotating leader and/or repeat.
+      if (rng.bernoulli(0.2)) {
+        pick_follow();
+      } else {
+        pick_target(true);
+      }
       ev.extra_ms = rng.uniform(-20.0, 120.0);
+      pick_every();
       break;
     case 1:
       ev.kind = ChurnKind::kLinkRestore;
-      pick_target(true);
+      if (rng.bernoulli(0.2)) {
+        pick_follow();
+      } else {
+        pick_target(true);
+      }
+      pick_every();
       break;
     case 2: {
       ev.kind = ChurnKind::kPartitionStart;
@@ -279,12 +342,14 @@ ChurnEvent random_event(util::Rng& rng) {
       pick_target(true);
       ev.loss = rng.uniform(0.0, 0.999);
       ev.for_s = rng.uniform(0.01, 10.0);
+      pick_every();
       break;
     case 5:
       ev.kind = ChurnKind::kFluctuation;
       ev.for_s = rng.uniform(0.01, 10.0);
       ev.lo_ms = rng.uniform(0.0, 50.0);
       ev.hi_ms = ev.lo_ms + rng.uniform(0.0, 100.0);
+      pick_every();
       break;
     case 6:
       ev.kind = ChurnKind::kCrash;
@@ -576,6 +641,75 @@ TEST(ChurnEngine, ChurnScheduleIsDeterministicAcrossThreadCounts) {
   const auto a = one.run(grid);
   const auto b = four.run(grid);
   EXPECT_EQ(a, b);
+}
+
+TEST(ChurnEngine, LeaderFollowDegradesTheRotatingLeader) {
+  // With round-robin rotation, degrading only replica 0's uplink
+  // (leader=0) hurts 1 view in 4; leader=follow moves the degradation
+  // with the rotation and hurts EVERY view, so it must cost more.
+  const auto baseline = harness::execute(churn_spec(""));
+  const auto pinned =
+      harness::execute(churn_spec("degrade@0.15s:leader=0:+15ms"));
+  const auto follow =
+      harness::execute(churn_spec("degrade@0.15s:leader=follow:+15ms"));
+  EXPECT_GT(pinned.latency_ms_mean, baseline.latency_ms_mean);
+  EXPECT_GT(follow.latency_ms_mean, pinned.latency_ms_mean);
+  EXPECT_TRUE(follow.consistent);
+
+  // restore:leader=follow stops the following and heals the carrier.
+  const auto restored = harness::execute(churn_spec(
+      "degrade@0.15s:leader=follow:+15ms;restore@0.3s:leader=follow"));
+  EXPECT_LT(restored.latency_ms_mean, follow.latency_ms_mean);
+  EXPECT_TRUE(restored.consistent);
+}
+
+TEST(ChurnEngine, LeaderFollowIsDeterministicAcrossThreadCounts) {
+  std::vector<harness::RunSpec> grid = {
+      churn_spec("degrade@0.15s:leader=follow:+15ms"),
+      churn_spec("degrade@0.15s:leader=follow:+10ms;"
+                 "restore@0.4s:leader=follow"),
+  };
+  harness::ParallelRunner one(1);
+  harness::ParallelRunner four(4);
+  EXPECT_EQ(one.run(grid), four.run(grid));
+}
+
+TEST(ChurnEngine, ProgrammaticLeaderFollowOnBurstThrowsAtInstall) {
+  // The DSL parser rejects it; a programmatic schedule must be caught at
+  // install time instead of silently resolving to nothing.
+  harness::RunSpec spec = churn_spec("");
+  core::ChurnEvent ev;
+  ev.kind = core::ChurnKind::kLossBurst;
+  ev.at_s = 0.1;
+  ev.target = core::ChurnTarget::kLeaderFollow;
+  ev.loss = 0.5;
+  ev.for_s = 0.1;
+  spec.faults.schedule = {ev};
+  EXPECT_THROW(static_cast<void>(harness::execute(spec)),
+               std::invalid_argument);
+}
+
+TEST(ChurnEngine, PeriodicBurstRefiresUntilEndOfRun) {
+  // One 0.1 s burst at 0.15 s dents one window; the same burst with
+  // every=0.15s keeps re-firing, so it must lose strictly more blocks.
+  const auto once = harness::execute(
+      churn_spec("burst@0.15s:replica=0:loss=0.95:for=0.1s"));
+  const auto repeating = harness::execute(
+      churn_spec("burst@0.15s:replica=0:loss=0.95:for=0.1s:every=0.15s"));
+  const auto healthy = harness::execute(churn_spec(""));
+  EXPECT_LT(once.blocks_committed, healthy.blocks_committed);
+  EXPECT_LT(repeating.blocks_committed, once.blocks_committed);
+  EXPECT_TRUE(repeating.consistent);
+
+  // Repetition is deterministic across thread counts like everything else.
+  std::vector<harness::RunSpec> grid = {
+      churn_spec("burst@0.15s:replica=0:loss=0.9:for=0.1s:every=0.2s"),
+      churn_spec("degrade@0.1s:link=0-1:+20ms:every=0.2s;"
+                 "restore@0.2s:link=0-1:every=0.2s"),
+  };
+  harness::ParallelRunner one(1);
+  harness::ParallelRunner four(4);
+  EXPECT_EQ(one.run(grid), four.run(grid));
 }
 
 TEST(ChurnEngine, GilbertElliottRunsAreDeterministicAndDegrade) {

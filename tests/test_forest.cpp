@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
 #include "forest/block_forest.h"
+#include "util/rng.h"
 
 namespace bamboo {
 namespace {
@@ -277,6 +282,91 @@ TEST_F(ForestFixture, DeepChainCommitCollapsesPrefix) {
   EXPECT_EQ(forest.committed_height(), 50u);
   for (types::Height h = 1; h <= 50; ++h) {
     EXPECT_EQ(forest.committed_hash_at(h), blocks[h - 1]->hash());
+  }
+}
+
+TEST_F(ForestFixture, BufferedReportsOrphansUntilTheyConnect) {
+  const auto b1 = child_of(genesis, 1);
+  const auto b2 = child_of(b1, 2);
+  EXPECT_EQ(forest.add(b2), AddResult::kOrphaned);
+  EXPECT_TRUE(forest.buffered(b2->hash()));
+  EXPECT_FALSE(forest.contains(b2->hash()));
+  EXPECT_FALSE(forest.buffered(b1->hash()));
+  forest.add(b1);
+  EXPECT_FALSE(forest.buffered(b2->hash()));
+  EXPECT_TRUE(forest.contains(b2->hash()));
+}
+
+TEST_F(ForestFixture, OrphanBufferPropertyUnderLongPartitionArrivals) {
+  // A replica behind a long partition receives the missed range in an
+  // arbitrary interleaving of proposals, sync batches and stragglers —
+  // i.e. an arbitrary permutation, possibly with duplicates. Whatever
+  // the order:
+  //  * every block is either connected or buffered (never dropped),
+  //  * missing_parents() names exactly the parents of disconnected
+  //    subtrees — each either a known hash (a gap inside the range) or
+  //    the not-yet-seen ancestor,
+  //  * once all blocks arrived the forest is fully connected with an
+  //    empty orphan buffer,
+  //  * buffered() and contains() partition the seen, unconnected set.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    BlockForest forest2;
+    // A main chain of 40 with a short fork hanging off height 20 — the
+    // shape a forking leader leaves behind a partition.
+    std::vector<BlockPtr> blocks;
+    BlockPtr tip = types::Block::genesis();
+    for (types::View v = 1; v <= 40; ++v) {
+      tip = child_of(tip, v);
+      blocks.push_back(tip);
+    }
+    BlockPtr fork = blocks[19];
+    for (types::View v = 41; v <= 44; ++v) {
+      fork = child_of(fork, v);
+      blocks.push_back(fork);
+    }
+    // Random arrival order with ~20% duplicated deliveries.
+    std::vector<BlockPtr> arrivals = blocks;
+    for (const BlockPtr& b : blocks) {
+      if (rng.bernoulli(0.2)) arrivals.push_back(b);
+    }
+    for (std::size_t i = arrivals.size(); i > 1; --i) {
+      std::swap(arrivals[i - 1], arrivals[rng.uniform_u64(i)]);
+    }
+
+    std::unordered_set<crypto::Digest> seen;
+    for (const BlockPtr& b : arrivals) {
+      forest2.add(b);
+      seen.insert(b->hash());
+
+      std::size_t connected = 0, buffered = 0;
+      for (const BlockPtr& block : blocks) {
+        if (seen.count(block->hash()) == 0) continue;
+        const bool in_forest = forest2.contains(block->hash());
+        const bool in_buffer = forest2.buffered(block->hash());
+        EXPECT_NE(in_forest, in_buffer);  // exactly one, never both/neither
+        connected += in_forest;
+        buffered += in_buffer;
+        // Connectivity invariant: a connected non-genesis block's parent
+        // is connected too.
+        if (in_forest) {
+          EXPECT_TRUE(forest2.contains(block->parent_hash()));
+        }
+      }
+      EXPECT_EQ(buffered, forest2.orphan_count());
+
+      // missing_parents() lists exactly the parents of orphan buckets,
+      // and none of them is a connected hash.
+      for (const crypto::Digest& parent : forest2.missing_parents()) {
+        EXPECT_FALSE(forest2.contains(parent));
+      }
+    }
+    EXPECT_EQ(forest2.orphan_count(), 0u);
+    EXPECT_TRUE(forest2.missing_parents().empty());
+    for (const BlockPtr& b : blocks) {
+      EXPECT_TRUE(forest2.contains(b->hash()));
+      EXPECT_FALSE(forest2.buffered(b->hash()));
+    }
   }
 }
 

@@ -170,6 +170,33 @@ TEST(Messages, KindNames) {
   EXPECT_STREQ(types::kind_name(types::Message(timeout)), "timeout");
   types::ClientRequestMsg req;
   EXPECT_STREQ(types::kind_name(types::Message(req)), "request");
+  types::ChainRequestMsg creq;
+  EXPECT_STREQ(types::kind_name(types::Message(creq)), "chainreq");
+  types::ChainResponseMsg cresp;
+  EXPECT_STREQ(types::kind_name(types::Message(cresp)), "chainresp");
+}
+
+TEST(Messages, ChainSyncWireSizesScaleWithTheBatch) {
+  const auto g = types::Block::genesis();
+  const auto b1 = make_child(g, 1, 0);
+  const auto b2 = make_child(b1, 2, 0);
+
+  // The request is one fixed-size locator whatever the batch cap asks for.
+  types::ChainRequestMsg req;
+  req.batch = 64;
+  EXPECT_EQ(types::wire_size(types::Message(req)), 48u);
+
+  types::ChainResponseMsg one;
+  one.blocks = {b1};
+  types::ChainResponseMsg two;
+  two.blocks = {b1, b2};
+  const auto one_size = types::wire_size(types::Message(one));
+  // A single-block response costs exactly framing + the block — the
+  // legacy per-block response size, which keeps sync_batch=1 runs
+  // byte-identical on the wire.
+  EXPECT_EQ(one_size, 16 + b1->wire_size());
+  EXPECT_EQ(types::wire_size(types::Message(two)),
+            one_size + b2->wire_size());
 }
 
 TEST(Transaction, WireSizeIsOverheadPlusPayload) {

@@ -10,7 +10,11 @@ and renders one SVG per figure/table into --svg-dir:
     label, one line per ``series``, error bars from the ``*_ci95`` columns
     (Student-t 95% half-widths);
   - ``timeline`` rows (Fig. 15 buckets) -> committed-tx rate vs time, one
-    line per ``series``.
+    line per ``series``;
+  - recovery artifacts (aggregate rows whose name contains ``recovery``,
+    e.g. bench_fig17_recovery) -> a recovery-latency panel: ``recovery_ms``
+    and ``sync_requests`` vs the ``offered`` label (the sync_batch sweep),
+    one line per series.
 * free-form side tables (no ``kind`` column) -> first column as x, every
   other numeric column as a line.
 
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import re
 import sys
 from collections import defaultdict
 from pathlib import Path
@@ -78,7 +83,7 @@ def load_artifacts(manifests: list[Path]) -> dict[str, dict]:
     return artifacts
 
 
-def classify(rows: list[dict]) -> str:
+def classify(rows: list[dict], name: str = "") -> str:
     if not rows:
         return "empty"
     if "kind" not in rows[0]:
@@ -87,6 +92,8 @@ def classify(rows: list[dict]) -> str:
     if "timeline" in kinds:
         return "timeline"
     if "aggregate" in kinds:
+        if "recovery" in name and "recovery_ms" in rows[0]:
+            return "recovery"
         return "sweep"
     return "runs"
 
@@ -149,6 +156,37 @@ def plot_timeline(plt, artifact: dict, out_path: Path) -> None:
     plt.close(fig)
 
 
+def plot_recovery(plt, artifact: dict, out_path: Path) -> None:
+    """Recovery-latency panel: heal->caught-up latency and the fetch
+    traffic that recovery cost, vs the sync_batch sweep label.
+
+    Series labels carry a per-cell "-b<batch>" suffix (each grid cell is
+    one aggregate row); strip it so the batch sweep connects into one
+    line per scenario/protocol instead of isolated points."""
+    merged: dict[str, list[dict]] = defaultdict(list)
+    for label, rows in series_of(artifact["rows"], "aggregate").items():
+        merged[re.sub(r"-b\d+$", "", label)].extend(rows)
+    fig, (ax_rec, ax_req) = plt.subplots(1, 2, figsize=(11, 4.2))
+    for label, rows in merged.items():
+        rows.sort(key=lambda r: float(r["offered"]))
+        offered = floats(rows, "offered")
+        ax_rec.plot(offered, floats(rows, "recovery_ms"), marker="o",
+                    label=label)
+        ax_req.plot(offered, floats(rows, "sync_requests"), marker="o",
+                    label=label)
+    ax_rec.set_xlabel("sync_batch")
+    ax_rec.set_ylabel("recovery, heal -> caught-up (ms)")
+    ax_req.set_xlabel("sync_batch")
+    ax_req.set_ylabel("sync requests")
+    for ax in (ax_rec, ax_req):
+        ax.grid(True, alpha=0.3)
+    ax_rec.legend(fontsize=7)
+    fig.suptitle(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
 def plot_table(plt, artifact: dict, out_path: Path) -> None:
     rows = artifact["rows"]
     headers = list(rows[0].keys())
@@ -190,7 +228,7 @@ def main() -> int:
 
     plan = []
     for key, artifact in sorted(artifacts.items()):
-        shape = classify(artifact["rows"])
+        shape = classify(artifact["rows"], artifact["name"])
         if shape == "empty":
             continue
         plan.append((key, shape, artifact))
@@ -211,7 +249,7 @@ def main() -> int:
     out_dir = Path(args.svg_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     renderers = {"sweep": plot_sweep, "timeline": plot_timeline,
-                 "table": plot_table}
+                 "recovery": plot_recovery, "table": plot_table}
     written = 0
     for key, shape, artifact in plan:
         if shape == "runs":
