@@ -4,13 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/churn.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
 #include "forest/block_forest.h"
+#include "harness/cluster.h"
+#include "harness/experiment.h"
 #include "mempool/mempool.h"
 #include "model/order_stats.h"
+#include "net/link_model.h"
 #include "quorum/vote_aggregator.h"
 #include "sim/event_queue.h"
+#include "sync/syncer.h"
 #include "util/rng.h"
 
 namespace {
@@ -121,6 +126,106 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueChurn);
+
+void BM_BlockWireSize(benchmark::State& state) {
+  // Pool of distinct blocks so the cached size cannot be hoisted.
+  std::vector<types::BlockPtr> blocks;
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    types::Block::Fields f;
+    f.parent_hash = types::Block::genesis()->hash();
+    f.view = b + 1;
+    f.height = b + 1;
+    f.txns.resize(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < f.txns.size(); ++i) f.txns[i].id = i;
+    blocks.push_back(std::make_shared<const types::Block>(std::move(f)));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocks[i++ & 63]->wire_size());
+  }
+}
+BENCHMARK(BM_BlockWireSize)->Arg(100)->Arg(400);
+
+void BM_LinkDelaySampling(benchmark::State& state) {
+  // The per-message hot path of the WAN engine (PR 3): one LinkMatrix
+  // sample per link traversal, family set by the arg index.
+  static constexpr net::DelayFamily kFamilies[] = {
+      net::DelayFamily::kNormal, net::DelayFamily::kUniform,
+      net::DelayFamily::kLogNormal, net::DelayFamily::kPareto};
+  net::LinkSpec spec;
+  spec.family = kFamilies[state.range(0)];
+  spec.base = 0.5e6;
+  spec.spread = 0.07e6;
+  spec.shape = 0.25;
+  net::LinkMatrix matrix(32, spec);
+  util::Rng rng(11);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.sample(
+        static_cast<types::NodeId>(i % 31),
+        static_cast<types::NodeId>((i + 1) % 32), rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_LinkDelaySampling)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ChurnDispatch(benchmark::State& state) {
+  // Churn-event firing + link mutation (PR 4): a dense repeating
+  // degrade/restore/burst/fluct schedule on an otherwise idle cluster,
+  // one simulated second per iteration.
+  core::Config cfg;
+  cfg.seed = 11;
+  cfg.churn =
+      "degrade@1ms:link=0-1:+1ms:every=2ms;"
+      "restore@2ms:link=0-1:every=2ms;"
+      "burst@1ms:link=2-3:loss=0.5:for=1ms:every=2ms;"
+      "fluct@1ms:for=1ms:lo=1ms:hi=2ms:every=2ms";
+  for (auto _ : state) {
+    harness::Cluster cluster(cfg);
+    harness::install_churn(cluster, harness::effective_churn({}, cfg));
+    cluster.start();
+    cluster.simulator().run_for(sim::seconds(1));
+    benchmark::DoNotOptimize(cluster.simulator().events_executed());
+  }
+}
+BENCHMARK(BM_ChurnDispatch);
+
+void BM_SyncerBatchApply(benchmark::State& state) {
+  // Chain-sync validation + batch apply (PR 5): one ChainResponseMsg of
+  // `batch` certified parent-first blocks through Syncer::on_response.
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<types::BlockPtr> chain;
+  types::BlockPtr tip = types::Block::genesis();
+  for (std::uint32_t v = 1; v <= batch; ++v) {
+    types::Block::Fields f;
+    f.parent_hash = tip->hash();
+    f.view = v;
+    f.height = tip->height() + 1;
+    f.justify.view = tip->view();
+    f.justify.block_hash = tip->hash();
+    f.txns.resize(64);
+    tip = std::make_shared<const types::Block>(std::move(f));
+    chain.push_back(tip);
+  }
+  types::ChainResponseMsg resp;
+  resp.blocks = chain;
+  for (auto _ : state) {
+    sim::Simulator simulator(11);
+    forest::BlockForest forest;
+    sync::Syncer::Hooks hooks;
+    hooks.send = [](types::NodeId, types::MessagePtr) {};
+    hooks.apply_block = [&forest](const types::BlockPtr& b, types::NodeId) {
+      return forest.add(b);
+    };
+    sync::Syncer syncer(simulator, forest,
+                        sync::Syncer::Settings{batch, sim::milliseconds(500), 3},
+                        /*id=*/0, /*n_replicas=*/4, hooks);
+    syncer.request(chain.back()->hash(), /*from=*/1);
+    syncer.on_response(resp, /*from=*/1);
+    benchmark::DoNotOptimize(syncer.stats().blocks_applied);
+  }
+}
+BENCHMARK(BM_SyncerBatchApply)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_RngGaussian(benchmark::State& state) {
   util::Rng rng(1);

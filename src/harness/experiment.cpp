@@ -679,6 +679,7 @@ RunOutput execute_full(const RunSpec& spec) {
   driver.stop();
 
   RunOutput out;
+  out.events_executed = cluster.simulator().events_executed();
   out.result = finalize(cluster, driver, *obs, before, after);
   out.result.recovery_ms =
       probe.mean_ms(sim::to_seconds(cluster.simulator().now()));

@@ -166,6 +166,11 @@ struct RunOutput {
   RunResult result;
   std::vector<double> bucket_start_s;  ///< empty unless timeline requested
   std::vector<double> tx_per_s;
+  /// Simulator events executed over the whole run (warm-up included).
+  /// Engine-speed accounting for the perf harness (bench_perf): events/sec
+  /// = events_executed / wall time. Not part of RunResult, so result
+  /// equality and the report schema are untouched.
+  std::uint64_t events_executed = 0;
 };
 RunOutput execute_full(const RunSpec& spec);
 

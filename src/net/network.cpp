@@ -78,31 +78,31 @@ sim::Duration SimNetwork::sample_one_way_delay(types::NodeId from,
   return delay < cfg_.min_one_way ? cfg_.min_one_way : delay;
 }
 
-void SimNetwork::send(types::NodeId from, types::NodeId to,
-                      types::MessagePtr msg) {
+SimNetwork::Endpoint* SimNetwork::admit(types::NodeId from, types::NodeId to) {
   Endpoint& src = endpoints_.at(from);
   if (src.down) {
     ++messages_dropped_;
-    return;
+    return nullptr;
   }
   if (!partition_.empty() && from < partition_.size() &&
       to < partition_.size() && partition_[from] != partition_[to]) {
     ++messages_dropped_;
-    return;
+    return nullptr;
   }
+  return &src;
+}
 
-  const std::uint64_t bytes = types::wire_size(*msg);
+void SimNetwork::enqueue(Endpoint& src, types::NodeId from, types::NodeId to,
+                         types::MessagePtr msg, std::uint64_t bytes) {
   ++messages_sent_;
   bytes_sent_ += bytes;
 
   if (from == to) {
     // Loopback: deliver through the scheduler (keeps handler reentrancy
     // simple) but skip the NIC queues and the link.
-    Envelope env{from, to, sim_.now(), bytes, std::move(msg)};
-    sim_.schedule_after(0, [this, env = std::move(env)] {
-      Endpoint& ep = endpoints_[env.to];
-      if (!ep.down && ep.handler) ep.handler(env);
-    });
+    const std::uint32_t slot =
+        acquire_envelope(Envelope{from, to, sim_.now(), bytes, std::move(msg)});
+    sim_.schedule_after(0, [this, slot] { deliver_loopback(slot); });
     return;
   }
 
@@ -110,12 +110,55 @@ void SimNetwork::send(types::NodeId from, types::NodeId to,
   if (!src.egress_busy) start_egress(from);
 }
 
+void SimNetwork::send(types::NodeId from, types::NodeId to,
+                      types::MessagePtr msg) {
+  Endpoint* src = admit(from, to);
+  if (src == nullptr) return;
+  const std::uint64_t bytes = types::wire_size(*msg);
+  enqueue(*src, from, to, std::move(msg), bytes);
+}
+
 void SimNetwork::broadcast(types::NodeId from, std::uint32_t n_replicas,
                            const types::MessagePtr& msg) {
+  // The wire size is a pure function of the (immutable) message, so a
+  // fan-out sizes it once for all admitted recipients instead of per copy
+  // (a 400-txn proposal's size used to be summed n-1 times). Computed
+  // lazily so a fully-dropped broadcast stays as cheap as before.
+  std::uint64_t bytes = 0;
+  bool sized = false;
   for (types::NodeId to = 0; to < n_replicas; ++to) {
     if (to == from) continue;
-    send(from, to, msg);
+    Endpoint* src = admit(from, to);
+    if (src == nullptr) continue;
+    if (!sized) {
+      bytes = types::wire_size(*msg);
+      sized = true;
+    }
+    enqueue(*src, from, to, msg, bytes);
   }
+}
+
+std::uint32_t SimNetwork::acquire_envelope(Envelope env) {
+  if (pool_free_.empty()) {
+    pool_.push_back(std::move(env));
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  const std::uint32_t slot = pool_free_.back();
+  pool_free_.pop_back();
+  pool_[slot] = std::move(env);
+  return slot;
+}
+
+Envelope SimNetwork::take_envelope(std::uint32_t slot) {
+  Envelope env = std::move(pool_[slot]);
+  pool_free_.push_back(slot);
+  return env;
+}
+
+void SimNetwork::deliver_loopback(std::uint32_t slot) {
+  const Envelope env = take_envelope(slot);
+  Endpoint& ep = endpoints_[env.to];
+  if (!ep.down && ep.handler) ep.handler(env);
 }
 
 void SimNetwork::start_egress(types::NodeId id) {
@@ -160,11 +203,13 @@ void SimNetwork::finish_egress(types::NodeId id) {
       ++messages_dropped_;
       ++messages_lost_;
     } else {
-      Envelope env{id, out.to, out.queued_at, out.bytes, std::move(out.msg)};
+      // Park the envelope in the pool so the delivery callback is a
+      // trivially-copyable [this, slot] — inline in the event queue, no
+      // shared_ptr refcount churn while the message is in flight.
+      const std::uint32_t slot = acquire_envelope(
+          Envelope{id, out.to, out.queued_at, out.bytes, std::move(out.msg)});
       const sim::Duration link = sample_one_way_delay(id, out.to);
-      sim_.schedule_after(link, [this, env = std::move(env)]() mutable {
-        arrive(std::move(env));
-      });
+      sim_.schedule_after(link, [this, slot] { arrive(take_envelope(slot)); });
     }
   } else {
     ++messages_dropped_;

@@ -164,8 +164,26 @@ class SimNetwork {
   [[nodiscard]] sim::Duration sample_one_way_delay(types::NodeId from,
                                                    types::NodeId to);
 
+  /// Admission control shared by send()/broadcast(): counts the drop and
+  /// returns nullptr when the sender is down or the pair is partitioned,
+  /// otherwise the sender's endpoint. Lets broadcast() size the message
+  /// once for all admitted recipients.
+  Endpoint* admit(types::NodeId from, types::NodeId to);
+  /// Post-admission path: stats, loopback scheduling, egress queueing.
+  void enqueue(Endpoint& src, types::NodeId from, types::NodeId to,
+               types::MessagePtr msg, std::uint64_t bytes);
+
+  /// In-flight envelope pool. Messages traversing a link (and loopback
+  /// deliveries) park their Envelope in a recycled pool slot so the
+  /// scheduled delivery callback captures only [this, slot] — trivially
+  /// copyable, inline in the event queue, no per-message allocation. A
+  /// slot lives exactly from acquire (at schedule) to take (at fire).
+  std::uint32_t acquire_envelope(Envelope env);
+  Envelope take_envelope(std::uint32_t slot);
+
   void start_egress(types::NodeId id);
   void finish_egress(types::NodeId id);
+  void deliver_loopback(std::uint32_t slot);
   void arrive(Envelope env);
   void start_ingress(types::NodeId id);
   void finish_ingress(types::NodeId id);
@@ -178,6 +196,8 @@ class SimNetwork {
   /// false = good. Mutated on every traversal of a GE-enabled link.
   std::vector<bool> ge_bad_;
   std::vector<Endpoint> endpoints_;
+  std::vector<Envelope> pool_;  ///< in-flight envelopes, indexed by slot
+  std::vector<std::uint32_t> pool_free_;
   std::vector<int> partition_;
   sim::Duration fluct_lo_ = 0;
   sim::Duration fluct_hi_ = 0;

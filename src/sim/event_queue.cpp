@@ -24,8 +24,9 @@ EventId EventQueue::schedule(Time at, Callback fn) {
   Slot& s = slots_[slot];
   ++s.gen;
   s.live = true;
+  s.fn = std::move(fn);
 
-  heap_.push_back(Entry{at, ++seq_, slot, s.gen, std::move(fn)});
+  heap_.push_back(Entry{at, ++seq_, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return encode(slot, s.gen);
@@ -39,8 +40,10 @@ bool EventQueue::cancel(EventId id) {
   Slot& s = slots_[slot];
   if (s.gen != gen || !s.live) return false;
   // The heap entry stays behind as a tombstone; the slot is recyclable
-  // immediately because any new occupant bumps the generation.
+  // immediately because any new occupant bumps the generation. The capture
+  // is destroyed now so cancellation releases owned resources promptly.
   s.live = false;
+  s.fn.reset();
   release_slot(slot);
   --live_;
   return true;
@@ -63,9 +66,9 @@ EventQueue::Fired EventQueue::pop() {
   drop_dead_head();
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry& top = heap_.back();
-  Fired fired{top.at, encode(top.slot, top.gen), std::move(top.fn)};
+  const Entry top = heap_.back();
   Slot& s = slots_[top.slot];
+  Fired fired{top.at, encode(top.slot, top.gen), std::move(s.fn)};
   s.live = false;
   release_slot(top.slot);
   heap_.pop_back();

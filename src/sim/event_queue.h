@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace bamboo::sim {
@@ -24,9 +24,17 @@ inline constexpr EventId kInvalidEventId = 0;
 /// and are skipped when they surface; all storage is reserve-ahead vectors,
 /// so the steady state allocates only when the sim's event population grows
 /// past any previous high-water mark.
+///
+/// Allocation-free steady state: callbacks are InlineFunction (captures up
+/// to 64 bytes live inline, no per-event heap cell like std::function) and
+/// they live in the slot table, not the heap — heap entries are 24-byte
+/// PODs {at, seq, slot, gen}, so sift-up/down moves plain words and the
+/// callback is touched exactly twice (moved in at schedule, moved out at
+/// fire). cancel() destroys the capture immediately, releasing whatever it
+/// owns without waiting for the tombstone to surface.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<64>;
 
   EventQueue();
 
@@ -55,12 +63,13 @@ class EventQueue {
   [[nodiscard]] std::uint64_t total_scheduled() const { return seq_; }
 
  private:
+  /// POD heap node; the callback lives in slots_[slot], so heap moves
+  /// during sift-up/down never touch it.
   struct Entry {
     Time at;
     std::uint64_t seq;   ///< schedule order: FIFO among equal timestamps
     std::uint32_t slot;
     std::uint32_t gen;
-    Callback fn;
   };
   /// Heap comparator for std::push_heap/pop_heap: the "largest" element
   /// (the heap top) is the earliest (at, seq).
@@ -71,11 +80,13 @@ class EventQueue {
     }
   };
 
-  /// One recyclable identity. An entry is live iff its stamp matches the
-  /// slot's current generation and the slot is marked live.
+  /// One recyclable identity plus the pending event's callback. An entry
+  /// is live iff its stamp matches the slot's current generation and the
+  /// slot is marked live.
   struct Slot {
     std::uint32_t gen = 0;
     bool live = false;
+    Callback fn;
   };
 
   static constexpr std::size_t kReserveAhead = 1024;

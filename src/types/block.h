@@ -38,7 +38,8 @@ class Block {
         justify_(std::move(f.justify)),
         txns_(std::move(f.txns)),
         hash_(compute_hash(parent_hash_, view_, height_, proposer_, justify_,
-                           txns_)) {}
+                           txns_)),
+        wire_size_(compute_wire_size(justify_, txns_)) {}
 
   [[nodiscard]] const crypto::Digest& hash() const { return hash_; }
   [[nodiscard]] const crypto::Digest& parent_hash() const {
@@ -57,11 +58,10 @@ class Block {
     return justify_.block_hash == parent_hash_;
   }
 
-  [[nodiscard]] std::uint64_t wire_size() const {
-    std::uint64_t bytes = kBlockHeaderBytes + justify_.wire_size();
-    for (const Transaction& tx : txns_) bytes += tx.wire_size();
-    return bytes;
-  }
+  /// Cached at construction like the hash: blocks are immutable and the
+  /// transport sizes every proposal it forwards, so the O(txns) sum would
+  /// otherwise be repaid on each send.
+  [[nodiscard]] std::uint64_t wire_size() const { return wire_size_; }
 
   static crypto::Digest compute_hash(const crypto::Digest& parent_hash,
                                      View view, Height height, NodeId proposer,
@@ -80,8 +80,16 @@ class Block {
   Height height_;
   NodeId proposer_;
   QuorumCert justify_;
+  [[nodiscard]] static std::uint64_t compute_wire_size(
+      const QuorumCert& justify, const std::vector<Transaction>& txns) {
+    std::uint64_t bytes = kBlockHeaderBytes + justify.wire_size();
+    for (const Transaction& tx : txns) bytes += tx.wire_size();
+    return bytes;
+  }
+
   std::vector<Transaction> txns_;
   crypto::Digest hash_;
+  std::uint64_t wire_size_;
 };
 
 using BlockPtr = std::shared_ptr<const Block>;

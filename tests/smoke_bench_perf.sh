@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Smoke test for the perf driver: a --quick run must produce a BENCH json
+# that check_perf.py accepts, and a second --quick run gated against the
+# first must pass with a wide-open tolerance (sanity of the compare path,
+# not a perf assertion — both runs are on the same machine seconds apart).
+set -euo pipefail
+
+bench_perf=$1   # path to the bench_perf binary
+check_perf=$2   # path to tools/check_perf.py
+out_dir=$3      # scratch directory
+
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+
+"$bench_perf" --quick --label smoke_a --out "$out_dir/smoke_a.json"
+python3 "$check_perf" --validate "$out_dir/smoke_a.json"
+
+"$bench_perf" --quick --label smoke_b --out "$out_dir/smoke_b.json" \
+  --baseline "$out_dir/smoke_a.json"
+python3 "$check_perf" --candidate "$out_dir/smoke_b.json" \
+  --reference "$out_dir/smoke_a.json" --tolerance 0.9
+
+echo "smoke_bench_perf OK"

@@ -20,7 +20,10 @@ import sys
 
 SKIP_DIRS = {".git", "build", ".claude", "node_modules"}
 # Bench sources that are tools or optional, not figure reproductions.
-NON_FIGURE_BENCHES = {"bench_merge", "bench_micro"}
+NON_FIGURE_BENCHES = {"bench_merge", "bench_micro", "bench_perf"}
+# Benches the docs may reference as FUTURE work (ROADMAP items) without a
+# source existing yet; remove an entry once its bench lands.
+PLANNED_BENCHES = {"bench_fig18_overload"}
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BENCH_REF_RE = re.compile(r"\b(bench_[a-z0-9_]+)\b")
@@ -91,7 +94,11 @@ def check_stale_bench_refs(root, benches):
         with open(path, encoding="utf-8") as f:
             text = f.read()
         for ref in set(BENCH_REF_RE.findall(text)):
-            if ref not in benches and ref != "bench_common":
+            if (
+                ref not in benches
+                and ref != "bench_common"
+                and ref not in PLANNED_BENCHES
+            ):
                 rel = os.path.relpath(path, root)
                 errors.append(f"{rel}: stale bench reference '{ref}' (no "
                               f"bench/{ref}.cpp)")

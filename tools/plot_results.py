@@ -18,9 +18,16 @@ and renders one SVG per figure/table into --svg-dir:
 * free-form side tables (no ``kind`` column) -> first column as x, every
   other numeric column as a line.
 
+With ``--perf`` the inputs are instead the committed ``BENCH_<n>.json``
+perf artifacts (or a directory holding them, e.g. the repo root) and one
+trajectory SVG is rendered: every metric's calibration-normalized rate
+across PRs, indexed by the BENCH number, so speedups and regressions are
+visible over the repo's history.
+
 Usage:
     tools/plot_results.py build/smoke --svg-dir build/plots
     tools/plot_results.py --list build/smoke      # dry run, no matplotlib
+    tools/plot_results.py --perf . --svg-dir build/plots
 
 Only the actual rendering needs matplotlib; ``--list`` works without it.
 """
@@ -208,6 +215,67 @@ def plot_table(plt, artifact: dict, out_path: Path) -> None:
     plt.close(fig)
 
 
+def find_bench_jsons(roots: list[str]) -> list[tuple[int, Path]]:
+    name_re = re.compile(r"^BENCH_(\d+)\.json$")
+    found: dict[int, Path] = {}
+    for root in roots:
+        path = Path(root)
+        candidates = [path] if path.is_file() else sorted(path.glob(
+            "BENCH_*.json"))
+        for candidate in candidates:
+            match = name_re.match(candidate.name)
+            if match:
+                found[int(match.group(1))] = candidate
+    return sorted(found.items())
+
+
+def load_perf_trajectory(roots: list[str]) -> list[dict]:
+    points = []
+    for number, path in find_bench_jsons(roots):
+        doc = json.loads(path.read_text())
+        metrics = {m["name"]: float(m["value"])
+                   for m in doc.get("metrics", [])}
+        if "calibration" not in metrics:
+            print(f"plot_results: {path} has no calibration metric, "
+                  "skipping", file=sys.stderr)
+            continue
+        points.append({"number": number, "path": path, "metrics": metrics})
+    return points
+
+
+def plot_perf_trajectory(plt, points: list[dict], out_path: Path) -> None:
+    """Calibration-normalized rate per metric, vs BENCH number.
+
+    Each metric is scaled by its run's calibration rate (machine speed)
+    and then by its own first appearance, so every line starts at 1.0 and
+    the y-axis reads as "speedup since first measured". e2e metrics
+    (whole-run events/sec) get solid lines; component metrics dashed."""
+    names = sorted({name for p in points for name in p["metrics"]
+                    if name != "calibration"})
+    fig, ax = plt.subplots(figsize=(9, 4.8))
+    for name in names:
+        xs, ys, first = [], [], None
+        for p in points:
+            if name not in p["metrics"]:
+                continue
+            normalized = p["metrics"][name] / p["metrics"]["calibration"]
+            if first is None:
+                first = normalized
+            xs.append(p["number"])
+            ys.append(normalized / first)
+        style = "-o" if name.startswith("e2e_") else "--."
+        ax.plot(xs, ys, style, label=name, alpha=0.9)
+    ax.set_xlabel("BENCH number (PR)")
+    ax.set_ylabel("speedup vs first measurement (calibration-normalized)")
+    ax.set_yscale("log")
+    ax.grid(True, alpha=0.3, which="both")
+    ax.legend(fontsize=7, ncol=2)
+    ax.set_title("perf trajectory")
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+",
@@ -217,7 +285,36 @@ def main() -> int:
                         help="output directory for the SVGs")
     parser.add_argument("--list", action="store_true",
                         help="only list what would be plotted (no matplotlib)")
+    parser.add_argument("--perf", action="store_true",
+                        help="inputs are BENCH_<n>.json perf artifacts (or a "
+                             "directory of them); render the perf trajectory")
     args = parser.parse_args()
+
+    if args.perf:
+        points = load_perf_trajectory(args.inputs)
+        if not points:
+            print("plot_results: no BENCH_<n>.json found under inputs",
+                  file=sys.stderr)
+            return 2
+        if args.list:
+            for p in points:
+                print(f"BENCH_{p['number']}: {p['path']} "
+                      f"({len(p['metrics'])} metrics)")
+            return 0
+        try:
+            import matplotlib
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            print("plot_results: matplotlib is required for rendering "
+                  "(pip install matplotlib), or use --list", file=sys.stderr)
+            return 3
+        out_dir = Path(args.svg_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / "perf_trajectory.svg"
+        plot_perf_trajectory(plt, points, out_path)
+        print(f"wrote {out_path}")
+        return 0
 
     manifests = find_manifests(args.inputs)
     if not manifests:
