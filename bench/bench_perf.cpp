@@ -33,6 +33,7 @@
 #include "harness/experiment.h"
 #include "net/link_model.h"
 #include "net/network.h"
+#include "quorum/cert_verifier.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "sync/syncer.h"
@@ -211,6 +212,53 @@ Metric bm_block_wire_size(const Options& opt) {
 }
 
 // ---------------------------------------------------------------------------
+// Certificate verification (quorum/cert_verifier.h): real HMAC checks per
+// wall second over a pool of honestly signed QCs and TCs at n = 16
+// (11-signature quorum) — the host-side cost every received certificate
+// now pays on the replica hot path.
+// ---------------------------------------------------------------------------
+
+Metric bm_verify_pipeline(const Options& opt) {
+  const std::uint64_t iters = scaled(opt, 120'000);
+  constexpr std::uint32_t n = 16;
+  const std::uint32_t q = types::quorum_size(n);
+  const crypto::KeyStore keys(11, n);
+  std::vector<types::QuorumCert> qcs;
+  std::vector<types::TimeoutCert> tcs;
+  for (std::uint32_t v = 1; v <= 32; ++v) {
+    types::QuorumCert qc;
+    qc.view = v;
+    qc.height = v;
+    qc.block_hash = crypto::Sha256::hash("block" + std::to_string(v));
+    const crypto::Digest digest = types::vote_digest(v, qc.block_hash);
+    for (std::uint32_t i = 0; i < q; ++i) qc.sigs.push_back(keys.sign(i, digest));
+    types::TimeoutCert tc;
+    tc.view = v + 1;
+    for (std::uint32_t i = 0; i < q; ++i) {
+      tc.reported_qc_views.push_back(v);
+      tc.sigs.push_back(keys.sign(i, types::timeout_digest(tc.view, v)));
+    }
+    tc.high_qc = qc;
+    qcs.push_back(std::move(qc));
+    tcs.push_back(std::move(tc));
+  }
+  quorum::CertVerifier verifier(keys, n);
+  std::uint64_t ok = 0;
+  const double t0 = now_s();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    ok += verifier.check_qc(qcs[i & 31]) == quorum::CertCheck::kOk;
+    ok += verifier.check_tc(tcs[i & 31]) == quorum::CertCheck::kOk;
+  }
+  const double wall = now_s() - t0;
+  if (ok != 2 * iters) {
+    std::cerr << "bench_perf: verify_pipeline rejected a valid cert\n";
+    std::exit(1);
+  }
+  return {"verify_pipeline", static_cast<double>(2 * iters) / wall / 1e6,
+          "Mchecks/s", 2 * iters, wall};
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end whole runs: simulated events per WALL second for a fixed
 // RunSpec per protocol, plus a WAN+churn scenario and a chain-sync
 // recovery scenario. These are the headline numbers — the whole harness
@@ -285,6 +333,19 @@ Metric bm_chain_sync(const Options& opt) {
   return bm_e2e(opt, "e2e_chain_sync", spec, 40);
 }
 
+/// CPU-bound consensus: batch certificate verification priced at 160 us
+/// per signature with a 2-worker verify pool — the cpu_dispatch /
+/// charge_qc hot path under real backpressure.
+Metric bm_e2e_cpu_bound(const Options& opt) {
+  harness::RunSpec spec = e2e_spec("hotstuff");
+  spec.cfg.verify_strategy = "batch";
+  spec.cfg.cpu_verify_per_sig = sim::microseconds(160);
+  spec.cfg.cpu_verify_batch_base = sim::microseconds(160);
+  spec.cfg.cpu_verify_batch_per_sig = sim::microseconds(16);
+  spec.cfg.cpu_workers = 2;
+  return bm_e2e(opt, "e2e_cpu_bound", spec, 8);
+}
+
 // ---------------------------------------------------------------------------
 // Churn-event dispatch: a dense repeating degrade/restore schedule with no
 // client workload — the run is dominated by churn firing + link mutation.
@@ -343,12 +404,14 @@ int run(const Options& opt) {
   add(bm_broadcast(opt, /*proposal=*/true));
   add(bm_link_sampling(opt));
   add(bm_block_wire_size(opt));
+  add(bm_verify_pipeline(opt));
   add(bm_churn_dispatch(opt));
   for (const char* protocol : {"hotstuff", "2chs", "streamlet"}) {
     add(bm_e2e_protocol(opt, protocol));
   }
   add(bm_e2e_wan_churn(opt));
   add(bm_chain_sync(opt));
+  add(bm_e2e_cpu_bound(opt));
 
   util::Json::Object root;
   root["schema"] = "bamboo-perf/1";

@@ -10,6 +10,7 @@ ByzStrategy parse_strategy(const std::string& name) {
   if (name == "silence") return ByzStrategy::kSilence;
   if (name == "forking") return ByzStrategy::kForking;
   if (name == "crash") return ByzStrategy::kCrash;
+  if (name == "forge-qc") return ByzStrategy::kForgeQc;
   if (name == "honest" || name.empty()) return ByzStrategy::kHonest;
   throw std::invalid_argument("unknown Byzantine strategy: " + name);
 }
@@ -20,6 +21,23 @@ const char* strategy_name(ByzStrategy s) {
     case ByzStrategy::kSilence: return "silence";
     case ByzStrategy::kForking: return "forking";
     case ByzStrategy::kCrash: return "crash";
+    case ByzStrategy::kForgeQc: return "forge-qc";
+  }
+  return "?";
+}
+
+VerifyStrategy parse_verify_strategy(const std::string& name) {
+  if (name == "eager" || name.empty()) return VerifyStrategy::kEager;
+  if (name == "batch") return VerifyStrategy::kBatch;
+  if (name == "amortized-qc") return VerifyStrategy::kAmortizedQc;
+  throw std::invalid_argument("unknown verify strategy: " + name);
+}
+
+const char* verify_strategy_name(VerifyStrategy s) {
+  switch (s) {
+    case VerifyStrategy::kEager: return "eager";
+    case VerifyStrategy::kBatch: return "batch";
+    case VerifyStrategy::kAmortizedQc: return "amortized-qc";
   }
   return "?";
 }
@@ -46,6 +64,12 @@ void Config::validate() const {
   if (sync_timeout <= 0)
     throw std::invalid_argument("sync_timeout must be positive");
   (void)parse_strategy(strategy);  // throws on unknown strategy
+  (void)parse_verify_strategy(verify_strategy);  // throws on unknown strategy
+  if (cpu_workers == 0)
+    throw std::invalid_argument("cpu_workers must be >= 1");
+  if (cpu_verify_per_sig < 0 || cpu_verify_batch_base < 0 ||
+      cpu_verify_batch_per_sig < 0)
+    throw std::invalid_argument("certificate verify costs must be >= 0");
   // A churn schedule either parses completely or the experiment refuses to
   // start — the old FaultPlan silently ignored half-specified windows.
   (void)parse_churn(churn);  // throws std::invalid_argument with the event
@@ -110,6 +134,17 @@ Config Config::from_json(const util::Json& j) {
       "cpu_ingest_us", c.cpu_ingest_per_tx / sim::kMicrosecond));
   c.cpu_validate_per_tx = sim::microseconds(j.get_int(
       "cpu_validate_us", c.cpu_validate_per_tx / sim::kMicrosecond));
+  c.verify_strategy = j.get_string("verify_strategy", c.verify_strategy);
+  c.cpu_workers =
+      static_cast<std::uint32_t>(j.get_int("cpu_workers", c.cpu_workers));
+  c.cpu_verify_per_sig = sim::microseconds(j.get_int(
+      "cpu_verify_per_sig_us", c.cpu_verify_per_sig / sim::kMicrosecond));
+  c.cpu_verify_batch_base = sim::microseconds(j.get_int(
+      "cpu_verify_batch_base_us",
+      c.cpu_verify_batch_base / sim::kMicrosecond));
+  c.cpu_verify_batch_per_sig = sim::microseconds(j.get_int(
+      "cpu_verify_batch_per_sig_us",
+      c.cpu_verify_batch_per_sig / sim::kMicrosecond));
   c.validate();
   return c;
 }
@@ -145,6 +180,15 @@ util::Json Config::to_json() const {
   o.emplace("sync_retries",
             util::Json(static_cast<std::int64_t>(sync_retries)));
   o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
+  o.emplace("verify_strategy", util::Json(verify_strategy));
+  o.emplace("cpu_workers",
+            util::Json(static_cast<std::int64_t>(cpu_workers)));
+  o.emplace("cpu_verify_per_sig_us",
+            util::Json(cpu_verify_per_sig / sim::kMicrosecond));
+  o.emplace("cpu_verify_batch_base_us",
+            util::Json(cpu_verify_batch_base / sim::kMicrosecond));
+  o.emplace("cpu_verify_batch_per_sig_us",
+            util::Json(cpu_verify_batch_per_sig / sim::kMicrosecond));
   return util::Json(std::move(o));
 }
 

@@ -19,10 +19,25 @@ enum class ByzStrategy {
   kForking,  ///< propose from the deepest ancestor honest replicas still
              ///< accept, overwriting uncommitted blocks
   kCrash,    ///< full fail-stop
+  kForgeQc,  ///< propose with a fabricated QC (quorum-many garbage
+             ///< signatures) — must be rejected by certificate verification
 };
 
 [[nodiscard]] ByzStrategy parse_strategy(const std::string& name);
 [[nodiscard]] const char* strategy_name(ByzStrategy s);
+
+/// How replicas charge (and verify) the k signatures inside a QC/TC
+/// (quorum/cert_verifier.h + the Replica cost model).
+enum class VerifyStrategy {
+  kEager,        ///< k independent verifications: k * cpu_verify_per_sig
+  kBatch,        ///< batch verification (batch-ECDSA / BLS aggregate):
+                 ///< cpu_verify_batch_base + k * cpu_verify_batch_per_sig
+  kAmortizedQc,  ///< eager cost, but each distinct certificate is charged
+                 ///< only the first time this replica sees it
+};
+
+[[nodiscard]] VerifyStrategy parse_verify_strategy(const std::string& name);
+[[nodiscard]] const char* verify_strategy_name(VerifyStrategy s);
 
 /// One experiment's complete configuration: the paper's Table I parameters
 /// plus the simulation-substrate parameters that replace the physical
@@ -115,6 +130,21 @@ struct Config {
   /// Backpressure limit on a replica's CPU work queue; client requests
   /// beyond it are rejected (TCP accept-queue analogue).
   std::size_t cpu_queue_limit = 200000;
+
+  // --- certificate-verification pipeline (quorum/cert_verifier.h) ---------
+  /// Cost strategy for the k signatures inside a QC/TC: "eager", "batch",
+  /// "amortized-qc". The default (eager with cpu_verify_per_sig = 0) adds a
+  /// zero surcharge on top of the legacy flat cost_of charges, keeping
+  /// pre-pipeline captures byte-identical.
+  std::string verify_strategy = "eager";
+  /// Simulated verify workers per replica serving the CPU queue. 1 keeps
+  /// the legacy single-server FIFO semantics.
+  std::uint32_t cpu_workers = 1;
+  /// Eager / amortized-qc per-signature certificate verification cost.
+  sim::Duration cpu_verify_per_sig = 0;
+  /// Batch-verification cost model: base + k * per_sig per certificate.
+  sim::Duration cpu_verify_batch_base = sim::microseconds(100);
+  sim::Duration cpu_verify_batch_per_sig = sim::microseconds(2);
 
   std::uint32_t n_client_hosts = 2;  ///< paper: "2 VMs as clients"
 

@@ -28,6 +28,7 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
       mempool_(config.memsize),
       votes_(config.n_replicas),
       timeouts_(config.n_replicas),
+      cert_verifier_(keys, config.n_replicas),
       pacemaker_(
           simulator,
           pacemaker::Pacemaker::Settings{config.timeout,
@@ -48,7 +49,9 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
                   },
                   [this](const types::BlockPtr& block, types::NodeId from) {
                     return ingest_synced_block(block, from);
-                  }}) {}
+                  }}) {
+  verify_strategy_ = parse_verify_strategy(config.verify_strategy);
+}
 
 void Replica::start() {
   net_.set_handler(id_, [this](const net::Envelope& env) {
@@ -80,31 +83,65 @@ ProtocolContext Replica::context() {
 void Replica::enqueue_cpu(sim::Duration cost, std::function<void()> fn) {
   if (crashed_) return;
   cpu_queue_.push_back(CpuWork{cost, std::move(fn)});
-  if (!cpu_busy_) cpu_run_next();
+  cpu_dispatch();
 }
 
-void Replica::cpu_run_next() {
-  if (crashed_ || cpu_queue_.empty()) {
-    cpu_busy_ = false;
-    return;
-  }
-  cpu_busy_ = true;
-  const sim::Duration cost = cpu_queue_.front().cost;
-  stats_.cpu_busy += cost;
-  sim_.schedule_after(cost, [this] {
-    if (crashed_ || cpu_queue_.empty()) {
-      cpu_busy_ = false;
-      return;
-    }
+void Replica::cpu_dispatch() {
+  // Hand the head of the FIFO to every idle worker. With cpu_workers == 1
+  // this is the legacy single-server queue, event-for-event: the service
+  // charge lands at the same instant and completions dispatch the next item
+  // only after the finished item's continuation ran (so work enqueued by
+  // that continuation observes the worker still busy, as before).
+  while (!crashed_ && !cpu_queue_.empty() &&
+         cpu_busy_workers_ < cfg_.cpu_workers) {
+    ++cpu_busy_workers_;
     CpuWork work = std::move(cpu_queue_.front());
     cpu_queue_.pop_front();
-    work.fn();
-    cpu_run_next();
-  });
+    stats_.cpu_busy += work.cost;
+    sim_.schedule_after(work.cost, [this, fn = std::move(work.fn)] {
+      if (crashed_) return;  // crash() already drained the queue
+      fn();
+      --cpu_busy_workers_;
+      cpu_dispatch();
+    });
+  }
 }
 
-sim::Duration Replica::cost_of(const types::Message& msg) const {
+sim::Duration Replica::cert_cost(std::size_t k) const {
+  if (k == 0) return 0;
+  switch (verify_strategy_) {
+    case VerifyStrategy::kEager:
+    case VerifyStrategy::kAmortizedQc:
+      return static_cast<sim::Duration>(k) * cfg_.cpu_verify_per_sig;
+    case VerifyStrategy::kBatch:
+      return cfg_.cpu_verify_batch_base +
+             static_cast<sim::Duration>(k) * cfg_.cpu_verify_batch_per_sig;
+  }
+  return 0;
+}
+
+sim::Duration Replica::charge_qc(const types::QuorumCert& qc) {
+  if (qc.is_genesis() || qc.sigs.empty()) return 0;
+  if (verify_strategy_ == VerifyStrategy::kAmortizedQc &&
+      !charged_qcs_[qc.view].insert(qc.block_hash).second) {
+    return 0;  // this certificate was already paid for once
+  }
+  return cert_cost(qc.sigs.size());
+}
+
+sim::Duration Replica::charge_tc(const types::TimeoutCert& tc) {
+  sim::Duration cost = charge_qc(tc.high_qc);
+  if (tc.sigs.empty()) return cost;
+  if (verify_strategy_ == VerifyStrategy::kAmortizedQc &&
+      !charged_tcs_.insert(tc.view).second) {
+    return cost;
+  }
+  return cost + cert_cost(tc.sigs.size());
+}
+
+sim::Duration Replica::cost_of(const types::Message& msg) {
   struct Visitor {
+    Replica& self;
     const Config& cfg;
     sim::Duration operator()(const types::ClientRequestMsg&) const {
       return cfg.cpu_ingest_per_tx;
@@ -112,17 +149,23 @@ sim::Duration Replica::cost_of(const types::Message& msg) const {
     sim::Duration operator()(const types::ProposalMsg& p) const {
       const auto ntx =
           static_cast<sim::Duration>(p.block ? p.block->txns().size() : 0);
-      // proposer signature + QC batch verification + per-tx validation
-      return 2 * cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+      // proposer signature + flat QC handling + per-tx validation, plus the
+      // strategy-aware per-signature cost of the carried certificates
+      sim::Duration cost = 2 * cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+      if (p.block) cost += self.charge_qc(p.block->justify());
+      if (p.tc) cost += self.charge_tc(*p.tc);
+      return cost;
     }
     sim::Duration operator()(const types::VoteMsg&) const {
       return cfg.cpu_verify;
     }
-    sim::Duration operator()(const types::TimeoutMsg&) const {
-      return cfg.cpu_verify;
+    sim::Duration operator()(const types::TimeoutMsg& t) const {
+      // timeout signature + the embedded high_qc's quorum of signatures
+      return cfg.cpu_verify + self.charge_qc(t.high_qc);
     }
-    sim::Duration operator()(const types::TcMsg&) const {
-      return cfg.cpu_verify;
+    sim::Duration operator()(const types::TcMsg& m) const {
+      // a TC carries quorum signatures (and a high_qc), not one signature
+      return cfg.cpu_verify + self.charge_tc(m.tc);
     }
     sim::Duration operator()(const types::ClientResponseMsg&) const {
       return sim::microseconds(1);
@@ -143,11 +186,53 @@ sim::Duration Replica::cost_of(const types::Message& msg) const {
         const auto ntx =
             static_cast<sim::Duration>(b ? b->txns().size() : 0);
         cost += cfg.cpu_verify + ntx * cfg.cpu_validate_per_tx;
+        if (b) cost += self.charge_qc(b->justify());
       }
       return cost;
     }
   };
-  return std::visit(Visitor{cfg_}, msg);
+  return std::visit(Visitor{*this, cfg_}, msg);
+}
+
+// --------------------------------------------------------------------------
+// Certificate verification
+// --------------------------------------------------------------------------
+
+bool Replica::verify_qc(const types::QuorumCert& qc) {
+  if (qc.is_genesis()) return true;  // valid by convention (check_qc agrees)
+  // Memo: a byte-identical certificate that already passed needs no second
+  // HMAC pass. Certificates are formed once and then echoed broadly
+  // (Streamlet echoes, timeout storms attaching the same high-QC, sync
+  // responses), so repeats dominate in exactly the runs that are slowest.
+  // Only full equality hits — a forged look-alike never matches — and only
+  // successes are memoized, so verdicts and counters are unchanged.
+  std::vector<types::QuorumCert>& seen = verified_qcs_[qc.view];
+  if (std::find(seen.begin(), seen.end(), qc) != seen.end()) {
+    ++stats_.certs_verified;
+    return true;
+  }
+  if (cert_verifier_.check_qc(qc) == quorum::CertCheck::kOk) {
+    seen.push_back(qc);
+    ++stats_.certs_verified;
+    return true;
+  }
+  ++stats_.certs_rejected;
+  return false;
+}
+
+bool Replica::verify_tc(const types::TimeoutCert& tc) {
+  std::vector<types::TimeoutCert>& seen = verified_tcs_[tc.view];
+  if (std::find(seen.begin(), seen.end(), tc) != seen.end()) {
+    ++stats_.certs_verified;
+    return true;
+  }
+  if (cert_verifier_.check_tc(tc) == quorum::CertCheck::kOk) {
+    seen.push_back(tc);
+    ++stats_.certs_verified;
+    return true;
+  }
+  ++stats_.certs_rejected;
+  return false;
 }
 
 // --------------------------------------------------------------------------
@@ -161,7 +246,7 @@ void Replica::handle_envelope(const net::Envelope& env) {
   // Backpressure: overloaded replicas refuse new client work instead of
   // queueing unboundedly (TCP accept-queue analogue).
   if (std::holds_alternative<types::ClientRequestMsg>(*env.msg) &&
-      cpu_queue_.size() >= cfg_.cpu_queue_limit) {
+      cpu_queue_.size() + cpu_busy_workers_ >= cfg_.cpu_queue_limit) {
     const auto& req = std::get<types::ClientRequestMsg>(*env.msg);
     ++stats_.client_rejections;
     send_client_response(req.tx, /*rejected=*/true);
@@ -243,6 +328,12 @@ void Replica::on_proposal(const types::ProposalMsg& p, NodeId from,
         !keys_.verify(p.sig, block->hash())) {
       return;
     }
+    // Certificate verification: the justify QC and any piggybacked TC must
+    // check out before any of their state transitions run — a forged
+    // certificate must not advance the pacemaker, enter the forest, or
+    // earn a vote.
+    if (!verify_qc(block->justify())) return;
+    if (p.tc && !verify_tc(*p.tc)) return;
   }
 
   if (p.tc) handle_tc(*p.tc);
@@ -337,7 +428,16 @@ void Replica::on_vote(const types::VoteMsg& v, NodeId from) {
     return;
   }
   if (auto qc = votes_.add(v)) {
-    process_qc(*qc, from);
+    // Forming the certificate from n-f verified votes costs real CPU under
+    // the strategy cost model; charge it before the QC's transitions run.
+    // Zero cost (the default) keeps the legacy inline path event-for-event.
+    if (const sim::Duration cost = charge_qc(*qc); cost > 0) {
+      enqueue_cpu(cost, [this, qc = std::move(*qc), from] {
+        process_qc(qc, from);
+      });
+    } else {
+      process_qc(*qc, from);
+    }
   }
 }
 
@@ -445,11 +545,19 @@ void Replica::on_timeout_msg(const types::TimeoutMsg& t, NodeId from) {
       !keys_.verify(t.sig, types::timeout_digest(t.view, t.high_qc.view))) {
     return;
   }
+  // The embedded high_qc must verify before it advances anything — and
+  // before the timeout counts toward a TC or the f+1 early join, since a
+  // forged certificate invalidates the whole timeout message.
+  if (from != id_ && !verify_qc(t.high_qc)) return;
   if (from != id_) note_public_qc(t.high_qc);
   process_qc(t.high_qc, from);
 
   if (auto tc = timeouts_.add(t)) {
-    handle_tc(*tc);
+    if (const sim::Duration cost = charge_tc(*tc); cost > 0) {
+      enqueue_cpu(cost, [this, tc = std::move(*tc)] { handle_tc(tc); });
+    } else {
+      handle_tc(*tc);
+    }
     return;
   }
   // Early join: if f+1 peers are timing out at or above our view, our own
@@ -467,6 +575,7 @@ void Replica::handle_tc(const types::TimeoutCert& tc) {
 }
 
 void Replica::on_tc_msg(const types::TcMsg& m, NodeId) {
+  if (!verify_tc(m.tc)) return;
   handle_tc(m.tc);
 }
 
@@ -477,6 +586,14 @@ void Replica::enter_view(View view, pacemaker::AdvanceReason reason) {
   votes_.gc_below(gc_horizon);
   timeouts_.gc_below(gc_horizon);
   echo_seen_.erase(echo_seen_.begin(), echo_seen_.lower_bound(gc_horizon));
+  charged_qcs_.erase(charged_qcs_.begin(),
+                     charged_qcs_.lower_bound(gc_horizon));
+  charged_tcs_.erase(charged_tcs_.begin(),
+                     charged_tcs_.lower_bound(gc_horizon));
+  verified_qcs_.erase(verified_qcs_.begin(),
+                      verified_qcs_.lower_bound(gc_horizon));
+  verified_tcs_.erase(verified_tcs_.begin(),
+                      verified_tcs_.lower_bound(gc_horizon));
   if (!pending_proposals_.empty()) {
     for (auto it = pending_proposals_.begin();
          it != pending_proposals_.end();) {
@@ -552,6 +669,25 @@ void Replica::note_public_qc(const types::QuorumCert& qc) {
 std::optional<ProposalPlan> Replica::plan_with_attack(View view) {
   const ProtocolContext ctx = context();
   auto honest = safety_->plan_proposal(view, ctx);
+  if (strategy_ == ByzStrategy::kForgeQc) {
+    // Forged-certificate attack: propose on the honest parent, but justify
+    // the block with a fabricated QC carrying quorum-many garbage tags —
+    // the forgery certificate verification exists to stop. Honest replicas
+    // must reject the proposal outright; the view then times out and the
+    // next leader recovers. (At view 1 the honest justify is the genesis
+    // QC, which carries no signatures — nothing to forge yet.)
+    if (!honest || view < 2) return honest;
+    types::QuorumCert forged;
+    forged.view = view - 1;  // claim the freshest certificate possible
+    forged.height = honest->parent->height();
+    forged.block_hash = honest->parent->hash();
+    forged.sigs.resize(cfg_.quorum());
+    for (std::uint32_t i = 0; i < cfg_.quorum(); ++i) {
+      forged.sigs[i].signer = i;
+      forged.sigs[i].tag = forged.block_hash;  // not a valid HMAC tag
+    }
+    return ProposalPlan{honest->parent, forged};
+  }
   if (strategy_ != ByzStrategy::kForking || safety_->fork_depth() == 0) {
     return honest;
   }
@@ -591,6 +727,9 @@ void Replica::request_block(const crypto::Digest& hash, NodeId from) {
 forest::AddResult Replica::ingest_synced_block(const types::BlockPtr& block,
                                                NodeId from) {
   if (!block) return forest::AddResult::kInvalid;
+  // Synced blocks come from arbitrary peers: the carried justify must
+  // check out before the block can enter the forest.
+  if (!verify_qc(block->justify())) return forest::AddResult::kInvalid;
   const forest::AddResult result = forest_.add(block);
   if (result == forest::AddResult::kAdded) {
     ++stats_.blocks_received;

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,6 +18,7 @@
 #include "mempool/mempool.h"
 #include "net/network.h"
 #include "pacemaker/pacemaker.h"
+#include "quorum/cert_verifier.h"
 #include "quorum/vote_aggregator.h"
 #include "sim/simulator.h"
 #include "sync/syncer.h"
@@ -35,6 +37,8 @@ struct ReplicaStats {
   std::uint64_t msgs_handled = 0;
   std::uint64_t client_rejections = 0;
   std::uint64_t safety_violations = 0;  ///< commit target off the main chain
+  std::uint64_t certs_verified = 0;  ///< received QCs/TCs that checked out
+  std::uint64_t certs_rejected = 0;  ///< forged/malformed certificates dropped
   sim::Duration cpu_busy = 0;
 };
 
@@ -45,10 +49,17 @@ struct ReplicaStats {
 /// (and, for crash, drop all traffic), as in the paper.
 ///
 /// CPU model: every inbound message and every signing action is serviced by
-/// a single-server FIFO queue whose service times come from Config
-/// (cpu_verify, cpu_sign, cpu_ingest_per_tx, ...). This is the t_CPU of the
+/// a FIFO queue drained by Config::cpu_workers simulated workers (1 by
+/// default — the single-server queue of the paper's M/D/1 model) whose
+/// service times come from Config (cpu_verify, cpu_sign, cpu_ingest_per_tx,
+/// the strategy-aware certificate costs, ...). This is the t_CPU of the
 /// paper's queuing model; together with the network's NIC queues it
-/// produces the M/D/1 behaviour the model predicts.
+/// produces the queuing behaviour the model predicts.
+///
+/// Certificate verification: every QC/TC received from another replica is
+/// structurally validated and HMAC-checked (quorum/cert_verifier.h) before
+/// any of its state transitions run; forgeries are dropped and counted in
+/// ReplicaStats::certs_rejected.
 class Replica {
  public:
   struct Hooks {
@@ -109,8 +120,22 @@ class Replica {
     std::function<void()> fn;
   };
   void enqueue_cpu(sim::Duration cost, std::function<void()> fn);
-  void cpu_run_next();
-  [[nodiscard]] sim::Duration cost_of(const types::Message& msg) const;
+  /// Hand queued work to idle verify workers (cpu_workers-server FIFO).
+  void cpu_dispatch();
+  [[nodiscard]] sim::Duration cost_of(const types::Message& msg);
+  /// Strategy-aware simulated cost of verifying (or constructing) a
+  /// k-signature certificate; the surcharge on top of the legacy flat
+  /// charges. 0 under the default config (eager, cpu_verify_per_sig = 0).
+  [[nodiscard]] sim::Duration cert_cost(std::size_t k) const;
+  /// Per-certificate charge, honoring amortized-qc first-seen dedup.
+  sim::Duration charge_qc(const types::QuorumCert& qc);
+  sim::Duration charge_tc(const types::TimeoutCert& tc);
+
+  // --- certificate verification -------------------------------------------
+  /// Check a received certificate for real; counts the outcome and drops
+  /// forgeries. Certificates this replica formed itself are trusted.
+  bool verify_qc(const types::QuorumCert& qc);
+  bool verify_tc(const types::TimeoutCert& tc);
 
   // --- inbound dispatch ----------------------------------------------------
   void handle_envelope(const net::Envelope& env);
@@ -164,13 +189,23 @@ class Replica {
   mempool::Mempool mempool_;
   quorum::VoteAggregator votes_;
   quorum::TimeoutAggregator timeouts_;
+  quorum::CertVerifier cert_verifier_;
   pacemaker::Pacemaker pacemaker_;
   sync::Syncer syncer_;
 
   // CPU
   std::deque<CpuWork> cpu_queue_;
-  bool cpu_busy_ = false;
+  std::uint32_t cpu_busy_workers_ = 0;
   bool crashed_ = false;
+  VerifyStrategy verify_strategy_ = VerifyStrategy::kEager;
+  // amortized-qc: certificates already charged (first-seen dedup), keyed by
+  // view for GC along the same 64-view horizon as the aggregators.
+  std::map<types::View, std::unordered_set<crypto::Digest>> charged_qcs_;
+  std::set<types::View> charged_tcs_;
+  // Certificates that already passed full verification (byte-identical
+  // matches skip the repeat HMAC pass; see verify_qc), same GC horizon.
+  std::map<types::View, std::vector<types::QuorumCert>> verified_qcs_;
+  std::map<types::View, std::vector<types::TimeoutCert>> verified_tcs_;
 
   // consensus bookkeeping
   types::View last_proposed_view_ = 0;

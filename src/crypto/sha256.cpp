@@ -165,8 +165,14 @@ Digest Sha256::hash(std::string_view text) {
   return h.finish();
 }
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> message) {
+Sha256Midstate Sha256::midstate() const {
+  // Only exact block boundaries can be captured: a partial buffer would
+  // have to be re-fed on resume.
+  return Sha256Midstate{state_, total_len_ - buffer_len_};
+}
+
+std::pair<Sha256Midstate, Sha256Midstate> hmac_midstates(
+    std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, 64> block_key{};
   if (key.size() > 64) {
     const Digest hashed = Sha256::hash(key);
@@ -184,13 +190,27 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
 
   Sha256 inner;
   inner.update(ipad);
+  Sha256 outer;
+  outer.update(opad);
+  return {inner.midstate(), outer.midstate()};
+}
+
+Digest hmac_sha256(const Sha256Midstate& inner_mid,
+                   const Sha256Midstate& outer_mid,
+                   std::span<const std::uint8_t> message) {
+  Sha256 inner(inner_mid);
   inner.update(message);
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer(outer_mid);
   outer.update(inner_digest);
   return outer.finish();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  const auto [inner, outer] = hmac_midstates(key);
+  return hmac_sha256(inner, outer, message);
 }
 
 std::string short_hex(const Digest& d) {

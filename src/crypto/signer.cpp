@@ -4,25 +4,29 @@ namespace bamboo::crypto {
 
 KeyStore::KeyStore(std::uint64_t cluster_seed, SignerId num_signers) {
   keys_.reserve(num_signers);
+  midstates_.reserve(num_signers);
   for (SignerId id = 0; id < num_signers; ++id) {
     Sha256 h;
     h.update("bamboo-key");
     h.update_u64(cluster_seed);
     h.update_u32(id);
     keys_.push_back(h.finish());
+    midstates_.push_back(hmac_midstates(keys_.back()));
   }
 }
 
 Signature KeyStore::sign(SignerId signer, const Digest& message) const {
   Signature sig;
   sig.signer = signer;
-  sig.tag = hmac_sha256(keys_.at(signer), message);
+  const auto& [inner, outer] = midstates_.at(signer);
+  sig.tag = hmac_sha256(inner, outer, message);
   return sig;
 }
 
 bool KeyStore::verify(const Signature& sig, const Digest& message) const {
   if (sig.signer >= keys_.size()) return false;
-  return hmac_sha256(keys_[sig.signer], message) == sig.tag;
+  const auto& [inner, outer] = midstates_[sig.signer];
+  return hmac_sha256(inner, outer, message) == sig.tag;
 }
 
 }  // namespace bamboo::crypto

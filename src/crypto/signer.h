@@ -15,10 +15,15 @@ using SignerId = std::uint32_t;
 ///
 /// SUBSTITUTION NOTE (see DESIGN.md §1): the paper's Bamboo uses secp256k1.
 /// Inside a deterministic simulation, signatures must only be (a) bound to
-/// signer + message and (b) unforgeable *by the simulated adversary*, which
-/// never fabricates tags. HMAC over a per-node secret derived from a cluster
-/// seed provides both, while the CPU cost of real ECDSA is modeled separately
-/// (Config::cpu_sign / cpu_verify) so that performance results are faithful.
+/// signer + message and (b) unforgeable by any simulated adversary — HMAC
+/// over a per-node secret derived from a cluster seed provides both, and a
+/// Byzantine strategy that does fabricate tags (forge-qc) is caught because
+/// every received QC/TC is structurally validated and HMAC-verified
+/// (quorum/cert_verifier.h). The CPU cost of real ECDSA is modeled
+/// separately: flat per-message charges (Config::cpu_sign / cpu_verify)
+/// plus the strategy-aware per-signature certificate costs
+/// (Config::verify_strategy, cpu_verify_per_sig, cpu_verify_batch_*), so
+/// performance results are faithful for certificates too.
 struct Signature {
   SignerId signer = 0;
   Digest tag{};
@@ -48,6 +53,9 @@ class KeyStore {
 
  private:
   std::vector<Digest> keys_;  // per-node secrets
+  // Per-key HMAC prefix states (ipad/opad blocks pre-compressed): halves
+  // the SHA-256 compressions of every sign/verify on the hot path.
+  std::vector<std::pair<Sha256Midstate, Sha256Midstate>> midstates_;
 };
 
 }  // namespace bamboo::crypto

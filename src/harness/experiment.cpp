@@ -29,6 +29,8 @@ struct Snapshot {
   std::uint64_t sync_requests = 0;
   std::uint64_t sync_blocks = 0;
   std::uint64_t sync_bytes = 0;
+  std::uint64_t certs_verified = 0;
+  std::uint64_t certs_rejected = 0;
 
   static Snapshot of(const Cluster& cluster) {
     const core::Replica& obs = cluster.replica(0);
@@ -46,6 +48,10 @@ struct Snapshot {
       s.sync_requests += ss.requests_sent;
       s.sync_blocks += ss.blocks_applied;
       s.sync_bytes += ss.bytes_received;
+      // Certificate checks happen at every receiving replica; cluster-wide
+      // sums, like the sync counters.
+      s.certs_verified += cluster.replica(id).stats().certs_verified;
+      s.certs_rejected += cluster.replica(id).stats().certs_rejected;
     }
     return s;
   }
@@ -77,6 +83,8 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
   r.sync_requests = after.sync_requests - before.sync_requests;
   r.sync_blocks = after.sync_blocks - before.sync_blocks;
   r.sync_bytes = after.sync_bytes - before.sync_bytes;
+  r.certs_verified = after.certs_verified - before.certs_verified;
+  r.certs_rejected = after.certs_rejected - before.certs_rejected;
   r.rejected = driver.stats().rejected;
 
   r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /

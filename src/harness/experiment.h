@@ -49,6 +49,11 @@ struct RunResult {
   /// unrecovered at run end count up to the end. 0 = no recovery event.
   double recovery_ms = 0;
 
+  // certificate-verification pipeline (quorum/cert_verifier.h), summed
+  // over every replica
+  std::uint64_t certs_verified = 0;  ///< received QCs/TCs that checked out
+  std::uint64_t certs_rejected = 0;  ///< forged/malformed certificates dropped
+
   // invariants
   bool consistent = true;
   std::uint64_t safety_violations = 0;

@@ -67,7 +67,8 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   util::RunningStats p50;
   double measured_s = 0, latency_samples = 0, views = 0, committed = 0,
          received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0,
-         sync_requests = 0, sync_blocks = 0, sync_bytes = 0, recovery_ms = 0,
+         sync_requests = 0, sync_blocks = 0, sync_bytes = 0,
+         certs_verified = 0, certs_rejected = 0, recovery_ms = 0,
          recovery_reps = 0;
   for (const RunResult& r : results) {
     agg.add(r);
@@ -84,6 +85,8 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
     sync_requests += static_cast<double>(r.sync_requests);
     sync_blocks += static_cast<double>(r.sync_blocks);
     sync_bytes += static_cast<double>(r.sync_bytes);
+    certs_verified += static_cast<double>(r.certs_verified);
+    certs_rejected += static_cast<double>(r.certs_rejected);
     // recovery_ms == 0 means "no recovery event this rep" (the probe
     // records events only when a heal found laggards); averaging those
     // zeros in would understate the observed latency.
@@ -124,6 +127,8 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   rec.result.sync_requests = round_u64(sync_requests / n);
   rec.result.sync_blocks = round_u64(sync_blocks / n);
   rec.result.sync_bytes = round_u64(sync_bytes / n);
+  rec.result.certs_verified = round_u64(certs_verified / n);
+  rec.result.certs_rejected = round_u64(certs_rejected / n);
   rec.result.recovery_ms =
       recovery_reps > 0 ? recovery_ms / recovery_reps : 0.0;
   rec.result.consistent = agg.all_consistent;
@@ -170,6 +175,13 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
   p.sync_batch = spec.cfg.sync_batch;
   p.sync_timeout_ms = sim::to_milliseconds(spec.cfg.sync_timeout);
   p.sync_retries = spec.cfg.sync_retries;
+  p.verify_strategy = spec.cfg.verify_strategy;
+  p.cpu_workers = spec.cfg.cpu_workers;
+  p.cpu_verify_per_sig_us = sim::to_microseconds(spec.cfg.cpu_verify_per_sig);
+  p.cpu_verify_batch_base_us =
+      sim::to_microseconds(spec.cfg.cpu_verify_batch_base);
+  p.cpu_verify_batch_per_sig_us =
+      sim::to_microseconds(spec.cfg.cpu_verify_batch_per_sig);
   p.mode =
       spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
   p.concurrency = spec.workload.concurrency;
@@ -245,7 +257,9 @@ const std::vector<std::string>& csv_columns() {
       "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms",
       "link_model", "link_shape", "link_loss", "topology", "churn", "ge_p",
       "ge_r", "ge_loss_good", "ge_loss_bad", "sync_batch", "sync_timeout_ms",
-      "sync_retries", "mode",
+      "sync_retries", "verify_strategy", "cpu_workers",
+      "cpu_verify_per_sig_us", "cpu_verify_batch_base_us",
+      "cpu_verify_batch_per_sig_us", "mode",
       "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
       "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
       "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
@@ -254,7 +268,8 @@ const std::vector<std::string>& csv_columns() {
       "cgr_per_block_ci95", "block_interval", "block_interval_ci95",
       "measured_s", "latency_samples", "views", "blocks_committed",
       "blocks_received", "blocks_forked", "timeouts", "rejected", "net_bytes",
-      "sync_requests", "sync_blocks", "sync_bytes", "recovery_ms",
+      "sync_requests", "sync_blocks", "sync_bytes", "certs_verified",
+      "certs_rejected", "recovery_ms",
       "consistent", "safety_violations"};
   return columns;
 }
@@ -300,6 +315,11 @@ std::string csv_row(const Record& r) {
       std::to_string(r.prov.sync_batch),
       num(r.prov.sync_timeout_ms),
       std::to_string(r.prov.sync_retries),
+      csv_escape(r.prov.verify_strategy),
+      std::to_string(r.prov.cpu_workers),
+      num(r.prov.cpu_verify_per_sig_us),
+      num(r.prov.cpu_verify_batch_base_us),
+      num(r.prov.cpu_verify_batch_per_sig_us),
       csv_escape(r.prov.mode),
       std::to_string(r.prov.concurrency),
       num(r.prov.arrival_rate_tps),
@@ -334,6 +354,8 @@ std::string csv_row(const Record& r) {
       std::to_string(r.result.sync_requests),
       std::to_string(r.result.sync_blocks),
       std::to_string(r.result.sync_bytes),
+      std::to_string(r.result.certs_verified),
+      std::to_string(r.result.certs_rejected),
       num(r.result.recovery_ms),
       r.result.consistent ? "true" : "false",
       std::to_string(r.result.safety_violations)};
@@ -380,6 +402,15 @@ util::Json to_json(const Record& r) {
   o.emplace("sync_timeout_ms", util::Json(r.prov.sync_timeout_ms));
   o.emplace("sync_retries",
             util::Json(static_cast<std::int64_t>(r.prov.sync_retries)));
+  o.emplace("verify_strategy", util::Json(r.prov.verify_strategy));
+  o.emplace("cpu_workers",
+            util::Json(static_cast<std::int64_t>(r.prov.cpu_workers)));
+  o.emplace("cpu_verify_per_sig_us",
+            util::Json(r.prov.cpu_verify_per_sig_us));
+  o.emplace("cpu_verify_batch_base_us",
+            util::Json(r.prov.cpu_verify_batch_base_us));
+  o.emplace("cpu_verify_batch_per_sig_us",
+            util::Json(r.prov.cpu_verify_batch_per_sig_us));
   o.emplace("mode", util::Json(r.prov.mode));
   o.emplace("concurrency",
             util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
@@ -428,6 +459,10 @@ util::Json to_json(const Record& r) {
             util::Json(static_cast<std::int64_t>(r.result.sync_blocks)));
   o.emplace("sync_bytes",
             util::Json(static_cast<std::int64_t>(r.result.sync_bytes)));
+  o.emplace("certs_verified",
+            util::Json(static_cast<std::int64_t>(r.result.certs_verified)));
+  o.emplace("certs_rejected",
+            util::Json(static_cast<std::int64_t>(r.result.certs_rejected)));
   o.emplace("recovery_ms", util::Json(r.result.recovery_ms));
   o.emplace("consistent", util::Json(r.result.consistent));
   o.emplace("safety_violations", util::Json(static_cast<std::int64_t>(
@@ -471,6 +506,13 @@ Record record_from_json(const util::Json& j) {
   r.prov.sync_timeout_ms = j.get_number("sync_timeout_ms", 500);
   r.prov.sync_retries =
       static_cast<std::uint32_t>(j.get_int("sync_retries", 3));
+  r.prov.verify_strategy = j.get_string("verify_strategy", "eager");
+  r.prov.cpu_workers = static_cast<std::uint32_t>(j.get_int("cpu_workers", 1));
+  r.prov.cpu_verify_per_sig_us = j.get_number("cpu_verify_per_sig_us", 0);
+  r.prov.cpu_verify_batch_base_us =
+      j.get_number("cpu_verify_batch_base_us", 100);
+  r.prov.cpu_verify_batch_per_sig_us =
+      j.get_number("cpu_verify_batch_per_sig_us", 2);
   r.prov.mode = j.get_string("mode", "closed");
   r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
   r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);
@@ -512,6 +554,10 @@ Record record_from_json(const util::Json& j) {
       static_cast<std::uint64_t>(j.get_int("sync_blocks", 0));
   r.result.sync_bytes =
       static_cast<std::uint64_t>(j.get_int("sync_bytes", 0));
+  r.result.certs_verified =
+      static_cast<std::uint64_t>(j.get_int("certs_verified", 0));
+  r.result.certs_rejected =
+      static_cast<std::uint64_t>(j.get_int("certs_rejected", 0));
   r.result.recovery_ms = j.get_number("recovery_ms", 0);
   r.result.consistent = j.get_bool("consistent", true);
   r.result.safety_violations =

@@ -58,6 +58,13 @@ struct Provenance {
   std::uint32_t sync_batch = 1;
   double sync_timeout_ms = 500;
   std::uint32_t sync_retries = 3;
+  // Certificate-verification pipeline provenance (quorum/cert_verifier.h +
+  // the Replica cost model), flat like the rest.
+  std::string verify_strategy = "eager";
+  std::uint32_t cpu_workers = 1;
+  double cpu_verify_per_sig_us = 0;
+  double cpu_verify_batch_base_us = 100;
+  double cpu_verify_batch_per_sig_us = 2;
   std::string mode;  ///< "closed" | "open"
   std::uint32_t concurrency = 0;
   double arrival_rate_tps = 0;

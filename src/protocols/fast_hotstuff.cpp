@@ -26,13 +26,13 @@ bool FastHotStuff::should_vote(const types::ProposalMsg& proposal,
   }
   // View-change path: the proposal must carry a TC for view-1 whose
   // aggregated high-QC views prove the parent is the freshest certified
-  // block any of 2f+1 replicas know.
+  // block any of 2f+1 replicas know. Certificate verification
+  // (quorum/cert_verifier.h) runs before any proposal reaches this rule
+  // and enforces high_qc.view == max(reported_qc_views), so the TC's
+  // high_qc view IS that maximum — no need to recompute it here.
   if (!proposal.tc || proposal.tc->view + 1 != b->view()) return false;
-  const auto& reported = proposal.tc->reported_qc_views;
-  if (reported.empty()) return false;
-  const types::View max_reported =
-      *std::max_element(reported.begin(), reported.end());
-  return b->justify().view >= max_reported;
+  if (proposal.tc->reported_qc_views.empty()) return false;
+  return b->justify().view >= proposal.tc->high_qc.view;
 }
 
 void FastHotStuff::did_vote(const types::Block& block) {

@@ -1,0 +1,67 @@
+#include "quorum/cert_verifier.h"
+
+#include <algorithm>
+
+namespace bamboo::quorum {
+
+const char* check_name(CertCheck c) {
+  switch (c) {
+    case CertCheck::kOk: return "ok";
+    case CertCheck::kTooFewSigs: return "too-few-sigs";
+    case CertCheck::kSignerOutOfRange: return "signer-out-of-range";
+    case CertCheck::kDuplicateSigner: return "duplicate-signer";
+    case CertCheck::kBadSignature: return "bad-signature";
+    case CertCheck::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+CertVerifier::CertVerifier(const crypto::KeyStore& keys,
+                           std::uint32_t n_replicas)
+    : keys_(keys),
+      n_(n_replicas),
+      quorum_(types::quorum_size(n_replicas)),
+      seen_epoch_(n_replicas, 0) {}
+
+CertCheck CertVerifier::check_signers(
+    const std::vector<crypto::Signature>& sigs) {
+  if (sigs.size() < quorum_) return CertCheck::kTooFewSigs;
+  ++epoch_;
+  for (const crypto::Signature& sig : sigs) {
+    if (sig.signer >= n_) return CertCheck::kSignerOutOfRange;
+    if (seen_epoch_[sig.signer] == epoch_) return CertCheck::kDuplicateSigner;
+    seen_epoch_[sig.signer] = epoch_;
+  }
+  return CertCheck::kOk;
+}
+
+CertCheck CertVerifier::check_qc(const types::QuorumCert& qc) {
+  if (qc.is_genesis()) return CertCheck::kOk;
+  if (const CertCheck c = check_signers(qc.sigs); c != CertCheck::kOk)
+    return c;
+  const crypto::Digest digest = types::vote_digest(qc.view, qc.block_hash);
+  for (const crypto::Signature& sig : qc.sigs) {
+    if (!keys_.verify(sig, digest)) return CertCheck::kBadSignature;
+  }
+  return CertCheck::kOk;
+}
+
+CertCheck CertVerifier::check_tc(const types::TimeoutCert& tc) {
+  if (tc.reported_qc_views.size() != tc.sigs.size())
+    return CertCheck::kMalformed;
+  if (const CertCheck c = check_signers(tc.sigs); c != CertCheck::kOk)
+    return c;
+  // AggQC invariant: the attached high_qc must be exactly the freshest QC
+  // any aggregated timeout reported (Fast-HotStuff's proof of freshness).
+  const types::View max_reported = *std::max_element(
+      tc.reported_qc_views.begin(), tc.reported_qc_views.end());
+  if (tc.high_qc.view != max_reported) return CertCheck::kMalformed;
+  for (std::size_t i = 0; i < tc.sigs.size(); ++i) {
+    const crypto::Digest digest =
+        types::timeout_digest(tc.view, tc.reported_qc_views[i]);
+    if (!keys_.verify(tc.sigs[i], digest)) return CertCheck::kBadSignature;
+  }
+  return check_qc(tc.high_qc);
+}
+
+}  // namespace bamboo::quorum

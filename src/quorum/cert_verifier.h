@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/signer.h"
+#include "types/certificates.h"
+#include "types/ids.h"
+
+namespace bamboo::quorum {
+
+/// Outcome of one certificate check, most specific failure wins: structural
+/// problems are reported before any HMAC is evaluated.
+enum class CertCheck {
+  kOk,
+  kTooFewSigs,       ///< fewer than quorum_size(n) signatures
+  kSignerOutOfRange, ///< a signer id >= n_replicas
+  kDuplicateSigner,  ///< the same replica counted twice toward the quorum
+  kBadSignature,     ///< an HMAC tag does not verify against the digest
+  kMalformed,        ///< TC invariants broken (reported views / high_qc)
+};
+
+[[nodiscard]] const char* check_name(CertCheck c);
+
+/// Verifies received QuorumCerts / TimeoutCerts against the cluster
+/// KeyStore: >= quorum signatures, distinct in-range signers, every HMAC
+/// checked against the vote/timeout digest it claims to sign. This is the
+/// real-verification half of the certificate pipeline; the *simulated* CPU
+/// cost of the same work is charged separately by the Replica cost model
+/// (Config::verify_strategy).
+///
+/// The verifier is stateless apart from a reusable signer-dedup scratch
+/// buffer, so one instance per replica is cheap and hot-path allocation-free.
+class CertVerifier {
+ public:
+  CertVerifier(const crypto::KeyStore& keys, std::uint32_t n_replicas);
+
+  /// Genesis QCs (view == kGenesisView) are valid by convention.
+  [[nodiscard]] CertCheck check_qc(const types::QuorumCert& qc);
+
+  /// Checks the timeout signatures against their reported high-QC views,
+  /// the AggQC invariant high_qc.view == max(reported_qc_views), and the
+  /// embedded high_qc itself (as a QC).
+  [[nodiscard]] CertCheck check_tc(const types::TimeoutCert& tc);
+
+ private:
+  /// Structural half shared by QCs and TCs: quorum size, signer range,
+  /// signer distinctness. kOk means "structurally sound", not verified.
+  CertCheck check_signers(const std::vector<crypto::Signature>& sigs);
+
+  const crypto::KeyStore& keys_;
+  std::uint32_t n_;
+  std::uint32_t quorum_;
+  // Epoch-tagged scratch marks: seen_epoch_[id] == epoch_ iff `id` already
+  // signed the certificate under inspection (no per-call clear/alloc).
+  std::vector<std::uint32_t> seen_epoch_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace bamboo::quorum

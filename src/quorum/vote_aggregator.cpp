@@ -19,15 +19,25 @@ std::optional<types::QuorumCert> VoteAggregator::add(
   }
 
   Bucket& bucket = buckets_[vote.view][vote.block_hash];
-  bucket.height = vote.height;
+  // The certificate stops growing once formed (long views would otherwise
+  // accumulate signatures unboundedly).
+  if (bucket.formed) return std::nullopt;
+  if (bucket.sigs.empty()) {
+    // Pin the height at bucket creation: a later vote carrying a mismatched
+    // height for the same block must not poison the formed QC's height.
+    bucket.height = vote.height;
+  } else if (vote.height != bucket.height) {
+    ++equivocations_;
+    return std::nullopt;
+  }
   bucket.voters.emplace(voter, true);
   bucket.sigs.push_back(vote.sig);
 
-  if (!bucket.formed && bucket.sigs.size() >= quorum_) {
+  if (bucket.sigs.size() >= quorum_) {
     bucket.formed = true;
     types::QuorumCert qc;
     qc.view = vote.view;
-    qc.height = vote.height;
+    qc.height = bucket.height;
     qc.block_hash = vote.block_hash;
     qc.sigs = bucket.sigs;
     return qc;
@@ -46,6 +56,9 @@ std::optional<types::TimeoutCert> TimeoutAggregator::add(
   Bucket& bucket = buckets_[msg.view];
   const auto [it, inserted] = bucket.senders.emplace(msg.sender(), true);
   if (!inserted) return std::nullopt;
+  // `senders` keeps growing above — count() drives the f+1 early join —
+  // but the certificate itself stops accumulating once formed.
+  if (bucket.formed) return std::nullopt;
 
   bucket.sigs.push_back(msg.sig);
   bucket.reported_qc_views.push_back(msg.high_qc.view);
@@ -53,7 +66,7 @@ std::optional<types::TimeoutCert> TimeoutAggregator::add(
     bucket.high_qc = msg.high_qc;
   }
 
-  if (!bucket.formed && bucket.sigs.size() >= quorum_) {
+  if (bucket.sigs.size() >= quorum_) {
     bucket.formed = true;
     types::TimeoutCert tc;
     tc.view = msg.view;

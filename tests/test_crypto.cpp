@@ -97,6 +97,22 @@ TEST(Sha256, IntegerAbsorption) {
   EXPECT_EQ(a.finish(), b.finish());
 }
 
+TEST(Sha256, MidstateResumeMatchesFull) {
+  // Capturing the compression state on a block boundary and resuming must
+  // reproduce the one-shot digest exactly — the contract behind the
+  // KeyStore's cached HMAC ipad/opad prefixes.
+  const std::string prefix(64, 'p');
+  for (std::size_t suffix_len : {0u, 1u, 32u, 63u, 64u, 200u}) {
+    const std::string suffix(suffix_len, 's');
+    crypto::Sha256 head;
+    head.update(prefix);
+    crypto::Sha256 resumed(head.midstate());
+    resumed.update(suffix);
+    EXPECT_EQ(resumed.finish(), crypto::Sha256::hash(prefix + suffix))
+        << suffix_len;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // HMAC-SHA256 (RFC 4231)
 // ---------------------------------------------------------------------------

@@ -98,6 +98,8 @@ TEST(PerfPinned, HotstuffWan) {
   EXPECT_EQ(r.sync_blocks, 0u);
   EXPECT_EQ(r.sync_bytes, 11371u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 111u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -122,6 +124,8 @@ TEST(PerfPinned, HotstuffChurn) {
   EXPECT_EQ(r.sync_blocks, 7u);
   EXPECT_EQ(r.sync_bytes, 270849u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 156u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -146,6 +150,8 @@ TEST(PerfPinned, TwoChainDefault) {
   EXPECT_EQ(r.sync_blocks, 0u);
   EXPECT_EQ(r.sync_bytes, 0u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 1298u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -170,6 +176,8 @@ TEST(PerfPinned, TwoChainWan) {
   EXPECT_EQ(r.sync_blocks, 7u);
   EXPECT_EQ(r.sync_bytes, 107872u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 321u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -194,6 +202,8 @@ TEST(PerfPinned, TwoChainChurn) {
   EXPECT_EQ(r.sync_blocks, 3u);
   EXPECT_EQ(r.sync_bytes, 69225u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 80.000000000000071);
+  EXPECT_EQ(r.certs_verified, 94u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -218,6 +228,8 @@ TEST(PerfPinned, StreamletWan) {
   EXPECT_EQ(r.sync_blocks, 0u);
   EXPECT_EQ(r.sync_bytes, 0u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 3236u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 
@@ -242,6 +254,8 @@ TEST(PerfPinned, StreamletChurn) {
   EXPECT_EQ(r.sync_blocks, 0u);
   EXPECT_EQ(r.sync_bytes, 0u);
   EXPECT_DOUBLE_EQ(r.recovery_ms, 0);
+  EXPECT_EQ(r.certs_verified, 2990u);
+  EXPECT_EQ(r.certs_rejected, 0u);
   EXPECT_TRUE(r.consistent);
 }
 

@@ -441,9 +441,13 @@ TEST_F(FastHotStuffRules, ViewChangeNeedsAggQcProof) {
   EXPECT_TRUE(fhs.should_vote(proposal_of(b3, tc), ctx()));
 
   // A TC showing somebody reported a higher QC than the justify: reject.
+  // Certificate verification (quorum/cert_verifier.h) guarantees
+  // high_qc.view == max(reported_qc_views) on every TC a replica accepts,
+  // so the hand-built TC maintains that invariant here.
   types::TimeoutCert stale_tc;
   stale_tc.view = 2;
   stale_tc.reported_qc_views = {1, 2, 0};  // someone saw a QC for view 2
+  stale_tc.high_qc.view = 2;
   EXPECT_FALSE(fhs.should_vote(proposal_of(b3, stale_tc), ctx()));
 
   // A TC for the wrong view: reject.

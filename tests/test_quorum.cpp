@@ -147,6 +147,39 @@ TEST(TimeoutAggregator, GcDropsOldViews) {
   EXPECT_EQ(agg.count(5), 0u);
 }
 
+TEST(VoteAggregator, MismatchedHeightCannotPoisonQc) {
+  // Regression: the bucket height used to be overwritten by every vote, so
+  // a Byzantine vote carrying a wrong height for the right block could
+  // poison the formed QC's height. The height is now pinned at bucket
+  // creation and a mismatch is Byzantine evidence, not a quorum vote.
+  quorum::VoteAggregator agg(4);
+  const auto h = crypto::Sha256::hash("b");
+  agg.add(vote(0, 1, h, 5));
+  agg.add(vote(1, 1, h, 9));  // lies about the block's height
+  EXPECT_EQ(agg.equivocation_count(), 1u);
+  // The lying vote did not count toward quorum: two more honest votes are
+  // still needed, and the QC carries the pinned height.
+  EXPECT_FALSE(agg.add(vote(2, 1, h, 5)).has_value());
+  const auto qc = agg.add(vote(3, 1, h, 5));
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_EQ(qc->height, 5u);
+  EXPECT_EQ(qc->sigs.size(), 3u);
+}
+
+TEST(TimeoutAggregator, CountKeepsGrowingAfterTcFormed) {
+  // Regression: the certificate must stop accumulating signatures once
+  // formed, but count() (which drives the f+1 early-join rule) still has
+  // to see every distinct sender.
+  quorum::TimeoutAggregator agg(4);
+  agg.add(timeout(0, 5, 1));
+  agg.add(timeout(1, 5, 1));
+  const auto tc = agg.add(timeout(2, 5, 1));
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->sigs.size(), 3u);
+  EXPECT_FALSE(agg.add(timeout(3, 5, 9)).has_value());
+  EXPECT_EQ(agg.count(5), 4u);
+}
+
 TEST(TimeoutAggregator, LargeClusterQuorum) {
   quorum::TimeoutAggregator agg(32);  // quorum 22
   for (types::NodeId n = 0; n < 21; ++n) {
