@@ -31,6 +31,7 @@
 #include "core/churn.h"
 #include "harness/cluster.h"
 #include "harness/experiment.h"
+#include "model/perf_model.h"
 #include "net/link_model.h"
 #include "net/network.h"
 #include "quorum/cert_verifier.h"
@@ -346,6 +347,22 @@ Metric bm_e2e_cpu_bound(const Options& opt) {
   return bm_e2e(opt, "e2e_cpu_bound", spec, 8);
 }
 
+/// Open-loop saturated regime: Poisson arrivals at ~1.5x the analytic
+/// saturation rate against a bounded mempool with a 1M-client population —
+/// the arrival scheduler, admission rejections, and per-completion
+/// histogram recording all on the hot path.
+Metric bm_e2e_openloop_saturated(const Options& opt) {
+  harness::RunSpec spec = e2e_spec("hotstuff");
+  spec.workload.mode = client::LoadMode::kOpenLoop;
+  spec.workload.concurrency = 0;
+  spec.workload.client_population = 1'000'000;
+  spec.cfg.memsize = 4000;
+  const model::PerfModel pm(spec.cfg);
+  spec.workload.arrival_rate_tps = 1.5 * pm.saturation_tps();
+  spec.offered = spec.workload.arrival_rate_tps;
+  return bm_e2e(opt, "e2e_openloop_saturated", spec, 8);
+}
+
 // ---------------------------------------------------------------------------
 // Churn-event dispatch: a dense repeating degrade/restore schedule with no
 // client workload — the run is dominated by churn firing + link mutation.
@@ -412,6 +429,7 @@ int run(const Options& opt) {
   add(bm_e2e_wan_churn(opt));
   add(bm_chain_sync(opt));
   add(bm_e2e_cpu_bound(opt));
+  add(bm_e2e_openloop_saturated(opt));
 
   util::Json::Object root;
   root["schema"] = "bamboo-perf/1";

@@ -4,15 +4,20 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/quickstart [protocol] [topology] [link_model] [churn-dsl]
+//   ./build/quickstart [protocol] [topology] [link_model] [churn-dsl] \
+//                      [workload] [mempool]
 // where protocol is one of: hotstuff (default), 2chs, streamlet,
 // fasthotstuff; topology is a WAN scenario spec (e.g. "wan:3:40",
 // "slow-leader:20"); link_model is normal | uniform | lognormal | pareto;
-// churn-dsl is a network-churn schedule (docs/SCENARIOS.md). Try:
+// churn-dsl is a network-churn schedule (docs/SCENARIOS.md); workload is
+// "closed[:sessions]" (default closed:256) or "open:<tps>[:arrival-dsl]"
+// (docs/OVERLOAD.md, e.g. "open:40000:burst:1x0.2,4x0.1"); mempool is
+// "<memsize>[:admission-dsl]" (e.g. "2000:priority:0.1"). Try:
 //   ./build/quickstart hotstuff wan:3:40 pareto
 //   ./build/quickstart hotstuff uniform normal 'partition@0.5s:...;heal@0.8s'
-// (the trailing argument takes any churn-DSL schedule)
+//   ./build/quickstart hotstuff uniform normal '' open:120000 2000:backoff:5
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -37,6 +42,34 @@ int main(int argc, char** argv) {
   client::WorkloadConfig wl;
   wl.mode = client::LoadMode::kClosedLoop;
   wl.concurrency = 256;
+  if (argc > 5) {
+    const std::string spec = argv[5];
+    if (spec.rfind("open:", 0) == 0) {
+      wl.mode = client::LoadMode::kOpenLoop;
+      wl.client_population = 1'000'000;
+      const std::string body = spec.substr(5);
+      const std::size_t colon = body.find(':');
+      wl.arrival_rate_tps = std::atof(body.substr(0, colon).c_str());
+      if (colon != std::string::npos) wl.arrival = body.substr(colon + 1);
+    } else if (spec.rfind("closed", 0) == 0) {
+      const std::size_t colon = spec.find(':');
+      if (colon != std::string::npos) {
+        wl.concurrency = static_cast<std::uint32_t>(
+            std::atoi(spec.c_str() + colon + 1));
+      }
+    } else if (!spec.empty()) {
+      std::cerr << "invalid workload '" << spec
+                << "': want closed[:sessions] or open:<tps>[:arrival]\n";
+      return 2;
+    }
+  }
+  if (argc > 6) {
+    const std::string spec = argv[6];
+    const std::size_t colon = spec.find(':');
+    cfg.memsize = static_cast<std::uint32_t>(
+        std::atoi(spec.substr(0, colon).c_str()));
+    if (colon != std::string::npos) cfg.admission = spec.substr(colon + 1);
+  }
 
   harness::RunOptions opts;
   opts.warmup_s = 0.25;
@@ -50,7 +83,15 @@ int main(int argc, char** argv) {
             << "replicas   : " << cfg.n_replicas << " (quorum "
             << cfg.quorum() << ")\n"
             << "block size : " << cfg.bsize << " txns\n"
-            << "clients    : " << wl.concurrency << " closed-loop sessions\n"
+            << "clients    : "
+            << (wl.mode == client::LoadMode::kClosedLoop
+                    ? std::to_string(wl.concurrency) + " closed-loop sessions"
+                    : "open loop, " + wl.arrival +
+                          " arrivals at base " +
+                          std::to_string(
+                              static_cast<long>(wl.arrival_rate_tps)) +
+                          " tx/s (admission " + cfg.admission + ")")
+            << "\n"
             << "\nrunning " << opts.warmup_s + opts.measure_s
             << "s of simulated time...\n\n";
 
@@ -66,8 +107,15 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "throughput     : " << static_cast<long>(r.throughput_tps)
-            << " tx/s\n"
-            << "latency (mean) : " << r.latency_ms_mean << " ms\n"
+            << " tx/s\n";
+  if (wl.mode == client::LoadMode::kOpenLoop) {
+    std::cout << "offered        : " << static_cast<long>(r.offered_tps)
+              << " tx/s (mempool admitted " << r.mem_admitted
+              << ", rejected " << r.mem_rejected << ")\n"
+              << "latency (hist) : p50 " << r.hist_p50_ms << " / p99 "
+              << r.hist_p99_ms << " / p999 " << r.hist_p999_ms << " ms\n";
+  }
+  std::cout << "latency (mean) : " << r.latency_ms_mean << " ms\n"
             << "latency (p99)  : " << r.latency_ms_p99 << " ms\n"
             << "chain growth   : " << r.cgr_per_block
             << " committed/appended (" << r.cgr_per_view << " per view)\n"

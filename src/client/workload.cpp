@@ -1,14 +1,93 @@
 #include "client/workload.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
 #include "types/messages.h"
 
 namespace bamboo::client {
+
+namespace {
+
+double parse_positive(const std::string& token, const std::string& spec,
+                      const char* what) {
+  char* stop = nullptr;
+  const double v = std::strtod(token.c_str(), &stop);
+  if (token.empty() || stop != token.c_str() + token.size() || v <= 0 ||
+      !std::isfinite(v)) {
+    throw std::invalid_argument("arrival '" + spec + "': bad " +
+                                std::string(what) + " '" + token + "'");
+  }
+  return v;
+}
+
+/// Parse "a<sep>b[,a<sep>b...]" segments after the policy prefix.
+std::vector<ArrivalPhase> parse_phases(const std::string& spec,
+                                       std::size_t colon, char sep,
+                                       const char* value_name) {
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    throw std::invalid_argument(
+        "arrival '" + spec + "' is half-specified: want " +
+        spec.substr(0, colon) + ":<" + value_name + ">" + sep + "<dur_s>,...");
+  }
+  std::vector<ArrivalPhase> phases;
+  const std::string body = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t end = body.find(',', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string segment = body.substr(pos, end - pos);
+    const std::size_t mid = segment.find(sep);
+    if (mid == std::string::npos) {
+      throw std::invalid_argument("arrival '" + spec + "': segment '" +
+                                  segment + "' wants <" + value_name + ">" +
+                                  sep + "<dur_s>");
+    }
+    ArrivalPhase phase;
+    phase.value = parse_positive(segment.substr(0, mid), spec, value_name);
+    phase.dur_s =
+        parse_positive(segment.substr(mid + 1), spec, "duration (s)");
+    phases.push_back(phase);
+    pos = end + 1;
+  }
+  return phases;
+}
+
+}  // namespace
+
+ArrivalProcess parse_arrival(const std::string& spec) {
+  ArrivalProcess p;
+  if (spec.empty() || spec == "poisson") return p;
+  if (spec == "fixed") {
+    p.kind = ArrivalProcess::Kind::kFixed;
+    return p;
+  }
+  const std::size_t colon = spec.find(':');
+  const std::string policy = spec.substr(0, colon);
+  if (policy == "burst") {
+    p.kind = ArrivalProcess::Kind::kBurst;
+    p.phases = parse_phases(spec, colon, 'x', "mult");
+    for (const ArrivalPhase& phase : p.phases) p.cycle_s += phase.dur_s;
+    return p;
+  }
+  if (policy == "trace") {
+    p.kind = ArrivalProcess::Kind::kTrace;
+    p.phases = parse_phases(spec, colon, '@', "tps");
+    return p;
+  }
+  throw std::invalid_argument("unknown arrival process: " + spec);
+}
 
 WorkloadDriver::WorkloadDriver(sim::Simulator& simulator,
                                net::SimNetwork& network,
                                const core::Config& config,
                                WorkloadConfig workload)
-    : sim_(simulator), net_(network), cfg_(config), wl_(workload) {
+    : sim_(simulator),
+      net_(network),
+      cfg_(config),
+      wl_(workload),
+      arrival_(parse_arrival(workload.arrival)) {
   if (wl_.mode == LoadMode::kClosedLoop) {
     outstanding_.assign(wl_.concurrency, 0);
     watchdogs_.assign(wl_.concurrency, sim::kInvalidEventId);
@@ -39,16 +118,58 @@ void WorkloadDriver::start() {
           [this, s] { issue(s); });
     }
   } else {
+    arrival_start_ = sim_.now();
     schedule_next_arrival();
   }
 }
 
+double WorkloadDriver::rate_at(sim::Time now) const {
+  const double base = wl_.arrival_rate_tps;
+  switch (arrival_.kind) {
+    case ArrivalProcess::Kind::kPoisson:
+    case ArrivalProcess::Kind::kFixed:
+      return base;
+    case ArrivalProcess::Kind::kBurst: {
+      double t = std::fmod(sim::to_seconds(now - arrival_start_),
+                           arrival_.cycle_s);
+      for (const ArrivalPhase& phase : arrival_.phases) {
+        if (t < phase.dur_s) return base * phase.value;
+        t -= phase.dur_s;
+      }
+      return base * arrival_.phases.back().value;  // fmod edge
+    }
+    case ArrivalProcess::Kind::kTrace: {
+      double t = sim::to_seconds(now - arrival_start_);
+      for (const ArrivalPhase& phase : arrival_.phases) {
+        if (t < phase.dur_s) return phase.value;
+        t -= phase.dur_s;
+      }
+      return arrival_.phases.back().value;  // replay over: hold last rate
+    }
+  }
+  return base;
+}
+
 void WorkloadDriver::schedule_next_arrival() {
-  if (stopped_ || wl_.arrival_rate_tps <= 0) return;
-  const double gap_s = sim_.rng().exponential(wl_.arrival_rate_tps);
+  if (stopped_) return;
+  const double rate = rate_at(sim_.now());
+  if (rate <= 0) return;
+  // Fixed spacing draws no randomness; every other process is Poisson at
+  // the instantaneous rate (gap drawn at schedule time).
+  const double gap_s = arrival_.kind == ArrivalProcess::Kind::kFixed
+                           ? 1.0 / rate
+                           : sim_.rng().exponential(rate);
   sim_.schedule_after(sim::from_seconds(gap_s), [this] {
     if (stopped_) return;
-    issue(0);
+    // The aggregate process stands in for client_population logical
+    // clients; only the session id is materialized, never a client
+    // object. 0 keeps the legacy single-session path (no extra draw).
+    const std::uint32_t session =
+        wl_.client_population > 0
+            ? static_cast<std::uint32_t>(
+                  sim_.rng().uniform_u64(wl_.client_population))
+            : 0;
+    issue(session);
     schedule_next_arrival();
   });
 }
@@ -64,6 +185,7 @@ void WorkloadDriver::issue(std::uint32_t session) {
   tx.submitted_at = sim_.now();
   tx.payload_size = wl_.payload_size;
   ++stats_.issued;
+  if (measuring_) ++measured_issued_;
 
   if (wl_.mode == LoadMode::kClosedLoop) {
     outstanding_[session] = tx.id;
@@ -110,8 +232,12 @@ void WorkloadDriver::on_response(const types::ClientResponseMsg& resp) {
     ++stats_.rejected;
     if (closed && !stopped_) {
       const std::uint32_t session = resp.session;
-      sim_.schedule_after(wl_.retry_backoff,
-                          [this, session] { issue(session); });
+      // Honor the server's retry-after hint (backoff admission policy);
+      // without one, fall back to the client's own backoff.
+      const sim::Duration wait =
+          resp.backoff_ms > 0 ? sim::from_milliseconds(resp.backoff_ms)
+                              : wl_.retry_backoff;
+      sim_.schedule_after(wait, [this, session] { issue(session); });
     }
     return;
   }
@@ -121,6 +247,7 @@ void WorkloadDriver::on_response(const types::ClientResponseMsg& resp) {
       sim::to_milliseconds(sim_.now() - resp.submitted_at);
   if (measuring_) {
     latencies_ms_.add(latency_ms);
+    latency_hist_.add(latency_ms);
     ++measured_completed_;
   }
   if (timeline_ != nullptr) {
@@ -135,7 +262,9 @@ void WorkloadDriver::begin_measurement() {
   measuring_ = true;
   window_start_ = sim_.now();
   measured_completed_ = 0;
+  measured_issued_ = 0;
   latencies_ms_.clear();
+  latency_hist_.clear();
 }
 
 void WorkloadDriver::end_measurement() {

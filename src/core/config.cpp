@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/churn.h"
+#include "mempool/mempool.h"
 
 namespace bamboo::core {
 
@@ -47,6 +48,7 @@ void Config::validate() const {
   if (byz_no > n_replicas)
     throw std::invalid_argument("byz_no exceeds n_replicas");
   if (bsize == 0) throw std::invalid_argument("bsize must be >= 1");
+  if (memsize == 0) throw std::invalid_argument("memsize must be >= 1");
   if (bandwidth_bps <= 0)
     throw std::invalid_argument("bandwidth must be positive");
   if (timeout <= 0) throw std::invalid_argument("timeout must be positive");
@@ -73,6 +75,9 @@ void Config::validate() const {
   // A churn schedule either parses completely or the experiment refuses to
   // start — the old FaultPlan silently ignored half-specified windows.
   (void)parse_churn(churn);  // throws std::invalid_argument with the event
+  // Same contract for the mempool-overflow policy: half-specified
+  // ("backoff" without a delay) or out-of-range specs refuse to start.
+  (void)mempool::parse_admission(admission);
   // link_model / topology strings are validated where they are consumed
   // (net::parse_delay_family / net::make_topology at cluster construction).
 }
@@ -116,6 +121,7 @@ Config Config::from_json(const util::Json& j) {
   c.ge_r = j.get_number("ge_r", c.ge_r);
   c.ge_loss_good = j.get_number("ge_loss_good", c.ge_loss_good);
   c.ge_loss_bad = j.get_number("ge_loss_bad", c.ge_loss_bad);
+  c.admission = j.get_string("admission", c.admission);
   c.sync_batch =
       static_cast<std::uint32_t>(j.get_int("sync_batch", c.sync_batch));
   c.sync_timeout = sim::from_milliseconds(j.get_number(
@@ -174,6 +180,7 @@ util::Json Config::to_json() const {
   o.emplace("ge_r", util::Json(ge_r));
   o.emplace("ge_loss_good", util::Json(ge_loss_good));
   o.emplace("ge_loss_bad", util::Json(ge_loss_bad));
+  o.emplace("admission", util::Json(admission));
   o.emplace("sync_batch", util::Json(static_cast<std::int64_t>(sync_batch)));
   o.emplace("sync_timeout_ms",
             util::Json(sim::to_milliseconds(sync_timeout)));

@@ -146,6 +146,16 @@ struct Config {
   sim::Duration cpu_verify_batch_base = sim::microseconds(100);
   sim::Duration cpu_verify_batch_per_sig = sim::microseconds(2);
 
+  // --- mempool admission control (mempool/mempool.h) ----------------------
+  /// What a full mempool does with fresh client transactions — the overflow
+  /// behavior, made explicit: "drop" (default; the legacy silent-reject
+  /// semantics), "backoff:<ms>" (reject with a retry-after hint carried in
+  /// the client response), "priority:<frac>" (reserve that fraction of
+  /// memsize for recycled forked-out transactions). validate() rejects
+  /// unknown or half-specified policies with the same strictness as the
+  /// churn DSL.
+  std::string admission = "drop";
+
   std::uint32_t n_client_hosts = 2;  ///< paper: "2 VMs as clients"
 
   // --- derived -----------------------------------------------------------

@@ -25,7 +25,7 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
       hooks_(std::move(hooks)),
       strategy_(config.is_byzantine(id) ? parse_strategy(config.strategy)
                                         : ByzStrategy::kHonest),
-      mempool_(config.memsize),
+      mempool_(config.memsize, mempool::parse_admission(config.admission)),
       votes_(config.n_replicas),
       timeouts_(config.n_replicas),
       cert_verifier_(keys, config.n_replicas),
@@ -308,6 +308,9 @@ void Replica::send_client_response(const types::Transaction& tx,
   resp.session = tx.session;
   resp.submitted_at = tx.submitted_at;
   resp.rejected = rejected;
+  // Under the backoff admission policy, rejections carry the server's
+  // retry-after hint; acceptances and the drop policy leave it at 0.
+  if (rejected) resp.backoff_ms = mempool_.admission().backoff_ms;
   net_.send(id_, tx.client_endpoint,
             types::make_message(std::move(resp)));
 }

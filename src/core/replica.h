@@ -101,6 +101,7 @@ class Replica {
   }
   [[nodiscard]] const forest::BlockForest& forest() const { return forest_; }
   [[nodiscard]] mempool::Mempool& pool() { return mempool_; }
+  [[nodiscard]] const mempool::Mempool& pool() const { return mempool_; }
   [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
   [[nodiscard]] const SafetyProtocol& safety() const { return *safety_; }
   [[nodiscard]] const pacemaker::Pacemaker& pm() const { return pacemaker_; }

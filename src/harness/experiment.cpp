@@ -31,6 +31,8 @@ struct Snapshot {
   std::uint64_t sync_bytes = 0;
   std::uint64_t certs_verified = 0;
   std::uint64_t certs_rejected = 0;
+  std::uint64_t mem_admitted = 0;
+  std::uint64_t mem_rejected = 0;
 
   static Snapshot of(const Cluster& cluster) {
     const core::Replica& obs = cluster.replica(0);
@@ -52,6 +54,10 @@ struct Snapshot {
       // sums, like the sync counters.
       s.certs_verified += cluster.replica(id).stats().certs_verified;
       s.certs_rejected += cluster.replica(id).stats().certs_rejected;
+      // Mempool admission ledger: every replica owns a local pool, so the
+      // backpressure counters are cluster-wide sums too.
+      s.mem_admitted += cluster.replica(id).pool().admitted_count();
+      s.mem_rejected += cluster.replica(id).pool().rejected_count();
     }
     return s;
   }
@@ -66,12 +72,23 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
       r.measured_s > 0
           ? static_cast<double>(driver.measured_completed()) / r.measured_s
           : 0.0;
+  r.offered_tps =
+      r.measured_s > 0
+          ? static_cast<double>(driver.measured_issued()) / r.measured_s
+          : 0.0;
   auto& lat = driver.latencies_ms();
   r.latency_samples = lat.count();
   if (!lat.empty()) {
     r.latency_ms_mean = lat.mean();
     r.latency_ms_p50 = lat.percentile(50);
     r.latency_ms_p99 = lat.percentile(99);
+  }
+  const util::LatencyHistogram& hist = driver.latency_hist();
+  if (!hist.empty()) {
+    r.hist_p50_ms = hist.quantile(0.50);
+    r.hist_p99_ms = hist.quantile(0.99);
+    r.hist_p999_ms = hist.quantile(0.999);
+    r.latency_hist = hist.encode();
   }
 
   r.views = after.view - before.view;
@@ -85,6 +102,8 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
   r.sync_bytes = after.sync_bytes - before.sync_bytes;
   r.certs_verified = after.certs_verified - before.certs_verified;
   r.certs_rejected = after.certs_rejected - before.certs_rejected;
+  r.mem_admitted = after.mem_admitted - before.mem_admitted;
+  r.mem_rejected = after.mem_rejected - before.mem_rejected;
   r.rejected = driver.stats().rejected;
 
   r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "client/workload.h"
@@ -53,6 +54,27 @@ struct RunResult {
   // over every replica
   std::uint64_t certs_verified = 0;  ///< received QCs/TCs that checked out
   std::uint64_t certs_rejected = 0;  ///< forged/malformed certificates dropped
+
+  // open-loop / overload accounting
+  /// Client-issued tx/s inside the measurement window — the offered load
+  /// actually generated (vs throughput_tps, the goodput). Their gap is the
+  /// overload regime.
+  double offered_tps = 0;
+  /// Exact quantiles from the log-scale latency histogram
+  /// (util/histogram.h). Unlike the sample-sorted latency_ms_p50/p99,
+  /// these merge across reps and shards bit-identically, and p999 is
+  /// only available here.
+  double hist_p50_ms = 0;
+  double hist_p99_ms = 0;
+  double hist_p999_ms = 0;
+  /// Mempool admissions/rejections inside the window, summed cluster-wide
+  /// (the backpressure ledger; rejections include duplicates and
+  /// capacity/priority-reserve refusals).
+  std::uint64_t mem_admitted = 0;
+  std::uint64_t mem_rejected = 0;
+  /// The window's latency histogram, sparse-encoded ("index:count;...") —
+  /// what aggregate rows and shard merges rebuild quantiles from.
+  std::string latency_hist;
 
   // invariants
   bool consistent = true;

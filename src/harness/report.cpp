@@ -12,6 +12,7 @@
 
 #include "core/churn.h"
 #include "sim/time.h"
+#include "util/histogram.h"
 
 namespace bamboo::harness::report {
 
@@ -65,14 +66,25 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
                       const std::vector<RunResult>& results) {
   Aggregate agg;
   util::RunningStats p50;
+  util::RunningStats offered;
+  util::LatencyHistogram hist;
   double measured_s = 0, latency_samples = 0, views = 0, committed = 0,
          received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0,
          sync_requests = 0, sync_blocks = 0, sync_bytes = 0,
          certs_verified = 0, certs_rejected = 0, recovery_ms = 0,
-         recovery_reps = 0;
+         recovery_reps = 0, mem_admitted = 0, mem_rejected = 0;
   for (const RunResult& r : results) {
     agg.add(r);
     fold(p50, r.latency_ms_p50);
+    fold(offered, r.offered_tps);
+    // Histogram merge is integer bucket addition — associative, so the
+    // shard-merged aggregate is bit-identical to the unsharded one, which
+    // no mean-of-rep-percentiles statistic can promise.
+    if (!r.latency_hist.empty()) {
+      hist.merge(util::LatencyHistogram::decode(r.latency_hist));
+    }
+    mem_admitted += static_cast<double>(r.mem_admitted);
+    mem_rejected += static_cast<double>(r.mem_rejected);
     measured_s += r.measured_s;
     latency_samples += static_cast<double>(r.latency_samples);
     views += static_cast<double>(r.views);
@@ -131,6 +143,17 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   rec.result.certs_rejected = round_u64(certs_rejected / n);
   rec.result.recovery_ms =
       recovery_reps > 0 ? recovery_ms / recovery_reps : 0.0;
+  rec.result.offered_tps = offered.mean();
+  if (!hist.empty()) {
+    // Exact pooled quantiles over every rep's samples, not a mean of
+    // per-rep quantiles.
+    rec.result.hist_p50_ms = hist.quantile(0.50);
+    rec.result.hist_p99_ms = hist.quantile(0.99);
+    rec.result.hist_p999_ms = hist.quantile(0.999);
+    rec.result.latency_hist = hist.encode();
+  }
+  rec.result.mem_admitted = round_u64(mem_admitted / n);
+  rec.result.mem_rejected = round_u64(mem_rejected / n);
   rec.result.consistent = agg.all_consistent;
   rec.result.safety_violations = agg.safety_violations;
 
@@ -186,6 +209,9 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
       spec.workload.mode == client::LoadMode::kClosedLoop ? "closed" : "open";
   p.concurrency = spec.workload.concurrency;
   p.arrival_rate_tps = spec.workload.arrival_rate_tps;
+  p.arrival = spec.workload.arrival;
+  p.client_population = spec.workload.client_population;
+  p.admission = spec.cfg.admission;
   p.base_seed = spec.cfg.seed;
   p.seed = spec.cfg.seed + rep;
   p.warmup_s = spec.opts.warmup_s;
@@ -260,7 +286,8 @@ const std::vector<std::string>& csv_columns() {
       "sync_retries", "verify_strategy", "cpu_workers",
       "cpu_verify_per_sig_us", "cpu_verify_batch_base_us",
       "cpu_verify_batch_per_sig_us", "mode",
-      "concurrency", "arrival_rate_tps", "seed", "base_seed", "warmup_s",
+      "concurrency", "arrival_rate_tps", "arrival", "client_population",
+      "admission", "seed", "base_seed", "warmup_s",
       "measure_s", "offered", "throughput_tps", "throughput_tps_ci95",
       "latency_ms_mean", "latency_ms_mean_ci95", "latency_ms_p50",
       "latency_ms_p50_ci95", "latency_ms_p99", "latency_ms_p99_ci95",
@@ -270,6 +297,8 @@ const std::vector<std::string>& csv_columns() {
       "blocks_received", "blocks_forked", "timeouts", "rejected", "net_bytes",
       "sync_requests", "sync_blocks", "sync_bytes", "certs_verified",
       "certs_rejected", "recovery_ms",
+      "offered_tps", "hist_p50_ms", "hist_p99_ms", "hist_p999_ms",
+      "mem_admitted", "mem_rejected", "latency_hist",
       "consistent", "safety_violations"};
   return columns;
 }
@@ -323,6 +352,9 @@ std::string csv_row(const Record& r) {
       csv_escape(r.prov.mode),
       std::to_string(r.prov.concurrency),
       num(r.prov.arrival_rate_tps),
+      csv_escape(r.prov.arrival),
+      std::to_string(r.prov.client_population),
+      csv_escape(r.prov.admission),
       std::to_string(r.prov.seed),
       std::to_string(r.prov.base_seed),
       num(r.prov.warmup_s),
@@ -357,6 +389,13 @@ std::string csv_row(const Record& r) {
       std::to_string(r.result.certs_verified),
       std::to_string(r.result.certs_rejected),
       num(r.result.recovery_ms),
+      num(r.result.offered_tps),
+      num(r.result.hist_p50_ms),
+      num(r.result.hist_p99_ms),
+      num(r.result.hist_p999_ms),
+      std::to_string(r.result.mem_admitted),
+      std::to_string(r.result.mem_rejected),
+      csv_escape(r.result.latency_hist),
       r.result.consistent ? "true" : "false",
       std::to_string(r.result.safety_violations)};
   std::string out;
@@ -415,6 +454,10 @@ util::Json to_json(const Record& r) {
   o.emplace("concurrency",
             util::Json(static_cast<std::int64_t>(r.prov.concurrency)));
   o.emplace("arrival_rate_tps", util::Json(r.prov.arrival_rate_tps));
+  o.emplace("arrival", util::Json(r.prov.arrival));
+  o.emplace("client_population", util::Json(static_cast<std::int64_t>(
+                                     r.prov.client_population)));
+  o.emplace("admission", util::Json(r.prov.admission));
   // Seeds are full-width 64-bit identifiers; util::Json numbers are doubles
   // (exact only up to 2^53), so serialize them as decimal strings to keep
   // the CSV/JSON emitters and the shard merge lossless for any seed.
@@ -464,6 +507,15 @@ util::Json to_json(const Record& r) {
   o.emplace("certs_rejected",
             util::Json(static_cast<std::int64_t>(r.result.certs_rejected)));
   o.emplace("recovery_ms", util::Json(r.result.recovery_ms));
+  o.emplace("offered_tps", util::Json(r.result.offered_tps));
+  o.emplace("hist_p50_ms", util::Json(r.result.hist_p50_ms));
+  o.emplace("hist_p99_ms", util::Json(r.result.hist_p99_ms));
+  o.emplace("hist_p999_ms", util::Json(r.result.hist_p999_ms));
+  o.emplace("mem_admitted",
+            util::Json(static_cast<std::int64_t>(r.result.mem_admitted)));
+  o.emplace("mem_rejected",
+            util::Json(static_cast<std::int64_t>(r.result.mem_rejected)));
+  o.emplace("latency_hist", util::Json(r.result.latency_hist));
   o.emplace("consistent", util::Json(r.result.consistent));
   o.emplace("safety_violations", util::Json(static_cast<std::int64_t>(
                                      r.result.safety_violations)));
@@ -516,6 +568,10 @@ Record record_from_json(const util::Json& j) {
   r.prov.mode = j.get_string("mode", "closed");
   r.prov.concurrency = static_cast<std::uint32_t>(j.get_int("concurrency", 0));
   r.prov.arrival_rate_tps = j.get_number("arrival_rate_tps", 0);
+  r.prov.arrival = j.get_string("arrival", "poisson");
+  r.prov.client_population =
+      static_cast<std::uint64_t>(j.get_int("client_population", 0));
+  r.prov.admission = j.get_string("admission", "drop");
   r.prov.seed = get_u64(j, "seed");
   r.prov.base_seed = get_u64(j, "base_seed");
   r.prov.warmup_s = j.get_number("warmup_s", 0);
@@ -559,6 +615,15 @@ Record record_from_json(const util::Json& j) {
   r.result.certs_rejected =
       static_cast<std::uint64_t>(j.get_int("certs_rejected", 0));
   r.result.recovery_ms = j.get_number("recovery_ms", 0);
+  r.result.offered_tps = j.get_number("offered_tps", 0);
+  r.result.hist_p50_ms = j.get_number("hist_p50_ms", 0);
+  r.result.hist_p99_ms = j.get_number("hist_p99_ms", 0);
+  r.result.hist_p999_ms = j.get_number("hist_p999_ms", 0);
+  r.result.mem_admitted =
+      static_cast<std::uint64_t>(j.get_int("mem_admitted", 0));
+  r.result.mem_rejected =
+      static_cast<std::uint64_t>(j.get_int("mem_rejected", 0));
+  r.result.latency_hist = j.get_string("latency_hist", "");
   r.result.consistent = j.get_bool("consistent", true);
   r.result.safety_violations =
       static_cast<std::uint64_t>(j.get_int("safety_violations", 0));

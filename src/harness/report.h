@@ -68,6 +68,11 @@ struct Provenance {
   std::string mode;  ///< "closed" | "open"
   std::uint32_t concurrency = 0;
   double arrival_rate_tps = 0;
+  // Open-loop load engine + mempool admission provenance (client/workload.h
+  // arrival DSL, mempool/mempool.h admission DSL), flat like the rest.
+  std::string arrival = "poisson";
+  std::uint64_t client_population = 0;
+  std::string admission = "drop";
   std::uint64_t seed = 0;       ///< this run's seed (base_seed + rep)
   std::uint64_t base_seed = 0;  ///< repetition base seed
   double warmup_s = 0;

@@ -1,15 +1,78 @@
 #include "mempool/mempool.h"
 
+#include <cstdlib>
+#include <stdexcept>
+
 namespace bamboo::mempool {
 
+namespace {
+
+double parse_param(const std::string& spec, std::size_t colon,
+                   const char* what) {
+  const std::string value = spec.substr(colon + 1);
+  char* stop = nullptr;
+  const double v = std::strtod(value.c_str(), &stop);
+  if (value.empty() || stop != value.c_str() + value.size()) {
+    throw std::invalid_argument("admission '" + spec + "': bad " +
+                                std::string(what) + " '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Admission parse_admission(const std::string& spec) {
+  Admission a;
+  if (spec.empty() || spec == "drop") return a;
+  const std::size_t colon = spec.find(':');
+  const std::string policy = spec.substr(0, colon);
+  if (policy == "backoff") {
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "admission 'backoff' is half-specified: want backoff:<ms>");
+    }
+    a.policy = AdmissionPolicy::kBackoff;
+    a.backoff_ms = parse_param(spec, colon, "delay (ms)");
+    if (a.backoff_ms <= 0) {
+      throw std::invalid_argument("admission '" + spec +
+                                  "': delay must be > 0 ms");
+    }
+    return a;
+  }
+  if (policy == "priority") {
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "admission 'priority' is half-specified: want priority:<frac>");
+    }
+    a.policy = AdmissionPolicy::kPriority;
+    a.reserve_frac = parse_param(spec, colon, "reserved fraction");
+    if (a.reserve_frac <= 0 || a.reserve_frac >= 1) {
+      throw std::invalid_argument("admission '" + spec +
+                                  "': fraction must be in (0, 1)");
+    }
+    return a;
+  }
+  throw std::invalid_argument("unknown admission policy: " + spec);
+}
+
+const char* admission_policy_name(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kDrop: return "drop";
+    case AdmissionPolicy::kBackoff: return "backoff";
+    case AdmissionPolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
 bool Mempool::add_new(types::Transaction tx) {
-  if (live_ >= capacity_ || present_.count(tx.id) > 0) {
+  if (live_ + reserve_ >= capacity_ || present_.count(tx.id) > 0) {
     ++rejected_;
     return false;
   }
   present_.insert(tx.id);
   queue_.push_back(std::move(tx));
   ++live_;
+  ++admitted_;
   return true;
 }
 

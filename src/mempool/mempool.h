@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -9,23 +11,60 @@
 
 namespace bamboo::mempool {
 
+/// What a full pool does with a fresh client transaction (the overflow
+/// behavior that used to be implicit). Configured through the
+/// `core::Config::admission` DSL; "drop" reproduces the legacy semantics
+/// bit-for-bit.
+enum class AdmissionPolicy {
+  kDrop,      ///< reject silently; the client sees a plain rejection
+  kBackoff,   ///< reject and attach a retry-after hint to the response
+  kPriority,  ///< reserve a slice of capacity for recycled (forked-out)
+              ///< transactions so recovery work is never crowded out
+};
+
+/// Parsed admission spec: "drop" | "backoff:<ms>" | "priority:<frac>".
+struct Admission {
+  AdmissionPolicy policy = AdmissionPolicy::kDrop;
+  double backoff_ms = 0;     ///< retry-after hint (backoff policy)
+  double reserve_frac = 0;   ///< capacity fraction reserved (priority policy)
+
+  bool operator==(const Admission&) const = default;
+};
+
+/// Parse the admission DSL. Same strictness as the churn DSL: an unknown
+/// policy, a half-specified one ("backoff" without a delay, "priority"
+/// without a fraction) or an out-of-range parameter throws
+/// std::invalid_argument. "" and "drop" mean the legacy drop policy.
+[[nodiscard]] Admission parse_admission(const std::string& spec);
+[[nodiscard]] const char* admission_policy_name(AdmissionPolicy p);
+
 /// The paper's memory pool (§III-E): a bidirectional queue. New transactions
 /// enter at the back; transactions recovered from forked-out blocks re-enter
 /// at the front so they are re-proposed first. Each replica owns one local
 /// pool (clients submit to exactly one replica), which makes duplicate
-/// checks local.
+/// checks local. Capacity is a hard bound (Table I "memsize"); the
+/// admission policy decides how overflow is refused.
 class Mempool {
  public:
   /// capacity = Table I "memsize" (maximum transactions held).
-  explicit Mempool(std::size_t capacity) : capacity_(capacity) {}
+  explicit Mempool(std::size_t capacity, Admission admission = {})
+      : capacity_(capacity),
+        admission_(admission),
+        reserve_(admission.policy == AdmissionPolicy::kPriority
+                     ? static_cast<std::size_t>(
+                           static_cast<double>(capacity) *
+                           admission.reserve_frac)
+                     : 0) {}
 
   /// Append a fresh client transaction. Returns false (rejected) when the
-  /// pool is full or the id is already present.
+  /// id is already present or the pool's new-transaction budget is
+  /// exhausted (full, minus any priority reserve held for recycling).
   bool add_new(types::Transaction tx);
 
-  /// Re-insert transactions from forked-out blocks at the *front*, keeping
+  /// Re-insert transactions from a forked-out block at the *front*, keeping
   /// their relative order. Already-present or already-committed ids are
-  /// skipped. Returns how many were re-inserted.
+  /// skipped. Recycling may use the full capacity, including the priority
+  /// reserve. Returns how many were re-inserted.
   std::size_t recycle(const std::vector<types::Transaction>& txns);
 
   /// Remove and return up to `max_n` transactions from the front.
@@ -38,16 +77,21 @@ class Mempool {
   [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const Admission& admission() const { return admission_; }
 
+  [[nodiscard]] std::uint64_t admitted_count() const { return admitted_; }
   [[nodiscard]] std::uint64_t rejected_count() const { return rejected_; }
   [[nodiscard]] std::uint64_t recycled_count() const { return recycled_; }
 
  private:
   std::size_t capacity_;
+  Admission admission_;
+  std::size_t reserve_;  ///< capacity slice reserved for recycle()
   std::deque<types::Transaction> queue_;
   std::unordered_set<types::TxId> present_;     // ids currently in queue_
   std::unordered_set<types::TxId> tombstoned_;  // committed while pooled
   std::size_t live_ = 0;
+  std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t recycled_ = 0;
 };

@@ -60,6 +60,10 @@ struct ClientResponseMsg {
   std::uint32_t session = 0;
   sim::Time submitted_at = 0;
   bool rejected = false;
+  /// Retry-after hint on rejections under the "backoff:<ms>" admission
+  /// policy (0 = no hint; closed-loop clients fall back to their own
+  /// retry_backoff). Rides in the modeled payload — wire_size unchanged.
+  double backoff_ms = 0;
 };
 
 /// Batched chain-sync fetch (sync::Syncer): ask a peer for the block

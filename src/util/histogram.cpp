@@ -1,0 +1,106 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bamboo::util {
+
+std::uint32_t LatencyHistogram::index_of(std::uint64_t us) {
+  if (us < kSubCount) return static_cast<std::uint32_t>(us);
+  // msb >= kSubBits: octave o = msb - kSubBits + 1, sub-bucket = the
+  // kSubBits bits below the leading one.
+  const auto msb = static_cast<std::uint32_t>(std::bit_width(us) - 1);
+  const std::uint32_t octave = msb - kSubBits + 1;
+  const auto sub = static_cast<std::uint32_t>(
+      (us >> (msb - kSubBits)) & (kSubCount - 1));
+  return (octave << kSubBits) | sub;
+}
+
+std::uint64_t LatencyHistogram::value_of(std::uint32_t index) {
+  if (index < kSubCount) return index;
+  const std::uint32_t octave = index >> kSubBits;
+  const std::uint64_t sub = index & (kSubCount - 1);
+  return (kSubCount + sub) << (octave - 1);
+}
+
+void LatencyHistogram::add(double ms) {
+  const double us = ms * 1e3;
+  const std::uint64_t v =
+      us <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(us));
+  ++buckets_[index_of(v)];
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  count_ += other.count_;
+}
+
+void LatencyHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (const auto& [index, n] : buckets_) {
+    cum += n;
+    if (cum >= rank) {
+      return static_cast<double>(value_of(index)) / 1e3;
+    }
+  }
+  return 0.0;  // unreachable: counts sum to count_
+}
+
+std::string LatencyHistogram::encode() const {
+  std::string out;
+  for (const auto& [index, n] : buckets_) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(index);
+    out += ':';
+    out += std::to_string(n);
+  }
+  return out;
+}
+
+LatencyHistogram LatencyHistogram::decode(const std::string& text) {
+  LatencyHistogram h;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      throw std::invalid_argument("histogram entry '" + entry +
+                                  "' is not index:count");
+    }
+    char* stop = nullptr;
+    const unsigned long long index =
+        std::strtoull(entry.c_str(), &stop, 10);
+    if (stop != entry.c_str() + colon) {
+      throw std::invalid_argument("bad histogram bucket index in '" +
+                                  entry + "'");
+    }
+    const std::string count_str = entry.substr(colon + 1);
+    const unsigned long long n = std::strtoull(count_str.c_str(), &stop, 10);
+    if (stop != count_str.c_str() + count_str.size() || n == 0) {
+      throw std::invalid_argument("bad histogram bucket count in '" +
+                                  entry + "'");
+    }
+    h.buckets_[static_cast<std::uint32_t>(index)] += n;
+    h.count_ += n;
+    pos = end + 1;
+  }
+  return h;
+}
+
+}  // namespace bamboo::util

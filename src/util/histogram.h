@@ -1,0 +1,70 @@
+#pragma once
+
+// Deterministic fixed-bucket log-scale latency histogram (HDR-histogram
+// style log-linear bucketing). The domain is latency in integer
+// microseconds; bucket boundaries are pure bit arithmetic, so two runs
+// that record the same multiset of samples produce byte-identical
+// histograms regardless of insertion order, thread count, or sharding.
+// Merging is integer addition of per-bucket counts — associative and
+// commutative — which is what makes p50/p99/p999 on merged aggregate rows
+// bit-identical between sharded and unsharded executions (the property
+// util::Samples' exact-but-unmergeable percentile cannot provide).
+//
+// Layout: values below 2^6 = 64 µs land in width-1 buckets (exact);
+// above that, each power-of-two octave is split into 64 linear
+// sub-buckets, bounding the relative quantization error by 1/64 ≈ 1.6%.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bamboo::util {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  static constexpr std::uint32_t kSubBits = 6;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+
+  /// Bucket index of a microsecond value (total order, contiguous).
+  [[nodiscard]] static std::uint32_t index_of(std::uint64_t us);
+  /// Lowest microsecond value mapping to `index` (the bucket's
+  /// representative; quantiles report it, so sub-64µs values round-trip
+  /// exactly).
+  [[nodiscard]] static std::uint64_t value_of(std::uint32_t index);
+
+  /// Record one latency sample (milliseconds; rounded to integer µs).
+  void add(double ms);
+  /// Add every bucket count of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Quantile q in [0, 1] as milliseconds: the representative value of the
+  /// bucket holding the ceil(q * count)-th smallest sample (rank 1-based,
+  /// clamped). 0 on an empty histogram. Exact for sub-64µs samples,
+  /// within 1/64 below the true value otherwise.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Sparse text encoding "index:count;index:count;..." in ascending index
+  /// order ("" when empty) — the merge-safe persistence format carried in
+  /// report rows. decode() inverts it and throws std::invalid_argument on
+  /// malformed input.
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static LatencyHistogram decode(const std::string& text);
+
+  /// Ascending (index, count) view, for tests and renderers.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+  bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace bamboo::util

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/config.h"
 
 namespace bamboo {
@@ -138,6 +140,40 @@ TEST(Config, FromJsonRejectsInvalid) {
   EXPECT_THROW(
       core::Config::from_json(util::Json::parse(R"({"bsize": 0})")),
       std::invalid_argument);
+}
+
+TEST(Config, AdmissionDslValidation) {
+  // Same strictness as the churn DSL: half-specified or out-of-range
+  // admission specs are rejected at validate() time, not at run time.
+  core::Config cfg;
+  EXPECT_NO_THROW(cfg.validate());  // default "drop"
+  for (const char* good : {"drop", "backoff:5", "priority:0.25"}) {
+    cfg = core::Config{};
+    cfg.admission = good;
+    EXPECT_NO_THROW(cfg.validate()) << good;
+  }
+  for (const char* bad : {"backoff", "backoff:", "backoff:0", "backoff:-2",
+                          "priority", "priority:0", "priority:1",
+                          "priority:2", "lifo"}) {
+    cfg = core::Config{};
+    cfg.admission = bad;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument) << bad;
+  }
+  // A mempool of zero capacity would reject everything silently; the
+  // bounded-queue contract makes it a configuration error instead.
+  cfg = core::Config{};
+  cfg.memsize = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, AdmissionRoundTripsThroughJson) {
+  core::Config cfg;
+  cfg.admission = "backoff:7";
+  const auto back = core::Config::from_json(cfg.to_json());
+  EXPECT_EQ(back.admission, "backoff:7");
+  EXPECT_THROW(core::Config::from_json(
+                   util::Json::parse(R"({"admission": "priority"})")),
+               std::invalid_argument);
 }
 
 TEST(Config, ToJsonRoundTrips) {

@@ -1,0 +1,165 @@
+// Tests for the log-scale latency histogram (util/histogram.h): bucket
+// index math at the octave boundaries, exact quantiles on the sub-64us
+// exact range, merge associativity (the property that makes sharded
+// aggregates bit-identical to unsharded runs), and the sparse wire codec.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace bamboo::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket index math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SubSixtyFourMicrosecondsIsExact) {
+  // The first 64 buckets are width-1: every value below 64 us round-trips.
+  for (std::uint64_t us = 0; us < 64; ++us) {
+    EXPECT_EQ(LatencyHistogram::index_of(us), us);
+    EXPECT_EQ(LatencyHistogram::value_of(static_cast<std::uint32_t>(us)), us);
+  }
+}
+
+TEST(Histogram, FirstOctaveIsAlsoExact) {
+  // 64..127 us: the first log octave's 64 sub-buckets are still width-1.
+  for (std::uint64_t us = 64; us < 128; ++us) {
+    const std::uint32_t index = LatencyHistogram::index_of(us);
+    EXPECT_EQ(index, us);
+    EXPECT_EQ(LatencyHistogram::value_of(index), us);
+  }
+}
+
+TEST(Histogram, IndexIsMonotoneAcrossOctaveBoundaries) {
+  std::uint32_t prev = LatencyHistogram::index_of(0);
+  for (std::uint64_t us = 1; us < 1 << 14; ++us) {
+    const std::uint32_t index = LatencyHistogram::index_of(us);
+    EXPECT_GE(index, prev) << "non-monotone at " << us << " us";
+    // The bucket's representative value never exceeds the member.
+    EXPECT_LE(LatencyHistogram::value_of(index), us);
+    prev = index;
+  }
+}
+
+TEST(Histogram, RelativeErrorBoundedBySubBucketWidth) {
+  // Log-linear bucketing: representative error < 1/64 of the value.
+  for (std::uint64_t us : {130u, 1000u, 4097u, 65535u, 1000000u}) {
+    const std::uint64_t rep =
+        LatencyHistogram::value_of(LatencyHistogram::index_of(us));
+    EXPECT_LE(rep, us);
+    EXPECT_LT(us - rep, us / 64 + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ExactQuantilesOnExactRange) {
+  // 1..100 us: all in the exact range, so quantiles are exact order
+  // statistics (rank = ceil(q * n)).
+  LatencyHistogram h;
+  for (int us = 1; us <= 100; ++us) h.add(us / 1000.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 0.050);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.099);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 0.100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 0.001);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.100);
+}
+
+TEST(Histogram, QuantileOfSingleValue) {
+  LatencyHistogram h;
+  h.add(0.042);  // 42 us
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.042);
+  }
+}
+
+TEST(Histogram, NegativeLatencyClampsToZeroBucket) {
+  LatencyHistogram h;
+  h.add(-1.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Merge: associativity and shard bit-identity
+// ---------------------------------------------------------------------------
+
+std::vector<double> sample_latencies() {
+  std::vector<double> ms;
+  for (int i = 1; i <= 500; ++i) ms.push_back(0.37 * i);
+  ms.push_back(12345.678);
+  ms.push_back(0.0001);
+  return ms;
+}
+
+TEST(Histogram, MergeMatchesSingleHistogram) {
+  const auto ms = sample_latencies();
+  LatencyHistogram whole;
+  for (double v : ms) whole.add(v);
+
+  // Any shard split merges back to the identical histogram.
+  for (std::size_t shards : {2u, 3u, 7u}) {
+    std::vector<LatencyHistogram> parts(shards);
+    for (std::size_t i = 0; i < ms.size(); ++i) parts[i % shards].add(ms[i]);
+    LatencyHistogram merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged, whole);
+    EXPECT_EQ(merged.encode(), whole.encode());
+  }
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 50; ++i) a.add(0.1 * i);
+  for (int i = 0; i < 50; ++i) b.add(3.0 + 0.5 * i);
+  for (int i = 0; i < 50; ++i) c.add(100.0 * i);
+
+  LatencyHistogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.encode(), a_bc.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EncodeDecodeRoundTrips) {
+  LatencyHistogram h;
+  for (double v : sample_latencies()) h.add(v);
+  const LatencyHistogram back = LatencyHistogram::decode(h.encode());
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_DOUBLE_EQ(back.quantile(0.999), h.quantile(0.999));
+}
+
+TEST(Histogram, EmptyEncodesToEmptyString) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.encode(), "");
+  EXPECT_TRUE(LatencyHistogram::decode("").empty());
+}
+
+TEST(Histogram, DecodeRejectsMalformedInput) {
+  EXPECT_THROW(LatencyHistogram::decode("abc"), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram::decode("1:"), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram::decode(":5"), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram::decode("1:0"), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram::decode("1:2;x:3"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bamboo::util

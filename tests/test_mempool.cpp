@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "mempool/mempool.h"
 
 namespace bamboo {
@@ -134,6 +136,57 @@ TEST(Mempool, CountersAccumulate) {
   pool.recycle({tx(3)});
   EXPECT_EQ(pool.rejected_count(), 1u);
   EXPECT_EQ(pool.recycled_count(), 1u);
+  EXPECT_EQ(pool.admitted_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission policies
+// ---------------------------------------------------------------------------
+
+TEST(Mempool, ParseAdmissionAcceptsTheThreePolicies) {
+  const auto drop = mempool::parse_admission("drop");
+  EXPECT_EQ(drop.policy, mempool::AdmissionPolicy::kDrop);
+  EXPECT_EQ(mempool::parse_admission("").policy,
+            mempool::AdmissionPolicy::kDrop);
+
+  const auto backoff = mempool::parse_admission("backoff:12.5");
+  EXPECT_EQ(backoff.policy, mempool::AdmissionPolicy::kBackoff);
+  EXPECT_DOUBLE_EQ(backoff.backoff_ms, 12.5);
+
+  const auto prio = mempool::parse_admission("priority:0.1");
+  EXPECT_EQ(prio.policy, mempool::AdmissionPolicy::kPriority);
+  EXPECT_DOUBLE_EQ(prio.reserve_frac, 0.1);
+}
+
+TEST(Mempool, ParseAdmissionRejectsHalfSpecifiedSpecs) {
+  EXPECT_THROW(mempool::parse_admission("backoff"), std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("backoff:"), std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("backoff:0"), std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("priority"), std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("priority:1"), std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("priority:-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(mempool::parse_admission("fifo"), std::invalid_argument);
+}
+
+TEST(Mempool, PriorityReservesRecycleHeadroom) {
+  // capacity 10, reserve 20% -> add_new sees 8 slots; recycle sees all 10.
+  mempool::Mempool pool(10, mempool::parse_admission("priority:0.2"));
+  for (std::uint64_t i = 1; i <= 10; ++i) pool.add_new(tx(i));
+  EXPECT_EQ(pool.size(), 8u);
+  EXPECT_EQ(pool.rejected_count(), 2u);
+  // Recycled (in-flight, timed-out) transactions may use the reserve.
+  EXPECT_EQ(pool.recycle({tx(11), tx(12), tx(13)}), 2u);
+  EXPECT_EQ(pool.size(), 10u);
+}
+
+TEST(Mempool, BackoffPolicyStillBoundsCapacity) {
+  // The backoff policy changes the client hint, not pool behavior.
+  mempool::Mempool pool(2, mempool::parse_admission("backoff:5"));
+  EXPECT_TRUE(pool.add_new(tx(1)));
+  EXPECT_TRUE(pool.add_new(tx(2)));
+  EXPECT_FALSE(pool.add_new(tx(3)));
+  EXPECT_DOUBLE_EQ(pool.admission().backoff_ms, 5.0);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// Tests for the open-loop load engine and mempool backpressure: the
+// arrival DSL, Poisson/fixed/burst/trace schedules, the million-client
+// session population, admission accounting in RunResult, determinism
+// across repeats and thread counts, and — critically — pinned captures
+// proving the default closed-loop paths draw the exact same schedule as
+// before the open-loop engine existed.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+
+namespace bamboo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival DSL
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalDsl, ParsesEveryProcessKind) {
+  EXPECT_EQ(client::parse_arrival("").kind,
+            client::ArrivalProcess::Kind::kPoisson);
+  EXPECT_EQ(client::parse_arrival("poisson").kind,
+            client::ArrivalProcess::Kind::kPoisson);
+  EXPECT_EQ(client::parse_arrival("fixed").kind,
+            client::ArrivalProcess::Kind::kFixed);
+
+  const auto burst = client::parse_arrival("burst:1x0.5,4x0.1");
+  EXPECT_EQ(burst.kind, client::ArrivalProcess::Kind::kBurst);
+  ASSERT_EQ(burst.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(burst.phases[1].value, 4.0);
+  EXPECT_DOUBLE_EQ(burst.cycle_s, 0.6);
+
+  const auto trace = client::parse_arrival("trace:500@1,2000@0.5");
+  EXPECT_EQ(trace.kind, client::ArrivalProcess::Kind::kTrace);
+  ASSERT_EQ(trace.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.phases[0].value, 500.0);
+}
+
+TEST(ArrivalDsl, RejectsHalfSpecifiedAndMalformedSpecs) {
+  // The churn-DSL strictness contract: half-specified throws, never
+  // silently defaults.
+  EXPECT_THROW(client::parse_arrival("burst"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("burst:"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("burst:2"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("burst:2x"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("burst:2x0.5,"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("burst:0x0.5"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("trace"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("trace:100"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("trace:-5@1"), std::invalid_argument);
+  EXPECT_THROW(client::parse_arrival("bogus"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop schedules
+// ---------------------------------------------------------------------------
+
+harness::RunSpec open_spec(const std::string& arrival, double rate_tps,
+                           std::uint64_t seed = 7) {
+  harness::RunSpec spec;
+  spec.cfg.protocol = "hotstuff";
+  spec.cfg.bsize = 100;
+  spec.cfg.seed = seed;
+  spec.workload.mode = client::LoadMode::kOpenLoop;
+  spec.workload.arrival = arrival;
+  spec.workload.arrival_rate_tps = rate_tps;
+  spec.opts.warmup_s = 0.2;
+  spec.opts.measure_s = 1.0;
+  return spec;
+}
+
+TEST(OpenLoop, PoissonOfferedRateMatchesLambda) {
+  // First-moment check: over a 1 s window at λ = 5000/s the measured
+  // offered rate concentrates near λ (sd ≈ √5000 ≈ 71/s, so ±5% is > 3σ).
+  const harness::RunResult r = harness::execute(open_spec("poisson", 5000));
+  EXPECT_NEAR(r.offered_tps, 5000, 250);
+  EXPECT_GT(r.throughput_tps, 0);
+}
+
+TEST(OpenLoop, FixedArrivalsAreMetronomic) {
+  // Deterministic 1/λ spacing: the window holds λ·t ± 1 arrivals exactly.
+  const harness::RunResult r = harness::execute(open_spec("fixed", 2000));
+  EXPECT_NEAR(r.offered_tps * r.measured_s, 2000 * r.measured_s, 2.0);
+}
+
+TEST(OpenLoop, BurstRaisesOfferedAboveBase) {
+  // 4x multiplier half the cycle: mean offered ≈ 2.5x base.
+  const harness::RunResult r =
+      harness::execute(open_spec("burst:1x0.1,4x0.1", 2000));
+  EXPECT_GT(r.offered_tps, 2000 * 1.8);
+  EXPECT_LT(r.offered_tps, 2000 * 3.2);
+}
+
+TEST(OpenLoop, TraceReplayIsDeterministic) {
+  const harness::RunSpec spec = open_spec("trace:1000@0.5,4000@0.5", 1000);
+  const harness::RunResult a = harness::execute(spec);
+  const harness::RunResult b = harness::execute(spec);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.latency_hist.empty());
+}
+
+TEST(OpenLoop, ClientPopulationKeepsDeterminismAndSpreadsSessions) {
+  harness::RunSpec spec = open_spec("poisson", 3000);
+  spec.workload.client_population = 1'000'000;
+  const harness::RunResult a = harness::execute(spec);
+  const harness::RunResult b = harness::execute(spec);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.throughput_tps, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram plumbing in RunResult
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoop, HistogramQuantilesTrackSampleQuantiles) {
+  const harness::RunResult r = harness::execute(open_spec("poisson", 3000));
+  ASSERT_GT(r.latency_samples, 100u);
+  // Same underlying completions, two estimators: the histogram quantile
+  // is within its bucket resolution (1/64) of the sorted-sample one.
+  EXPECT_NEAR(r.hist_p50_ms, r.latency_ms_p50, r.latency_ms_p50 * 0.05);
+  EXPECT_NEAR(r.hist_p99_ms, r.latency_ms_p99, r.latency_ms_p99 * 0.05);
+  EXPECT_GE(r.hist_p999_ms, r.hist_p99_ms);
+  EXPECT_GE(r.hist_p99_ms, r.hist_p50_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Admission accounting (mempool backpressure -> RunResult)
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoop, OverloadAgainstBoundedPoolRejects) {
+  // Load spreads uniformly over the 4 replica pools, so overload needs
+  // λ/4 to outrun each pool's drain rate: deep overload + a tiny pool.
+  harness::RunSpec spec = open_spec("poisson", 80000);
+  spec.cfg.memsize = 500;
+  const harness::RunResult r = harness::execute(spec);
+  EXPECT_GT(r.mem_admitted, 0u);
+  EXPECT_GT(r.mem_rejected, 0u);
+  // Goodput decouples from offered load: the overload signature.
+  EXPECT_LT(r.throughput_tps, r.offered_tps);
+}
+
+TEST(OpenLoop, AdmissionPolicyReachesReplicaPools) {
+  harness::RunSpec spec = open_spec("poisson", 80000);
+  spec.cfg.memsize = 500;
+  spec.cfg.admission = "priority:0.2";
+  const harness::RunResult r = harness::execute(spec);
+  // The reserve shrinks the add_new capacity, so rejections start earlier.
+  EXPECT_GT(r.mem_rejected, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+}
+
+TEST(ClosedLoop, BackoffHintDelaysRetriesWithoutStalling) {
+  harness::RunSpec spec;
+  spec.cfg.protocol = "hotstuff";
+  spec.cfg.bsize = 100;
+  spec.cfg.memsize = 50;
+  spec.cfg.admission = "backoff:10";
+  spec.cfg.seed = 5;
+  // ~concurrency/4 outstanding per replica pool >> its 50-slot capacity.
+  spec.workload.concurrency = 800;
+  spec.opts.warmup_s = 0.2;
+  spec.opts.measure_s = 1.0;
+  const harness::RunResult r = harness::execute(spec);
+  EXPECT_GT(r.mem_rejected, 0u);     // the pool pushed back
+  EXPECT_GT(r.throughput_tps, 0);    // clients kept making progress
+  EXPECT_TRUE(r.consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across repeats and thread counts
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoop, ThreadCountDoesNotChangeResults) {
+  std::vector<harness::RunSpec> grid;
+  grid.push_back(open_spec("poisson", 4000));
+  grid.push_back(open_spec("burst:1x0.1,3x0.1", 3000));
+  grid.push_back(open_spec("trace:2000@0.4,6000@0.4", 1000));
+  grid[1].workload.client_population = 1'000'000;
+  grid[1].cfg.memsize = 500;
+
+  harness::ParallelRunner one(harness::RunnerOptions{1});
+  harness::ParallelRunner four(harness::RunnerOptions{4});
+  const auto a = one.run_repeated_grid(grid, 2, {});
+  const auto b = four.run_repeated_grid(grid, 2, {});
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].result, b.jobs[i].result) << "job " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned compatibility: the defaults draw the legacy schedule
+// ---------------------------------------------------------------------------
+
+TEST(PinnedOpenLoop, ExplicitDefaultsMatchImplicitDefaults) {
+  // arrival="poisson", client_population=0, admission="drop" must be
+  // no-ops: bit-identical RunResults to a spec that never mentions them.
+  harness::RunSpec implicit;
+  implicit.cfg.protocol = "hotstuff";
+  implicit.cfg.seed = 42;
+  implicit.workload.concurrency = 32;
+  implicit.opts.warmup_s = 0.2;
+  implicit.opts.measure_s = 0.8;
+
+  harness::RunSpec explicit_spec = implicit;
+  explicit_spec.workload.arrival = "poisson";
+  explicit_spec.workload.client_population = 0;
+  explicit_spec.cfg.admission = "drop";
+  EXPECT_EQ(harness::execute(implicit), harness::execute(explicit_spec));
+
+  // Same for the legacy open loop.
+  harness::RunSpec open_implicit = implicit;
+  open_implicit.workload.mode = client::LoadMode::kOpenLoop;
+  open_implicit.workload.arrival_rate_tps = 2000;
+  harness::RunSpec open_explicit = open_implicit;
+  open_explicit.workload.arrival = "poisson";
+  open_explicit.cfg.admission = "drop";
+  EXPECT_EQ(harness::execute(open_implicit),
+            harness::execute(open_explicit));
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -10,6 +10,12 @@
 3. Every `bench_<name>` mentioned anywhere in the docs must correspond to
    an existing bench source — catches stale binary names left behind by
    renames.
+4. Handbook docs that other docs are contractually required to link
+   (REQUIRED_DOC_LINKS) must exist and be linked from each named page.
+5. Every recipe line inside a fenced code block that invokes a
+   `build/bench_*` binary must name an existing bench and use only flags
+   the shared CLI (or bench_perf's own CLI) actually accepts — catches
+   handbook recipes that rot as flags are renamed.
 
 Usage: check_docs.py [repo-root]   (default: the parent of this script)
 """
@@ -23,10 +29,23 @@ SKIP_DIRS = {".git", "build", ".claude", "node_modules"}
 NON_FIGURE_BENCHES = {"bench_merge", "bench_micro", "bench_perf"}
 # Benches the docs may reference as FUTURE work (ROADMAP items) without a
 # source existing yet; remove an entry once its bench lands.
-PLANNED_BENCHES = {"bench_fig18_overload"}
+PLANNED_BENCHES = set()
+
+# Doc -> pages that must link to it (paths relative to the repo root).
+REQUIRED_DOC_LINKS = {
+    "docs/OVERLOAD.md": ["README.md", "docs/ARCHITECTURE.md"],
+}
+
+# Flags bench_common.h's parse_args accepts (every figure bench + tools).
+KNOWN_BENCH_FLAGS = {"--full", "--threads", "--seed", "--reps", "--duration",
+                     "--out", "--format", "--shard", "--help"}
+# bench_perf has its own CLI.
+KNOWN_PERF_FLAGS = {"--quick", "--out", "--label", "--baseline", "--help"}
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BENCH_REF_RE = re.compile(r"\b(bench_[a-z0-9_]+)\b")
+RECIPE_RE = re.compile(r"(?:^|[\s./])build/(bench_[a-z0-9_]+)(\s[^\n]*)?$")
+FLAG_RE = re.compile(r"(--[a-z-]+)")
 
 
 def md_files(root):
@@ -105,6 +124,60 @@ def check_stale_bench_refs(root, benches):
     return errors
 
 
+def check_required_doc_links(root):
+    errors = []
+    for doc, pages in sorted(REQUIRED_DOC_LINKS.items()):
+        doc_path = os.path.join(root, doc)
+        if not os.path.exists(doc_path):
+            errors.append(f"{doc}: required handbook doc does not exist")
+            continue
+        doc_name = os.path.basename(doc)
+        for page in pages:
+            page_path = os.path.join(root, page)
+            with open(page_path, encoding="utf-8") as f:
+                targets = LINK_RE.findall(f.read())
+            if not any(t.split("#")[0].endswith(doc_name) for t in targets):
+                errors.append(f"{page}: must link to {doc}")
+    return errors
+
+
+def fenced_lines(text):
+    """Lines inside ``` fences, with the fence markers themselves skipped."""
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield line
+
+
+def check_recipes(root, benches):
+    errors = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        rel = os.path.relpath(path, root)
+        for line in fenced_lines(text):
+            match = RECIPE_RE.search(line)
+            if not match:
+                continue
+            bench, tail = match.group(1), match.group(2) or ""
+            if bench not in benches:
+                errors.append(
+                    f"{rel}: recipe invokes '{bench}' but there is no "
+                    f"bench/{bench}.cpp")
+                continue
+            known = (KNOWN_PERF_FLAGS if bench == "bench_perf"
+                     else KNOWN_BENCH_FLAGS)
+            for flag in FLAG_RE.findall(tail):
+                if flag not in known:
+                    errors.append(
+                        f"{rel}: recipe for {bench} uses unknown flag "
+                        f"'{flag}' (known: {', '.join(sorted(known))})")
+    return errors
+
+
 def main():
     root = os.path.abspath(
         sys.argv[1]
@@ -116,13 +189,16 @@ def main():
         check_links(root)
         + check_readme_matrix(root, benches)
         + check_stale_bench_refs(root, benches)
+        + check_required_doc_links(root)
+        + check_recipes(root, benches)
     )
     if errors:
         for err in errors:
             print(f"error: {err}", file=sys.stderr)
         print(f"\n{len(errors)} docs error(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, README matrix covers every bench binary")
+    print("docs OK: links resolve, README matrix covers every bench "
+          "binary, required handbook links present, recipes runnable")
     return 0
 
 

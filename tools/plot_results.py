@@ -14,7 +14,11 @@ and renders one SVG per figure/table into --svg-dir:
   - recovery artifacts (aggregate rows whose name contains ``recovery``,
     e.g. bench_fig17_recovery) -> a recovery-latency panel: ``recovery_ms``
     and ``sync_requests`` vs the ``offered`` label (the sync_batch sweep),
-    one line per series.
+    one line per series;
+  - overload artifacts (aggregate rows whose name contains ``fig18``,
+    from bench_fig18_overload) -> a saturation panel: goodput vs measured
+    offered load against the ideal diagonal, plus histogram-exact
+    p99/p999 tails vs offered on a log axis.
 * free-form side tables (no ``kind`` column) -> first column as x, every
   other numeric column as a line.
 
@@ -101,6 +105,8 @@ def classify(rows: list[dict], name: str = "") -> str:
     if "aggregate" in kinds:
         if "recovery" in name and "recovery_ms" in rows[0]:
             return "recovery"
+        if "fig18" in name and "hist_p999_ms" in rows[0]:
+            return "saturation"
         return "sweep"
     return "runs"
 
@@ -188,6 +194,42 @@ def plot_recovery(plt, artifact: dict, out_path: Path) -> None:
     for ax in (ax_rec, ax_req):
         ax.grid(True, alpha=0.3)
     ax_rec.legend(fontsize=7)
+    fig.suptitle(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def plot_saturation(plt, artifact: dict, out_path: Path) -> None:
+    """Overload panel (bench_fig18_overload): goodput vs offered load with
+    the ideal goodput == offered diagonal, and the histogram-exact tail
+    quantiles (p99, p999) vs offered load on a log axis. The gap between
+    the diagonal and a series' curve is the shed load; the tail panel shows
+    where the latency distribution detonates past the knee."""
+    grouped = series_of(artifact["rows"], "aggregate")
+    fig, (ax_good, ax_tail) = plt.subplots(1, 2, figsize=(11, 4.2))
+    max_offered = 0.0
+    for label, rows in grouped.items():
+        offered = [o / 1e3 for o in floats(rows, "offered_tps")]
+        max_offered = max(max_offered, *offered, 0.0)
+        goodput = [t / 1e3 for t in floats(rows, "throughput_tps")]
+        ax_good.plot(offered, goodput, marker="o", label=label)
+        ax_tail.plot(offered, floats(rows, "hist_p99_ms"), marker="o",
+                     label=f"{label} p99")
+        ax_tail.plot(offered, floats(rows, "hist_p999_ms"), marker=".",
+                     linestyle="--", label=f"{label} p999")
+    if max_offered > 0:
+        ax_good.plot([0, max_offered], [0, max_offered], color="gray",
+                     linestyle=":", alpha=0.6, label="ideal")
+    ax_good.set_xlabel("offered (KTx/s)")
+    ax_good.set_ylabel("goodput (KTx/s)")
+    ax_tail.set_xlabel("offered (KTx/s)")
+    ax_tail.set_ylabel("latency (ms), histogram-exact")
+    ax_tail.set_yscale("log")
+    for ax in (ax_good, ax_tail):
+        ax.grid(True, alpha=0.3)
+    ax_good.legend(fontsize=7)
+    ax_tail.legend(fontsize=6, ncol=2)
     fig.suptitle(artifact["name"])
     fig.tight_layout()
     fig.savefig(out_path)
@@ -346,7 +388,8 @@ def main() -> int:
     out_dir = Path(args.svg_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     renderers = {"sweep": plot_sweep, "timeline": plot_timeline,
-                 "recovery": plot_recovery, "table": plot_table}
+                 "recovery": plot_recovery, "saturation": plot_saturation,
+                 "table": plot_table}
     written = 0
     for key, shape, artifact in plan:
         if shape == "runs":
