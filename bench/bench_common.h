@@ -341,6 +341,7 @@ inline const char* short_name(const std::string& protocol) {
   if (protocol == "2chs") return "2CHS";
   if (protocol == "streamlet") return "SL";
   if (protocol == "fasthotstuff") return "FHS";
+  if (protocol == "fnfbft") return "FnF";
   if (protocol == "ohs") return "OHS";
   return protocol.c_str();
 }

@@ -33,12 +33,14 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
           simulator,
           pacemaker::Pacemaker::Settings{config.timeout,
                                          config.timeout_backoff,
-                                         config.max_timeout},
+                                         config.max_timeout,
+                                         election.width()},
           pacemaker::Pacemaker::Callbacks{
               [this](View v) { broadcast_timeout(v); },
               [this](View v, pacemaker::AdvanceReason r) {
                 enter_view(v, r);
-              }}),
+              },
+              [this](View v, types::Slot s) { on_slot_stuck(v, s); }}),
       syncer_(simulator, forest_,
               sync::Syncer::Settings{config.sync_batch, config.sync_timeout,
                                      config.sync_retries},
@@ -190,6 +192,10 @@ sim::Duration Replica::cost_of(const types::Message& msg) {
       }
       return cost;
     }
+    sim::Duration operator()(const types::QcMsg& m) const {
+      // The carried quorum of signatures, under the strategy cost model.
+      return cfg.cpu_verify + self.charge_qc(m.qc);
+    }
   };
   return std::visit(Visitor{*this, cfg_}, msg);
 }
@@ -281,7 +287,17 @@ void Replica::dispatch(const net::Envelope& env) {
     syncer_.on_request(std::get<types::ChainRequestMsg>(msg), env.from);
   } else if (std::holds_alternative<types::ChainResponseMsg>(msg)) {
     syncer_.on_response(std::get<types::ChainResponseMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::QcMsg>(msg)) {
+    on_qc_msg(std::get<types::QcMsg>(msg), env.from);
   }
+}
+
+void Replica::on_qc_msg(const types::QcMsg& m, NodeId from) {
+  // A broadcast certificate from a slot leader: full ingress verification
+  // before any state transition, like every other certificate path.
+  if (m.qc.is_genesis() || !verify_qc(m.qc)) return;
+  note_public_qc(m.qc);
+  process_qc(m.qc, from);
 }
 
 void Replica::echo(const MessagePtr& msg, View view,
@@ -325,9 +341,12 @@ void Replica::on_proposal(const types::ProposalMsg& p, NodeId from,
   const BlockPtr& block = p.block;
 
   if (!self) {
-    // Authenticity + leadership checks.
-    if (p.sig.signer != block->proposer() ||
-        block->proposer() != election_.leader(block->view()) ||
+    // Authenticity + leadership checks, per slot: single-leader elections
+    // only ever see slot 0, where slot_leader degenerates to leader().
+    if (block->slot() >= election_.width() ||
+        p.sig.signer != block->proposer() ||
+        block->proposer() !=
+            election_.slot_leader(block->view(), block->slot()) ||
         !keys_.verify(p.sig, block->hash())) {
       return;
     }
@@ -354,6 +373,10 @@ void Replica::on_proposal(const types::ProposalMsg& p, NodeId from,
         apply_qc(*qc);
       }
       maybe_vote(p);
+      // Multi-leader pipelining: if we lead the NEXT slot of this view, we
+      // extend this block optimistically (before its QC forms) — one
+      // network hop per slot block instead of two.
+      if (election_.width() > 1) maybe_propose_slot(block);
       retry_pending_proposals();
       break;
     }
@@ -401,13 +424,25 @@ void Replica::maybe_vote(const types::ProposalMsg& p) {
   const ProtocolContext ctx = context();
   if (!safety_->should_vote(p, ctx)) return;
   safety_->did_vote(*block);
+  if (safety_->multi_leader() &&
+      (!slot_voted_tip_ || block->view() > slot_voted_tip_->view() ||
+       (block->view() == slot_voted_tip_->view() &&
+        block->slot() > slot_voted_tip_->slot()))) {
+    slot_voted_tip_ = block;
+  }
 
   types::VoteMsg vote;
   vote.view = block->view();
   vote.height = block->height();
+  vote.slot = block->slot();
   vote.block_hash = block->hash();
+  // Multi-leader protocols route each vote to the voted block's own
+  // proposer (every slot leader aggregates the QCs for its own blocks).
+  const NodeId collector = safety_->multi_leader()
+                               ? block->proposer()
+                               : election_.leader(vote.view + 1);
 
-  enqueue_cpu(cfg_.cpu_sign, [this, vote]() mutable {
+  enqueue_cpu(cfg_.cpu_sign, [this, vote, collector]() mutable {
     vote.sig = keys_.sign(id_, types::vote_digest(vote.view, vote.block_hash));
     ++stats_.votes_sent;
     if (safety_->broadcast_votes()) {
@@ -415,11 +450,10 @@ void Replica::maybe_vote(const types::ProposalMsg& p) {
       net_.broadcast(id_, cfg_.n_replicas, msg);
       on_vote(vote, id_);  // count our own vote
     } else {
-      const NodeId next_leader = election_.leader(vote.view + 1);
-      if (next_leader == id_) {
+      if (collector == id_) {
         on_vote(vote, id_);
       } else {
-        net_.send(id_, next_leader, types::make_message(vote));
+        net_.send(id_, collector, types::make_message(vote));
       }
     }
   });
@@ -431,6 +465,14 @@ void Replica::on_vote(const types::VoteMsg& v, NodeId from) {
     return;
   }
   if (auto qc = votes_.add(v)) {
+    // Multi-leader: single-leader protocols disseminate a fresh QC inside
+    // the next proposal, but a slot leader's successor may already have
+    // proposed (optimistic chaining), so the collector broadcasts the QC
+    // explicitly. Every recipient re-verifies it at ingress (on_qc_msg).
+    if (safety_->multi_leader()) {
+      net_.broadcast(id_, cfg_.n_replicas,
+                     types::make_message(types::QcMsg{*qc}));
+    }
     // Forming the certificate from n-f verified votes costs real CPU under
     // the strategy cost model; charge it before the QC's transitions run.
     // Zero cost (the default) keeps the legacy inline path event-for-event.
@@ -455,7 +497,15 @@ void Replica::process_qc(const types::QuorumCert& qc, NodeId from) {
   // what carries us into view v+1, and commits it unlocks are observed
   // *during* that view (this ordering is what makes measured block
   // intervals start at 3 for HotStuff and 2 for 2CHS, as in Fig. 13).
-  pacemaker_.on_qc(qc.view);
+  // Multi-leader: only the FINAL slot's QC ends the view; a mid-view QC
+  // resets that slot's timer (and catches a lagging replica up into the
+  // view) without advancing past it. Width-1 elections always take the
+  // first branch (slot 0 is the final slot), byte-identical to before.
+  if (qc.slot + 1 >= election_.width()) {
+    pacemaker_.on_qc(qc.view);
+  } else {
+    pacemaker_.on_slot_qc(qc.view, qc.slot);
+  }
   if (forest_.contains(qc.block_hash)) {
     if (fresh) apply_qc(qc);
   } else {
@@ -655,6 +705,101 @@ void Replica::do_propose(View view) {
     types::ProposalMsg p;
     p.block = block;
     if (last_tc_ && last_tc_->view + 1 == view) p.tc = *last_tc_;
+    p.sig = keys_.sign(id_, block->hash());
+
+    last_proposed_view_ = view;
+    ++stats_.blocks_proposed;
+
+    net_.broadcast(id_, cfg_.n_replicas, types::make_message(p));
+    on_proposal(p, id_, /*self=*/true);
+  });
+}
+
+void Replica::maybe_propose_slot(const BlockPtr& prev) {
+  // Multi-leader pipelining: `prev` (the slot s block of its view) just
+  // connected; if we lead slot s+1 of the same view, extend it now —
+  // optimistically, without waiting for prev's QC.
+  const View view = prev->view();
+  const types::Slot next = prev->slot() + 1;
+  if (next >= election_.width()) return;
+  if (election_.slot_leader(view, next) != id_) return;
+  if (crashed_ || view != pacemaker_.current_view()) return;
+  if (view <= last_proposed_view_) return;
+  if (strategy_ == ByzStrategy::kSilence) return;  // the silence attack
+  do_propose_slot(view, next, prev);
+}
+
+void Replica::on_slot_stuck(View view, types::Slot stuck) {
+  if (crashed_ || view != pacemaker_.current_view()) return;
+  if (election_.width() <= 1) return;
+  if (view <= last_proposed_view_) return;
+  if (strategy_ == ByzStrategy::kSilence) return;
+  // Only the immediate successor repairs the pipeline — later leaders
+  // proposing concurrently would split the (view, slot)-monotone vote.
+  const types::Slot mine = stuck + 1;
+  if (mine >= election_.width()) return;
+  if (election_.slot_leader(view, mine) != id_) return;
+  // do_propose_slot picks the parent (our voted tip of this view, else
+  // the certified tip) — exactly the skip-over-the-bad-slot rule.
+  do_propose_slot(view, mine, nullptr);
+}
+
+void Replica::do_propose_slot(View view, types::Slot slot, BlockPtr prev) {
+  const std::size_t batch =
+      std::min<std::size_t>(cfg_.bsize, mempool_.size());
+  const sim::Duration cost =
+      cfg_.cpu_sign +
+      static_cast<sim::Duration>(batch) * cfg_.cpu_validate_per_tx;
+
+  enqueue_cpu(cost, [this, view, slot, prev] {
+    if (crashed_ || pacemaker_.current_view() != view ||
+        view <= last_proposed_view_) {
+      return;  // the view moved on while we were queued
+    }
+    // An honest slot leader extends the last block it *voted for* in this
+    // view, not blindly the slot s-1 block: if that block was an
+    // equivocating fork the replica refused, the new block skips the bad
+    // slot and chains the view's honest prefix instead. The slot gap is
+    // safe — votes are (view, slot)-monotone and the commit rule
+    // certifies whole prefixes — and it restores liveness: without the
+    // skip a single forking slot leader poisons every later slot of the
+    // view and the final-slot QC can never form. When nothing of this
+    // view was votable at all, fall back to the certified tip the slot-0
+    // proposal rule uses.
+    BlockPtr parent = prev;
+    if (slot_voted_tip_ && slot_voted_tip_->view() == view) {
+      parent = slot_voted_tip_;
+    } else if (BlockPtr certified = forest_.high_qc_block()) {
+      parent = std::move(certified);
+    }
+    // The protocol owns the justification choice (FnF-BFT: the forest's
+    // high QC — the freshest certificate this slot leader holds).
+    types::QuorumCert justify = forest_.high_qc();
+    if (const auto plan = safety_->plan_slot_proposal(view, slot, context())) {
+      justify = plan->justify;
+    }
+    if (strategy_ != ByzStrategy::kHonest) {
+      // Byzantine slot leaders run the same attack planner as slot-0
+      // leaders (forking from the public high QC, forging the justify).
+      const auto plan = plan_with_attack(view);
+      if (!plan) return;
+      parent = plan->parent;
+      justify = plan->justify;
+    }
+    if (!parent || !forest_.contains(parent->hash())) return;
+
+    types::Block::Fields fields;
+    fields.parent_hash = parent->hash();
+    fields.view = view;
+    fields.height = parent->height() + 1;
+    fields.slot = slot;
+    fields.proposer = id_;
+    fields.justify = justify;
+    fields.txns = mempool_.take(cfg_.bsize);
+
+    auto block = std::make_shared<const types::Block>(std::move(fields));
+    types::ProposalMsg p;
+    p.block = block;
     p.sig = keys_.sign(id_, block->hash());
 
     last_proposed_view_ = view;

@@ -145,6 +145,8 @@ class Replica {
   void on_proposal(const types::ProposalMsg& p, types::NodeId from,
                    bool self);
   void on_vote(const types::VoteMsg& v, types::NodeId from);
+  /// Broadcast QC from a multi-leader slot collector (ingress-verified).
+  void on_qc_msg(const types::QcMsg& m, types::NodeId from);
   /// Track the highest QC that travelled over the wire (i.e. is known to
   /// honest replicas) separately from QCs this replica formed itself as a
   /// vote collector — the distinction the forking attacker exploits.
@@ -161,6 +163,17 @@ class Replica {
   void enter_view(types::View view, pacemaker::AdvanceReason reason);
   void try_propose(types::View view, pacemaker::AdvanceReason reason);
   void do_propose(types::View view);
+  /// Multi-leader chaining: called when a slot block connects; proposes
+  /// the next slot of the same view if this replica leads it.
+  void maybe_propose_slot(const types::BlockPtr& prev);
+  /// Multi-leader pipeline repair: slot `stuck` has shown no certificate
+  /// for half a timeout window (withheld, lost, or rejected at ingress —
+  /// a forged-justify block never connects, so the connect-trigger chain
+  /// breaks there). If this replica leads the immediate successor slot,
+  /// propose over the stuck slot now.
+  void on_slot_stuck(types::View view, types::Slot stuck);
+  void do_propose_slot(types::View view, types::Slot slot,
+                       types::BlockPtr prev);
   [[nodiscard]] std::optional<ProposalPlan> plan_with_attack(types::View view);
   void maybe_vote(const types::ProposalMsg& p);
   void process_qc(const types::QuorumCert& qc, types::NodeId from);
@@ -212,6 +225,11 @@ class Replica {
   types::View last_proposed_view_ = 0;
   types::View last_timeout_sent_ = 0;
   types::QuorumCert public_high_qc_;  ///< highest QC seen on the wire
+  /// Multi-leader: the highest-(view, slot) block this replica voted for.
+  /// An honest slot leader extends this tip, not blindly the previous
+  /// slot's block — so one equivocating slot leader is skipped instead of
+  /// dragging the rest of the view's slot chain onto an unvotable fork.
+  types::BlockPtr slot_voted_tip_;
   std::optional<types::TimeoutCert> last_tc_;
   std::unordered_map<crypto::Digest, types::ProposalMsg> pending_proposals_;
   std::map<types::View, std::unordered_set<crypto::Digest>> echo_seen_;

@@ -17,6 +17,21 @@ struct ProposalPlan {
   types::QuorumCert justify;
 };
 
+/// One proposal opportunity: single-leader protocols propose exactly once
+/// per view (slot 0); multi-leader protocols give each of the view's W
+/// slot leaders its own slot.
+struct SlotRef {
+  types::View view = 0;
+  types::Slot slot = 0;
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+  /// Lexicographic (view, slot) order — the multi-leader "newer than" used
+  /// by voting rules.
+  friend bool operator<(const SlotRef& a, const SlotRef& b) {
+    return a.view != b.view ? a.view < b.view : a.slot < b.slot;
+  }
+};
+
 /// Read-only view of replica state handed to the safety rules.
 struct ProtocolContext {
   types::NodeId id;
@@ -46,6 +61,15 @@ class SafetyProtocol {
   [[nodiscard]] virtual std::optional<ProposalPlan> plan_proposal(
       types::View view, const ProtocolContext& ctx) = 0;
 
+  /// Multi-leader Proposing rule: the plan for one slot of `view`. The
+  /// default forwards to the single-leader rule (slot 0 is the only slot
+  /// a width-1 election ever asks for), so existing protocols need not
+  /// know slots exist.
+  [[nodiscard]] virtual std::optional<ProposalPlan> plan_slot_proposal(
+      types::View view, types::Slot /*slot*/, const ProtocolContext& ctx) {
+    return plan_proposal(view, ctx);
+  }
+
   /// Voting rule: whether to vote for this proposal. Must be side-effect
   /// free; the engine calls did_vote() after it actually votes.
   [[nodiscard]] virtual bool should_vote(const types::ProposalMsg& proposal,
@@ -66,6 +90,11 @@ class SafetyProtocol {
       const types::QuorumCert& qc, const ProtocolContext& ctx) = 0;
 
   // --- protocol shape switches -------------------------------------------
+
+  /// Multi-leader protocols (FnF-BFT) run one proposer per slot and route
+  /// votes to each block's own proposer; they require an election whose
+  /// width() matches their expectations (validated at cluster start).
+  [[nodiscard]] virtual bool multi_leader() const { return false; }
 
   /// Streamlet broadcasts votes; the HotStuff family sends them to the next
   /// leader.

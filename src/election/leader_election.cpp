@@ -26,6 +26,31 @@ std::unique_ptr<LeaderElection> make_election(const std::string& spec,
   if (spec == "hash") {
     return std::make_unique<HashElection>(seed, num_replicas);
   }
+  if (spec.rfind("multi:", 0) == 0) {
+    const std::string body = spec.substr(6);
+    const std::size_t colon = body.find(':');
+    types::Slot width = 0;
+    types::View epoch_len = 16;
+    try {
+      width = static_cast<types::Slot>(
+          std::stoul(body.substr(0, colon)));
+      if (colon != std::string::npos) {
+        epoch_len = std::stoull(body.substr(colon + 1));
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad multi-leader election spec: " + spec);
+    }
+    if (width == 0 || width > num_replicas) {
+      throw std::invalid_argument(
+          "multi-leader width must be in [1, n_replicas]: " + spec);
+    }
+    if (epoch_len == 0) {
+      throw std::invalid_argument(
+          "multi-leader epoch length must be >= 1: " + spec);
+    }
+    return std::make_unique<MultiLeaderElection>(num_replicas, width,
+                                                 epoch_len);
+  }
   if (spec.rfind("static:", 0) == 0) {
     const auto id = static_cast<types::NodeId>(std::stoul(spec.substr(7)));
     if (id >= num_replicas) {

@@ -3,18 +3,45 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "types/ids.h"
 
 namespace bamboo::election {
 
-/// Maps a view to its designated leader. Implementations must be pure
-/// functions of the view so that all replicas agree without communication.
+/// Maps a view to its designated leader *set*. Implementations must be
+/// pure functions of the view so that all replicas agree without
+/// communication. Single-leader elections (the default overrides) expose
+/// a width-1 set whose slot 0 is leader(view); multi-leader elections
+/// (FnF-BFT) return an ordered set of `width()` leaders, one per proposal
+/// slot within the view.
 class LeaderElection {
  public:
   virtual ~LeaderElection() = default;
   [[nodiscard]] virtual types::NodeId leader(types::View view) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of proposal slots (= parallel leaders) per view.
+  [[nodiscard]] virtual types::Slot width() const { return 1; }
+
+  /// Leader of one slot within the view. Must satisfy
+  /// slot_leader(view, 0) == leader(view) so single-leader code paths see
+  /// no behavior change.
+  [[nodiscard]] virtual types::NodeId slot_leader(types::View view,
+                                                  types::Slot) const {
+    return leader(view);
+  }
+
+  /// The view's ordered leader set, slot by slot.
+  [[nodiscard]] virtual std::vector<types::NodeId> leader_set(
+      types::View view) const {
+    std::vector<types::NodeId> set;
+    set.reserve(width());
+    for (types::Slot s = 0; s < width(); ++s) {
+      set.push_back(slot_leader(view, s));
+    }
+    return set;
+  }
 };
 
 /// Rotate through replicas in id order (Table I: master = 0 means rotating).
@@ -58,7 +85,58 @@ class HashElection final : public LeaderElection {
   std::uint32_t n_;
 };
 
-/// Factory: "roundrobin" | "static:<id>" | "hash".
+/// FnF-BFT-style multi-leader election: each view has `width` parallel
+/// slot leaders spread evenly around the replica ring (stride n/width),
+/// and the set is fixed for an *epoch* of `epoch_len` consecutive views,
+/// rotating by one id at every epoch boundary. The spread keeps any
+/// contiguous Byzantine block (the top byz_no ids) to at most its
+/// proportional share of every leader set — a clustered rotation would
+/// periodically hand ALL slots of an epoch to the adversary, stalling
+/// epoch_len consecutive views.
+/// Accumulated timeouts advance views through TCs, so a stalled or
+/// degraded leader set burns through its epoch at timeout speed and is
+/// rotated out within `epoch_len` views — the FnF-BFT recovery argument,
+/// expressed as a pure function of the view.
+class MultiLeaderElection final : public LeaderElection {
+ public:
+  MultiLeaderElection(std::uint32_t num_replicas, types::Slot width,
+                      types::View epoch_len)
+      : n_(num_replicas), width_(width), epoch_len_(epoch_len) {}
+
+  [[nodiscard]] types::NodeId leader(types::View view) const override {
+    return slot_leader(view, 0);
+  }
+  [[nodiscard]] types::Slot width() const override { return width_; }
+  [[nodiscard]] types::NodeId slot_leader(types::View view,
+                                          types::Slot slot) const override {
+    // Views start at 1; genesis (view 0) maps into epoch 0. Slots are
+    // strided n/width apart (distinct: stride * slot < n for every
+    // slot < width), so each epoch's set samples the whole ring. Within
+    // the epoch the set's slot ORDER rotates every view: the final slot
+    // closes the view (its QC advances everyone), so pinning one member
+    // there for a whole epoch would let a single Byzantine set member
+    // time out epoch_len consecutive views. Rotation caps its tenure of
+    // the closing slot at 1/width of the views.
+    const types::View epoch = view == 0 ? 0 : (view - 1) / epoch_len_;
+    const auto stride = static_cast<types::View>(n_ / width_);
+    const auto position = static_cast<types::View>(
+        (static_cast<types::View>(slot) + view) % width_);
+    return static_cast<types::NodeId>((epoch + stride * position) % n_);
+  }
+  [[nodiscard]] types::View epoch_of(types::View view) const {
+    return view == 0 ? 0 : (view - 1) / epoch_len_;
+  }
+  [[nodiscard]] types::View epoch_len() const { return epoch_len_; }
+  [[nodiscard]] std::string name() const override { return "multi-leader"; }
+
+ private:
+  std::uint32_t n_;
+  types::Slot width_;
+  types::View epoch_len_;
+};
+
+/// Factory: "roundrobin" | "static:<id>" | "hash" |
+/// "multi:<width>[:<epoch_len>]" (epoch_len defaults to 16 views).
 std::unique_ptr<LeaderElection> make_election(const std::string& spec,
                                               std::uint32_t num_replicas,
                                               std::uint64_t seed);

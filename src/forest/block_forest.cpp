@@ -91,7 +91,13 @@ BlockPtr BlockForest::get(const crypto::Digest& hash) const {
 bool BlockForest::add_qc(const QuorumCert& qc) {
   const auto [it, inserted] = qcs_.emplace(qc.block_hash, qc);
   if (!inserted && qc.view > it->second.view) it->second = qc;
-  if (qc.view > high_qc_.view) high_qc_ = qc;
+  // (view, slot) lexicographic freshness: slot ties only arise under
+  // multi-leader elections — single-leader QCs all carry slot 0, where
+  // this is exactly the legacy view comparison.
+  if (qc.view > high_qc_.view ||
+      (qc.view == high_qc_.view && qc.slot > high_qc_.slot)) {
+    high_qc_ = qc;
+  }
 
   const BlockPtr block = get(qc.block_hash);
   if (block && inserted) {

@@ -65,6 +65,22 @@ void Cluster::add_view_listener(
 void Cluster::start() {
   if (started_) return;
   started_ = true;
+  // Protocol <-> election compatibility: multi-leader protocols need a
+  // multi-leader election (and vice versa); a width the protocol does not
+  // expect would silently degrade into one-leader-per-view behavior.
+  {
+    const auto probe = protocols::make_protocol(cfg_.protocol);
+    if (probe->multi_leader() != (election_->width() > 1)) {
+      throw std::invalid_argument(
+          probe->multi_leader()
+              ? "protocol '" + cfg_.protocol +
+                    "' is multi-leader and needs a multi:<width> election "
+                    "(got '" + cfg_.election + "')"
+              : "election '" + cfg_.election +
+                    "' is multi-leader but protocol '" + cfg_.protocol +
+                    "' is not");
+    }
+  }
   replicas_.reserve(cfg_.n_replicas);
   for (types::NodeId id = 0; id < cfg_.n_replicas; ++id) {
     core::Replica::Hooks hooks = std::move(pending_hooks_[id]);

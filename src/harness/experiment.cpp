@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +11,81 @@
 
 namespace bamboo::harness {
 
+std::string encode_commit_share(
+    const std::map<types::NodeId, std::uint64_t>& counts) {
+  std::string out;
+  for (const auto& [id, count] : counts) {
+    if (count == 0) continue;
+    if (!out.empty()) out += ';';
+    out += std::to_string(id);
+    out += ':';
+    out += std::to_string(count);
+  }
+  return out;
+}
+
+std::map<types::NodeId, std::uint64_t> decode_commit_share(
+    const std::string& text) {
+  std::map<types::NodeId, std::uint64_t> counts;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      throw std::invalid_argument("bad commit_share entry: " + entry);
+    }
+    try {
+      const auto id = static_cast<types::NodeId>(
+          std::stoul(entry.substr(0, colon)));
+      counts[id] += std::stoull(entry.substr(colon + 1));
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("bad commit_share entry: " + entry);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("bad commit_share entry: " + entry);
+    }
+    pos = end + 1;
+  }
+  return counts;
+}
+
+DemocracyScalars democracy_scalars(
+    const std::map<types::NodeId, std::uint64_t>& counts,
+    std::uint32_t n_replicas, std::uint32_t byz_no) {
+  DemocracyScalars s;
+  if (n_replicas == 0) return s;
+  std::uint64_t total = 0, honest = 0, top = 0;
+  // Dense count vector over all replicas: silent replicas are zeros —
+  // they drag the Gini up exactly like disenfranchised voters should.
+  std::vector<std::uint64_t> dense(n_replicas, 0);
+  for (const auto& [id, count] : counts) {
+    total += count;
+    if (count > top) top = count;
+    const bool byzantine =
+        byz_no > 0 && id < n_replicas && id >= n_replicas - byz_no;
+    if (!byzantine) honest += count;
+    if (id < n_replicas) dense[id] = count;
+  }
+  if (total == 0) return s;
+  s.chain_quality =
+      static_cast<double>(honest) / static_cast<double>(total);
+  s.commit_share_max =
+      static_cast<double>(top) / static_cast<double>(total);
+  // Gini over the ascending-sorted counts:
+  //   G = (2 * sum_i i * x_i) / (n * sum x) - (n + 1) / n,  i in 1..n.
+  std::sort(dense.begin(), dense.end());
+  double weighted = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(dense[i]);
+  }
+  const double n = static_cast<double>(n_replicas);
+  s.proposer_gini =
+      2.0 * weighted / (n * static_cast<double>(total)) - (n + 1.0) / n;
+  return s;
+}
+
 namespace {
 
 /// Observer-side accumulators for CGR and block intervals.
@@ -17,6 +93,10 @@ struct ObserverState {
   bool measuring = false;
   util::RunningStats block_intervals;
   std::uint64_t committed_in_window = 0;
+  /// Committed blocks per proposer (democracy metrics). Pure observation
+  /// on the replica-0 commit hook: counting draws no randomness and sends
+  /// nothing, so enabling it never perturbs the schedule.
+  std::map<types::NodeId, std::uint64_t> proposer_counts;
 };
 
 struct Snapshot {
@@ -115,6 +195,14 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
                 static_cast<double>(r.blocks_received)
           : 0.0;
   r.block_interval = obs.block_intervals.mean();
+
+  r.commit_share = encode_commit_share(obs.proposer_counts);
+  const DemocracyScalars dem =
+      democracy_scalars(obs.proposer_counts, cluster.config().n_replicas,
+                        cluster.config().byz_no);
+  r.chain_quality = dem.chain_quality;
+  r.commit_share_max = dem.commit_share_max;
+  r.proposer_gini = dem.proposer_gini;
 
   r.consistent = cluster.check_consistency().consistent;
   for (types::NodeId id = 0; id < cluster.size(); ++id) {
@@ -662,6 +750,7 @@ RunOutput execute_full(const RunSpec& spec) {
                                 types::View commit_view, sim::Time) {
     if (!obs->measuring) return;
     ++obs->committed_in_window;
+    ++obs->proposer_counts[block->proposer()];
     if (commit_view > block->view()) {
       obs->block_intervals.add(
           static_cast<double>(commit_view - block->view()));

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,24 @@ struct RunResult {
   /// what aggregate rows and shard merges rebuild quantiles from.
   std::string latency_hist;
 
+  // leadership democracy (multi-leader / chain-quality accounting)
+  /// Committed blocks per proposer inside the measurement window at the
+  /// observer, sparse-encoded "id:count;..." with ids ascending — what
+  /// aggregate rows and shard merges rebuild the three scalars below
+  /// from (count addition is associative, so the merged scalars are
+  /// bit-identical to the unsharded fold). Empty = nothing committed.
+  std::string commit_share;
+  /// Chain quality: the fraction of committed blocks proposed by honest
+  /// replicas (the Byzantine set is the top byz_no ids, like
+  /// core::Config::is_byzantine). 0 when nothing committed.
+  double chain_quality = 0;
+  /// The largest single replica's share of committed blocks.
+  double commit_share_max = 0;
+  /// Gini coefficient of per-replica committed-block counts over ALL
+  /// n_replicas (replicas that proposed nothing count as zeros).
+  /// 0 = perfectly even proposer representation; -> 1 = one dictator.
+  double proposer_gini = 0;
+
   // invariants
   bool consistent = true;
   std::uint64_t safety_violations = 0;
@@ -89,6 +108,26 @@ struct RunOptions {
   double warmup_s = 0.5;
   double measure_s = 1.5;
 };
+
+/// Sparse codec for RunResult::commit_share ("id:count;..."; ids
+/// ascending, zero counts elided). decode() accepts the empty string
+/// (no commits) and throws std::invalid_argument on malformed text.
+[[nodiscard]] std::string encode_commit_share(
+    const std::map<types::NodeId, std::uint64_t>& counts);
+[[nodiscard]] std::map<types::NodeId, std::uint64_t> decode_commit_share(
+    const std::string& text);
+
+/// The three leadership-democracy scalars derived from a per-proposer
+/// commit-count map — shared by finalize() and the report aggregator so
+/// pooled-count recomputation matches the per-run path exactly.
+struct DemocracyScalars {
+  double chain_quality = 0;
+  double commit_share_max = 0;
+  double proposer_gini = 0;
+};
+[[nodiscard]] DemocracyScalars democracy_scalars(
+    const std::map<types::NodeId, std::uint64_t>& counts,
+    std::uint32_t n_replicas, std::uint32_t byz_no);
 
 /// How the Fig. 15 fault is injected at crash_at_s.
 enum class FaultKind {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
@@ -68,6 +69,7 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   util::RunningStats p50;
   util::RunningStats offered;
   util::LatencyHistogram hist;
+  std::map<types::NodeId, std::uint64_t> commit_counts;
   double measured_s = 0, latency_samples = 0, views = 0, committed = 0,
          received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0,
          sync_requests = 0, sync_blocks = 0, sync_bytes = 0,
@@ -82,6 +84,11 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
     // no mean-of-rep-percentiles statistic can promise.
     if (!r.latency_hist.empty()) {
       hist.merge(util::LatencyHistogram::decode(r.latency_hist));
+    }
+    // Commit-share merge is integer count addition too — associative for
+    // the same shard-identical-to-unsharded reason as the histogram.
+    for (const auto& [id, count] : decode_commit_share(r.commit_share)) {
+      commit_counts[id] += count;
     }
     mem_admitted += static_cast<double>(r.mem_admitted);
     mem_rejected += static_cast<double>(r.mem_rejected);
@@ -154,6 +161,15 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   }
   rec.result.mem_admitted = round_u64(mem_admitted / n);
   rec.result.mem_rejected = round_u64(mem_rejected / n);
+  // Democracy scalars recomputed from the POOLED counts (not a mean of
+  // per-rep ratios), so they weight reps by their committed blocks and
+  // merge bit-identically across shards.
+  rec.result.commit_share = encode_commit_share(commit_counts);
+  const DemocracyScalars dem = democracy_scalars(
+      commit_counts, rec.prov.n_replicas, rec.prov.byz_no);
+  rec.result.chain_quality = dem.chain_quality;
+  rec.result.commit_share_max = dem.commit_share_max;
+  rec.result.proposer_gini = dem.proposer_gini;
   rec.result.consistent = agg.all_consistent;
   rec.result.safety_violations = agg.safety_violations;
 
@@ -299,6 +315,7 @@ const std::vector<std::string>& csv_columns() {
       "certs_rejected", "recovery_ms",
       "offered_tps", "hist_p50_ms", "hist_p99_ms", "hist_p999_ms",
       "mem_admitted", "mem_rejected", "latency_hist",
+      "commit_share", "chain_quality", "commit_share_max", "proposer_gini",
       "consistent", "safety_violations"};
   return columns;
 }
@@ -396,6 +413,10 @@ std::string csv_row(const Record& r) {
       std::to_string(r.result.mem_admitted),
       std::to_string(r.result.mem_rejected),
       csv_escape(r.result.latency_hist),
+      csv_escape(r.result.commit_share),
+      num(r.result.chain_quality),
+      num(r.result.commit_share_max),
+      num(r.result.proposer_gini),
       r.result.consistent ? "true" : "false",
       std::to_string(r.result.safety_violations)};
   std::string out;
@@ -516,6 +537,10 @@ util::Json to_json(const Record& r) {
   o.emplace("mem_rejected",
             util::Json(static_cast<std::int64_t>(r.result.mem_rejected)));
   o.emplace("latency_hist", util::Json(r.result.latency_hist));
+  o.emplace("commit_share", util::Json(r.result.commit_share));
+  o.emplace("chain_quality", util::Json(r.result.chain_quality));
+  o.emplace("commit_share_max", util::Json(r.result.commit_share_max));
+  o.emplace("proposer_gini", util::Json(r.result.proposer_gini));
   o.emplace("consistent", util::Json(r.result.consistent));
   o.emplace("safety_violations", util::Json(static_cast<std::int64_t>(
                                      r.result.safety_violations)));
@@ -624,6 +649,10 @@ Record record_from_json(const util::Json& j) {
   r.result.mem_rejected =
       static_cast<std::uint64_t>(j.get_int("mem_rejected", 0));
   r.result.latency_hist = j.get_string("latency_hist", "");
+  r.result.commit_share = j.get_string("commit_share", "");
+  r.result.chain_quality = j.get_number("chain_quality", 0);
+  r.result.commit_share_max = j.get_number("commit_share_max", 0);
+  r.result.proposer_gini = j.get_number("proposer_gini", 0);
   r.result.consistent = j.get_bool("consistent", true);
   r.result.safety_violations =
       static_cast<std::uint64_t>(j.get_int("safety_violations", 0));

@@ -27,6 +27,44 @@ void Pacemaker::on_qc(types::View qc_view) {
   }
 }
 
+void Pacemaker::on_slot_qc(types::View view, types::Slot slot) {
+  if (!running_ || view < view_) return;
+  consecutive_timeouts_ = 0;
+  if (view > view_) {
+    // We lag the cluster: a mid-view QC proves `view` is live, so join it
+    // (advance INTO the view, not past it — only the final slot's QC or a
+    // TC moves the cluster on).
+    ++views_via_qc_;
+    advance_to(view, AdvanceReason::kQuorumCert);
+  }
+  // Slots up to `slot` have demonstrably made progress; their timers are
+  // no longer needed.
+  for (types::Slot s = 0; s <= slot && s < slot_timers_.size(); ++s) {
+    if (slot_timers_[s] != sim::kInvalidEventId) {
+      sim_.cancel(slot_timers_[s]);
+      slot_timers_[s] = sim::kInvalidEventId;
+    }
+  }
+  // Re-anchor the later slots' deadlines to *this* progress point: slot j
+  // now gets (j - slot) timeout windows from the freshest QC instead of
+  // (j + 1) from view entry. Without this, a Byzantine final-slot leader
+  // makes every view of its epoch burn width x base_timeout even though
+  // the first width-1 slots certified within milliseconds.
+  const auto base = current_timeout();
+  for (types::Slot j = slot + 1; j < slot_timers_.size(); ++j) {
+    if (slot_timers_[j] == sim::kInvalidEventId) continue;
+    sim_.cancel(slot_timers_[j]);
+    slot_timers_[j] = sim_.schedule_after(
+        base * static_cast<sim::Duration>(j - slot), [this, j] {
+          slot_timers_[j] = sim::kInvalidEventId;
+          ++slot_timeouts_;
+          local_timeout();
+        });
+  }
+  if (slot + 1 > next_expected_slot_) next_expected_slot_ = slot + 1;
+  arm_stuck_probe();
+}
+
 void Pacemaker::on_tc(types::View tc_view) {
   if (!running_) return;
   if (tc_view + 1 > view_) {
@@ -49,6 +87,7 @@ void Pacemaker::join_timeout(types::View view) {
 
 void Pacemaker::advance_to(types::View view, AdvanceReason reason) {
   view_ = view;
+  next_expected_slot_ = 0;
   arm_timer();
   if (callbacks_.on_enter_view) callbacks_.on_enter_view(view_, reason);
 }
@@ -66,16 +105,61 @@ sim::Duration Pacemaker::current_timeout() const {
 void Pacemaker::arm_timer() {
   cancel_timer();
   if (!running_) return;
-  timer_ = sim_.schedule_after(current_timeout(), [this] {
-    timer_ = sim::kInvalidEventId;
-    local_timeout();
-  });
+  if (settings_.slots <= 1) {
+    timer_ = sim_.schedule_after(current_timeout(), [this] {
+      timer_ = sim::kInvalidEventId;
+      local_timeout();
+    });
+    return;
+  }
+  // Multi-leader: slot s is expected to show a QC within (s+1) view
+  // timeouts of view entry. The earliest still-armed timer that fires
+  // times the whole view out (local_timeout re-arms the full set with
+  // backoff, exactly like the legacy re-broadcast loop).
+  const auto base = current_timeout();
+  slot_timers_.assign(settings_.slots, sim::kInvalidEventId);
+  for (types::Slot s = 0; s < settings_.slots; ++s) {
+    slot_timers_[s] = sim_.schedule_after(
+        base * static_cast<sim::Duration>(s + 1), [this, s] {
+          slot_timers_[s] = sim::kInvalidEventId;
+          ++slot_timeouts_;
+          local_timeout();
+        });
+  }
+  arm_stuck_probe();
+}
+
+void Pacemaker::arm_stuck_probe() {
+  if (stuck_timer_ != sim::kInvalidEventId) {
+    sim_.cancel(stuck_timer_);
+    stuck_timer_ = sim::kInvalidEventId;
+  }
+  if (!running_ || settings_.slots <= 1 || !callbacks_.on_slot_stuck) return;
+  // No successor exists past the final slot; its stall is the view-closing
+  // timeout's to handle.
+  if (next_expected_slot_ + 1 >= settings_.slots) return;
+  stuck_timer_ = sim_.schedule_after(
+      current_timeout() / 2, [this, slot = next_expected_slot_] {
+        stuck_timer_ = sim::kInvalidEventId;
+        callbacks_.on_slot_stuck(view_, slot);
+      });
 }
 
 void Pacemaker::cancel_timer() {
   if (timer_ != sim::kInvalidEventId) {
     sim_.cancel(timer_);
     timer_ = sim::kInvalidEventId;
+  }
+  for (sim::EventId& t : slot_timers_) {
+    if (t != sim::kInvalidEventId) {
+      sim_.cancel(t);
+      t = sim::kInvalidEventId;
+    }
+  }
+  slot_timers_.clear();
+  if (stuck_timer_ != sim::kInvalidEventId) {
+    sim_.cancel(stuck_timer_);
+    stuck_timer_ = sim::kInvalidEventId;
   }
 }
 

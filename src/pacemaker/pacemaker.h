@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "types/certificates.h"
@@ -29,6 +30,12 @@ class Pacemaker {
     sim::Duration base_timeout = sim::milliseconds(100);
     double backoff = 1.0;  ///< multiplier per consecutive timeout (>= 1)
     sim::Duration max_timeout = sim::seconds(10);
+    /// Proposal slots per view (election width). 1 keeps the legacy
+    /// single-timer pacemaker byte-identical; > 1 arms one timer per slot
+    /// (slot s must show a QC within (s+1) x the view timeout) so a
+    /// stalled slot leader times the view out even when earlier slots
+    /// made progress.
+    types::Slot slots = 1;
   };
   struct Callbacks {
     /// Broadcast a ⟨TIMEOUT, view⟩ message (the replica signs and attaches
@@ -36,6 +43,14 @@ class Pacemaker {
     std::function<void(types::View)> broadcast_timeout;
     /// The view changed; the replica proposes if it leads `view`.
     std::function<void(types::View, AdvanceReason)> on_enter_view;
+    /// Multi-leader only: slot `slot` of `view` has shown no certificate
+    /// for half a timeout window since the last slot progress — its
+    /// proposal was withheld, lost, or rejected at ingress (a forged
+    /// certificate never connects, so the next slot's connect-trigger
+    /// never fires). The immediate successor's leader repairs the
+    /// pipeline by proposing over the stuck slot. Fires well before the
+    /// slot's own timeout so the repair can certify before a TC forms.
+    std::function<void(types::View, types::Slot)> on_slot_stuck;
   };
 
   Pacemaker(sim::Simulator& simulator, Settings settings, Callbacks callbacks)
@@ -59,6 +74,13 @@ class Pacemaker {
   /// ahead. Resets the timeout backoff (progress!).
   void on_qc(types::View qc_view);
 
+  /// Multi-leader only: a QC formed for a NON-final slot of `view` — the
+  /// view is progressing but not over. Cancels the timers of slots up to
+  /// and including `slot`, resets the backoff, and catches a lagging
+  /// replica up into `view` (entering it with kQuorumCert) without
+  /// advancing past it. Never called on the single-slot path.
+  void on_slot_qc(types::View view, types::Slot slot);
+
   /// A TC for `tc_view` formed or was received: advance to tc_view + 1.
   void on_tc(types::View tc_view);
 
@@ -70,6 +92,8 @@ class Pacemaker {
   [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_fired_; }
   [[nodiscard]] std::uint64_t views_via_qc() const { return views_via_qc_; }
   [[nodiscard]] std::uint64_t views_via_tc() const { return views_via_tc_; }
+  /// Per-slot timer expirations (multi-leader mode; 0 on the legacy path).
+  [[nodiscard]] std::uint64_t slot_timeouts() const { return slot_timeouts_; }
 
  private:
   void advance_to(types::View view, AdvanceReason reason);
@@ -81,13 +105,22 @@ class Pacemaker {
   sim::Simulator& sim_;
   Settings settings_;
   Callbacks callbacks_;
+  void arm_stuck_probe();
+
   types::View view_ = 0;
   sim::EventId timer_ = sim::kInvalidEventId;
+  /// One timer per slot in multi-leader mode (slots > 1); timer_ unused.
+  std::vector<sim::EventId> slot_timers_;
+  /// Multi-leader: the first slot of the current view with no QC yet —
+  /// the slot the stuck probe watches.
+  types::Slot next_expected_slot_ = 0;
+  sim::EventId stuck_timer_ = sim::kInvalidEventId;
   std::uint32_t consecutive_timeouts_ = 0;
   bool running_ = false;
   std::uint64_t timeouts_fired_ = 0;
   std::uint64_t views_via_qc_ = 0;
   std::uint64_t views_via_tc_ = 0;
+  std::uint64_t slot_timeouts_ = 0;
 };
 
 }  // namespace bamboo::pacemaker

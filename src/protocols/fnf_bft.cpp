@@ -1,0 +1,108 @@
+#include "protocols/fnf_bft.h"
+
+namespace bamboo::protocols {
+
+using types::BlockPtr;
+using types::QuorumCert;
+
+namespace {
+
+[[nodiscard]] core::SlotRef ref_of(const types::Block& b) {
+  return core::SlotRef{b.view(), b.slot()};
+}
+
+[[nodiscard]] core::SlotRef ref_of(const QuorumCert& qc) {
+  return core::SlotRef{qc.view, qc.slot};
+}
+
+/// X occupies the proposal slot immediately after P: same view and the
+/// next slot, or slot 0 of the directly following view. The contiguity
+/// that makes the two-chain commit sound at slot granularity — no
+/// certifiable slot fits between P and X.
+[[nodiscard]] bool contiguous(const types::Block& p, const types::Block& x) {
+  if (x.view() == p.view() && x.slot() == p.slot() + 1) return true;
+  return x.view() == p.view() + 1 && x.slot() == 0;
+}
+
+}  // namespace
+
+std::optional<core::ProposalPlan> FnfBft::plan_proposal(
+    types::View, const core::ProtocolContext& ctx) {
+  // Slot 0 (view entry): extend the high-QC tip, like the HotStuff family.
+  // Certified blocks from a timed-out view's early slots survive the view
+  // change through this plan — the chain-quality advantage of slot QCs.
+  const BlockPtr parent = ctx.forest.high_qc_block();
+  if (!parent) return std::nullopt;
+  return core::ProposalPlan{parent, ctx.forest.high_qc()};
+}
+
+std::optional<core::ProposalPlan> FnfBft::plan_slot_proposal(
+    types::View, types::Slot, const core::ProtocolContext& ctx) {
+  // Later slots: the engine supplies the parent (the previous slot's
+  // block, extended optimistically); the protocol supplies the justify —
+  // the freshest certificate this leader holds.
+  const BlockPtr high = ctx.forest.high_qc_block();
+  if (!high) return std::nullopt;
+  return core::ProposalPlan{high, ctx.forest.high_qc()};
+}
+
+bool FnfBft::should_vote(const types::ProposalMsg& proposal,
+                         const core::ProtocolContext& ctx) {
+  const BlockPtr& b = proposal.block;
+  // (view, slot)-monotone voting: at most one vote per slot, never
+  // backwards. QC uniqueness per slot follows from quorum intersection.
+  if (!(last_voted_ < ref_of(*b))) return false;
+  // Safe-to-vote: the block extends our lock (the usual case — pipelined
+  // slot blocks extend the certified prefix of their view), or it
+  // justifies with a certificate strictly fresher than the lock (the
+  // view-change unlock, 2CHS-style with (view, slot) order).
+  if (!has_lock_) return true;
+  if (ctx.forest.extends(b->hash(), locked_hash_)) return true;
+  return locked_ < ref_of(b->justify());
+}
+
+void FnfBft::did_vote(const types::Block& block) {
+  const core::SlotRef ref = ref_of(block);
+  if (last_voted_ < ref) last_voted_ = ref;
+}
+
+void FnfBft::update_state(const QuorumCert& qc,
+                          const core::ProtocolContext&) {
+  // Lock the highest-(view, slot) certified block.
+  const core::SlotRef ref = ref_of(qc);
+  if (!has_lock_ || locked_ < ref) {
+    locked_ = ref;
+    locked_hash_ = qc.block_hash;
+    has_lock_ = true;
+  }
+}
+
+std::optional<crypto::Digest> FnfBft::commit_target(
+    const QuorumCert& qc, const core::ProtocolContext& ctx) {
+  const BlockPtr x = ctx.forest.get(qc.block_hash);
+  if (!x) return std::nullopt;
+
+  // Case A: this QC completes a two-chain ending at X — its direct parent
+  // P is certified and X sits in the immediately following slot. Commit P
+  // (the forest commits P's whole prefix with it).
+  if (const BlockPtr p = ctx.forest.get(x->parent_hash());
+      p && !p->is_genesis() && ctx.forest.is_certified(p->hash()) &&
+      contiguous(*p, *x) && p->height() > ctx.forest.committed_height()) {
+    return p->hash();
+  }
+
+  // Case B: slot QCs broadcast concurrently can arrive out of order — X's
+  // own certificate may land AFTER a contiguous child was already
+  // certified. The earlier commit check could not see X certified, so
+  // complete it now.
+  if (x->height() > ctx.forest.committed_height()) {
+    for (const BlockPtr& child : ctx.forest.children(x->hash())) {
+      if (ctx.forest.is_certified(child->hash()) && contiguous(*x, *child)) {
+        return x->hash();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bamboo::protocols

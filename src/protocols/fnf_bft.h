@@ -1,0 +1,75 @@
+#pragma once
+
+#include "core/safety.h"
+
+namespace bamboo::protocols {
+
+/// FnF-BFT-inspired multi-leader chained BFT (PAPERS.md: "FnF-BFT:
+/// Exploring Performance Limits of BFT Protocols"). Every view has W
+/// parallel slot leaders (election width); slot 0 extends the high-QC
+/// tip, and each later slot leader extends the previous slot's block
+/// *optimistically* on proposal receipt — one network hop per block
+/// instead of the QC round trip — while votes flow back to each block's
+/// own proposer, who aggregates its QC and broadcasts it (QcMsg, verified
+/// at every ingress by the CertVerifier pipeline). Leader sets rotate per
+/// epoch of the election; accumulated timeouts advance views through TCs,
+/// so a degraded leader set burns through its epoch at timeout speed and
+/// is rotated out within epoch_len views.
+///
+/// Commit rule: a certified block P commits once a certified block X
+/// exists with parent(X) == P in the immediately following slot — same
+/// view and slot+1, or slot 0 of the directly next view — a two-chain
+/// rule at slot granularity (Fast-HotStuff's contiguity argument with
+/// (view, slot) in place of view). Lock: the highest-(view, slot)
+/// certified block; votes require extending the lock or a strictly
+/// fresher justify, and (view, slot)-monotone voting makes QCs unique per
+/// slot.
+class FnfBft final : public core::SafetyProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "fnfbft"; }
+
+  [[nodiscard]] std::optional<core::ProposalPlan> plan_proposal(
+      types::View view, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<core::ProposalPlan> plan_slot_proposal(
+      types::View view, types::Slot slot,
+      const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool should_vote(const types::ProposalMsg& proposal,
+                                 const core::ProtocolContext& ctx) override;
+
+  void did_vote(const types::Block& block) override;
+
+  void update_state(const types::QuorumCert& qc,
+                    const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] std::optional<crypto::Digest> commit_target(
+      const types::QuorumCert& qc, const core::ProtocolContext& ctx) override;
+
+  [[nodiscard]] bool multi_leader() const override { return true; }
+
+  /// The lock chases the highest certified block, so a forking proposer
+  /// can overwrite at most the one still-uncertified tail block of a slot
+  /// chain (like 2CHS).
+  [[nodiscard]] std::uint32_t fork_depth() const override { return 1; }
+  [[nodiscard]] std::uint32_t commit_chain_length() const override {
+    return 2;
+  }
+
+  [[nodiscard]] types::View locked_view() const override {
+    return locked_.view;
+  }
+  [[nodiscard]] types::View last_voted_view() const override {
+    return last_voted_.view;
+  }
+  [[nodiscard]] core::SlotRef locked_ref() const { return locked_; }
+  [[nodiscard]] core::SlotRef last_voted_ref() const { return last_voted_; }
+
+ private:
+  core::SlotRef last_voted_;
+  core::SlotRef locked_;
+  crypto::Digest locked_hash_{};
+  bool has_lock_ = false;
+};
+
+}  // namespace bamboo::protocols

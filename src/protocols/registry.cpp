@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "protocols/fast_hotstuff.h"
+#include "protocols/fnf_bft.h"
 #include "protocols/hotstuff.h"
 #include "protocols/streamlet.h"
 
@@ -30,7 +31,8 @@ bool is_builtin(const std::string& name) {
   return name == "hotstuff" || name == "hs" || name == "ohs" ||
          name == "2chs" || name == "twochain" || name == "2-chain" ||
          name == "streamlet" || name == "sl" || name == "fasthotstuff" ||
-         name == "fhs" || name == "fast-hotstuff";
+         name == "fhs" || name == "fast-hotstuff" || name == "fnfbft" ||
+         name == "fnf" || name == "fnf-bft";
 }
 
 }  // namespace
@@ -48,6 +50,9 @@ std::unique_ptr<core::SafetyProtocol> make_protocol(const std::string& name) {
   if (name == "fasthotstuff" || name == "fhs" || name == "fast-hotstuff") {
     return std::make_unique<FastHotStuff>();
   }
+  if (name == "fnfbft" || name == "fnf" || name == "fnf-bft") {
+    return std::make_unique<FnfBft>();
+  }
   ProtocolFactory factory;
   {
     std::shared_lock lock(registry_mutex());
@@ -60,7 +65,7 @@ std::unique_ptr<core::SafetyProtocol> make_protocol(const std::string& name) {
 
 std::vector<std::string> protocol_names() {
   std::vector<std::string> names = {"hotstuff", "2chs", "streamlet",
-                                    "fasthotstuff"};
+                                    "fasthotstuff", "fnfbft"};
   std::shared_lock lock(registry_mutex());
   for (const auto& [name, factory] : custom_registry()) {
     names.push_back(name);

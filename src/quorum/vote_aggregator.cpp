@@ -6,10 +6,10 @@ std::optional<types::QuorumCert> VoteAggregator::add(
     const types::VoteMsg& vote) {
   const types::NodeId voter = vote.voter();
 
-  auto& by_voter = votes_by_voter_[vote.view];
-  const auto [voter_it, first_vote_this_view] =
+  auto& by_voter = votes_by_voter_[vote.view][vote.slot];
+  const auto [voter_it, first_vote_this_slot] =
       by_voter.emplace(voter, vote.block_hash);
-  if (!first_vote_this_view) {
+  if (!first_vote_this_slot) {
     if (voter_it->second != vote.block_hash) {
       ++equivocations_;
     } else {
@@ -18,7 +18,7 @@ std::optional<types::QuorumCert> VoteAggregator::add(
     return std::nullopt;
   }
 
-  Bucket& bucket = buckets_[vote.view][vote.block_hash];
+  Bucket& bucket = buckets_[vote.view][vote.slot][vote.block_hash];
   // The certificate stops growing once formed (long views would otherwise
   // accumulate signatures unboundedly).
   if (bucket.formed) return std::nullopt;
@@ -38,6 +38,7 @@ std::optional<types::QuorumCert> VoteAggregator::add(
     types::QuorumCert qc;
     qc.view = vote.view;
     qc.height = bucket.height;
+    qc.slot = vote.slot;
     qc.block_hash = vote.block_hash;
     qc.sigs = bucket.sigs;
     return qc;

@@ -12,19 +12,25 @@
 namespace bamboo::quorum {
 
 /// The paper's Quorum component: collects votes (voted()) and produces QCs
-/// (certified()) once n-f matching votes arrive. Duplicate votes are
-/// ignored; equivocating votes (same voter, same view, different blocks)
-/// are counted as Byzantine evidence.
+/// (certified()) once n-f matching votes arrive. Forming certificates are
+/// keyed by (view, slot, block) — multi-leader protocols collect one QC
+/// per proposal slot concurrently; single-leader traffic only ever uses
+/// slot 0, which degenerates to the legacy per-view keying. Duplicate
+/// votes are ignored; equivocating votes (same voter, same (view, slot),
+/// different blocks) are counted as Byzantine evidence.
 class VoteAggregator {
  public:
   explicit VoteAggregator(std::uint32_t num_replicas)
       : quorum_(types::quorum_size(num_replicas)) {}
 
-  /// Add a vote. Returns a freshly formed QC exactly once per (view, block)
-  /// when the quorum threshold is crossed.
+  /// Add a vote. Returns a freshly formed QC exactly once per
+  /// (view, slot, block) when the quorum threshold is crossed.
   std::optional<types::QuorumCert> add(const types::VoteMsg& vote);
 
-  /// True if this (view, voter) pair was already seen for a different block.
+  /// Votes by a voter who already voted a different block in the same
+  /// (view, slot). Cumulative Byzantine evidence: per-view voter state is
+  /// GC'd by gc_below, so the same voter equivocating in two consecutive
+  /// views is counted once per view (see test_quorum).
   [[nodiscard]] std::uint64_t equivocation_count() const {
     return equivocations_;
   }
@@ -44,9 +50,15 @@ class VoteAggregator {
   };
 
   std::uint32_t quorum_;
-  // view -> block hash -> bucket. std::map gives cheap ordered GC by view.
-  std::map<types::View, std::unordered_map<crypto::Digest, Bucket>> buckets_;
-  std::map<types::View, std::unordered_map<types::NodeId, crypto::Digest>>
+  // view -> slot -> block hash -> bucket. The outer std::map gives cheap
+  // ordered GC by view; the slot map is a std::map too (tiny: at most the
+  // election width).
+  std::map<types::View,
+           std::map<types::Slot, std::unordered_map<crypto::Digest, Bucket>>>
+      buckets_;
+  std::map<types::View,
+           std::map<types::Slot,
+                    std::unordered_map<types::NodeId, crypto::Digest>>>
       votes_by_voter_;
   std::uint64_t equivocations_ = 0;
   std::uint64_t duplicates_ = 0;

@@ -3,7 +3,8 @@
 namespace bamboo::types {
 
 crypto::Digest Block::compute_hash(const crypto::Digest& parent_hash,
-                                   View view, Height height, NodeId proposer,
+                                   View view, Height height, Slot slot,
+                                   NodeId proposer,
                                    const QuorumCert& justify,
                                    const std::vector<Transaction>& txns) {
   crypto::Sha256 h;
@@ -11,6 +12,12 @@ crypto::Digest Block::compute_hash(const crypto::Digest& parent_hash,
   h.update(parent_hash);
   h.update_u64(view);
   h.update_u64(height);
+  // Default-elided: slot 0 absorbs nothing, so pre-slot hashes (and the
+  // hash-keyed container iteration orders downstream) are unchanged.
+  if (slot != 0) {
+    h.update("slot");
+    h.update_u32(slot);
+  }
   h.update_u32(proposer);
   h.update_u64(justify.view);
   h.update(justify.block_hash);

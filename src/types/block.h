@@ -25,6 +25,10 @@ class Block {
     crypto::Digest parent_hash{};
     View view = 0;
     Height height = 0;
+    /// Proposal slot within the view. 0 (the single-leader default) is
+    /// elided from the hash and the wire size, so every pre-slot block is
+    /// bit-identical under the extended encoding.
+    Slot slot = 0;
     NodeId proposer = 0;
     QuorumCert justify;
     std::vector<Transaction> txns;
@@ -34,12 +38,13 @@ class Block {
       : parent_hash_(f.parent_hash),
         view_(f.view),
         height_(f.height),
+        slot_(f.slot),
         proposer_(f.proposer),
         justify_(std::move(f.justify)),
         txns_(std::move(f.txns)),
-        hash_(compute_hash(parent_hash_, view_, height_, proposer_, justify_,
-                           txns_)),
-        wire_size_(compute_wire_size(justify_, txns_)) {}
+        hash_(compute_hash(parent_hash_, view_, height_, slot_, proposer_,
+                           justify_, txns_)),
+        wire_size_(compute_wire_size(slot_, justify_, txns_)) {}
 
   [[nodiscard]] const crypto::Digest& hash() const { return hash_; }
   [[nodiscard]] const crypto::Digest& parent_hash() const {
@@ -47,6 +52,7 @@ class Block {
   }
   [[nodiscard]] View view() const { return view_; }
   [[nodiscard]] Height height() const { return height_; }
+  [[nodiscard]] Slot slot() const { return slot_; }
   [[nodiscard]] NodeId proposer() const { return proposer_; }
   [[nodiscard]] const QuorumCert& justify() const { return justify_; }
   [[nodiscard]] const std::vector<Transaction>& txns() const { return txns_; }
@@ -64,7 +70,8 @@ class Block {
   [[nodiscard]] std::uint64_t wire_size() const { return wire_size_; }
 
   static crypto::Digest compute_hash(const crypto::Digest& parent_hash,
-                                     View view, Height height, NodeId proposer,
+                                     View view, Height height, Slot slot,
+                                     NodeId proposer,
                                      const QuorumCert& justify,
                                      const std::vector<Transaction>& txns);
 
@@ -78,11 +85,16 @@ class Block {
   crypto::Digest parent_hash_;
   View view_;
   Height height_;
+  Slot slot_;
   NodeId proposer_;
   QuorumCert justify_;
   [[nodiscard]] static std::uint64_t compute_wire_size(
-      const QuorumCert& justify, const std::vector<Transaction>& txns) {
-    std::uint64_t bytes = kBlockHeaderBytes + justify.wire_size();
+      Slot slot, const QuorumCert& justify,
+      const std::vector<Transaction>& txns) {
+    // Slot rides as a proto3-style default-elided varint field: absent at
+    // 0, one tag byte + 4-byte value otherwise.
+    std::uint64_t bytes = kBlockHeaderBytes + (slot == 0 ? 0 : 5) +
+                          justify.wire_size();
     for (const Transaction& tx : txns) bytes += tx.wire_size();
     return bytes;
   }

@@ -13,6 +13,11 @@ namespace bamboo::types {
 struct QuorumCert {
   View view = kGenesisView;
   Height height = 0;
+  /// Proposal slot of the certified block (multi-leader protocols). 0 —
+  /// the single-leader default — is elided from the wire size, keeping
+  /// legacy certificates byte-identical. The signed vote digest already
+  /// binds the slot through the block hash.
+  Slot slot = 0;
   crypto::Digest block_hash{};
   std::vector<crypto::Signature> sigs;
 
@@ -20,7 +25,8 @@ struct QuorumCert {
   [[nodiscard]] bool is_genesis() const { return view == kGenesisView; }
 
   [[nodiscard]] std::uint64_t wire_size() const {
-    return 48 + crypto::kSignatureWireBytes * sigs.size();
+    return 48 + (slot == 0 ? 0 : 5) +
+           crypto::kSignatureWireBytes * sigs.size();
   }
 
   friend bool operator==(const QuorumCert&, const QuorumCert&) = default;

@@ -19,6 +19,12 @@ using Height = std::uint64_t;
 /// Globally unique transaction id, assigned by the workload driver.
 using TxId = std::uint64_t;
 
+/// Proposal slot within a view. Single-leader protocols use slot 0 only;
+/// multi-leader protocols (FnF-BFT) give each of the view's W leaders its
+/// own slot [0, W). Slot 0 is the wire/hash default and is elided, so
+/// single-leader traffic is byte-identical to the pre-slot encoding.
+using Slot = std::uint32_t;
+
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 inline constexpr View kGenesisView = 0;
 

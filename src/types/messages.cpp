@@ -11,9 +11,11 @@ struct WireSizeVisitor {
     if (m.tc) bytes += m.tc->wire_size();
     return bytes;
   }
-  std::uint64_t operator()(const VoteMsg&) const {
-    // view + height + hash + signature + framing
-    return 16 + 32 + crypto::kSignatureWireBytes + 16;
+  std::uint64_t operator()(const VoteMsg& m) const {
+    // view + height + hash + signature + framing; the slot field is
+    // default-elided like the block's (absent at 0).
+    return 16 + 32 + crypto::kSignatureWireBytes + 16 +
+           (m.slot == 0 ? 0 : 5);
   }
   std::uint64_t operator()(const TimeoutMsg& m) const {
     return 16 + m.high_qc.wire_size() + crypto::kSignatureWireBytes;
@@ -38,6 +40,9 @@ struct WireSizeVisitor {
     }
     return bytes;
   }
+  std::uint64_t operator()(const QcMsg& m) const {
+    return 8 + m.qc.wire_size();
+  }
 };
 
 struct KindVisitor {
@@ -49,6 +54,7 @@ struct KindVisitor {
   const char* operator()(const ClientResponseMsg&) const { return "response"; }
   const char* operator()(const ChainRequestMsg&) const { return "chainreq"; }
   const char* operator()(const ChainResponseMsg&) const { return "chainresp"; }
+  const char* operator()(const QcMsg&) const { return "qc"; }
 };
 
 }  // namespace

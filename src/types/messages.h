@@ -23,10 +23,14 @@ struct ProposalMsg {
 };
 
 /// A replica's vote for (view, block). Routed to the next leader in the
-/// HotStuff family; broadcast in Streamlet.
+/// HotStuff family; broadcast in Streamlet; routed to the block's own
+/// proposer in multi-leader protocols (each slot leader aggregates the
+/// QCs for its own proposals).
 struct VoteMsg {
   View view = 0;
   Height height = 0;
+  /// Slot of the voted block; 0 (single-leader default) is wire-elided.
+  Slot slot = 0;
   crypto::Digest block_hash{};
   crypto::Signature sig;
 
@@ -84,9 +88,16 @@ struct ChainResponseMsg {
   std::vector<BlockPtr> blocks;
 };
 
+/// A freshly formed QC, broadcast by the slot leader that aggregated it
+/// (multi-leader protocols only — single-leader protocols disseminate QCs
+/// embedded in the next proposal, so legacy traffic never carries this).
+struct QcMsg {
+  QuorumCert qc;
+};
+
 using Message =
     std::variant<ProposalMsg, VoteMsg, TimeoutMsg, TcMsg, ClientRequestMsg,
-                 ClientResponseMsg, ChainRequestMsg, ChainResponseMsg>;
+                 ClientResponseMsg, ChainRequestMsg, ChainResponseMsg, QcMsg>;
 
 /// Messages are immutable and shared between broadcast recipients.
 using MessagePtr = std::shared_ptr<const Message>;

@@ -1,0 +1,136 @@
+// Cross-protocol safety-conformance harness (PR 9).
+//
+// Every registered protocol family — the three paper baselines, the
+// Fast-HotStuff variant and the multi-leader FnF-BFT — is driven through
+// the same grid of adversarial scenarios, 10 seeds per cell (5 protocols
+// x 4 scenarios x 10 seeds = 200 full simulated runs). The invariants are
+// the ones the paper's safety arguments actually promise, checked on
+// every run:
+//
+//   * no two honest replicas commit conflicting blocks at any height, and
+//     committed chains are prefix-consistent (Cluster::check_consistency
+//     compares committed hashes level by level across all honest
+//     replicas);
+//   * replicas flag zero internal safety violations;
+//   * every certificate that entered a decision was verifier-accepted —
+//     scenarios without a certificate forger must see zero rejected
+//     certs, and the forge-qc scenario must see the CertVerifier actually
+//     refusing forgeries (a vacuously-green verifier is a bug);
+//   * liveness floor: scenarios that leave a correct quorum with time to
+//     act commit at least one block.
+//
+// Runs are intentionally small (n = 4, f = 1, ~0.8 s simulated) so the
+// whole 200-run grid stays inside the `conformance` ctest budget; the
+// point is breadth across protocol x scenario x seed, not depth per run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+
+namespace bamboo {
+namespace {
+
+struct ProtoSpec {
+  const char* protocol;
+  const char* election;  ///< FnF-BFT needs a multi-leader election
+};
+
+struct ScenarioSpec {
+  const char* label;
+  std::uint32_t byz;
+  const char* strategy;
+  const char* churn;
+  bool expect_commits;       ///< a correct quorum has time to act
+  bool expect_cert_rejects;  ///< the scenario fields a certificate forger
+};
+
+const ProtoSpec kProtocols[] = {
+    {"hotstuff", "roundrobin"},     {"2chs", "roundrobin"},
+    {"streamlet", "roundrobin"},    {"fasthotstuff", "roundrobin"},
+    {"fnfbft", "multi:2"},
+};
+
+// Times are simulated seconds from run start; the measurement window is
+// [0.1, 0.8], so the partition heals and the loss burst ends with time
+// left for the chain to move again.
+const ScenarioSpec kScenarios[] = {
+    {"forking-leader", 1, "forking", "", true, false},
+    {"forge-qc", 1, "forge-qc", "", true, true},
+    {"partition-heal", 0, "silence",
+     "partition@0.2s:groups=0-1|2-3;heal@0.45s", true, false},
+    {"bursty-loss", 0, "silence", "burst@0.15s:loss=0.3:for=0.2s", true,
+     false},
+};
+
+class Conformance
+    : public ::testing::TestWithParam<std::tuple<ProtoSpec, ScenarioSpec>> {};
+
+std::string param_name(
+    const ::testing::TestParamInfo<Conformance::ParamType>& info) {
+  std::string name = std::string(std::get<0>(info.param).protocol) + "_" +
+                     std::get<1>(info.param).label;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(Conformance, SafetyInvariantsHoldAcrossSeeds) {
+  const auto& [proto, scenario] = GetParam();
+
+  std::uint64_t total_commits = 0;
+  std::uint64_t total_cert_rejects = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    harness::RunSpec spec;
+    spec.cfg.protocol = proto.protocol;
+    spec.cfg.election = proto.election;
+    spec.cfg.n_replicas = 4;
+    spec.cfg.byz_no = scenario.byz;
+    spec.cfg.strategy = scenario.strategy;
+    spec.cfg.churn = scenario.churn;
+    spec.cfg.seed = seed;
+    spec.workload.concurrency = 32;
+    spec.opts.warmup_s = 0.1;
+    spec.opts.measure_s = 0.7;
+
+    const harness::RunResult r = harness::execute(spec);
+    ASSERT_TRUE(r.consistent)
+        << proto.protocol << " / " << scenario.label << " seed " << seed
+        << ": honest replicas committed conflicting chains";
+    ASSERT_EQ(r.safety_violations, 0u)
+        << proto.protocol << " / " << scenario.label << " seed " << seed;
+    if (!scenario.expect_cert_rejects) {
+      // No forger in this scenario: a rejected certificate would mean the
+      // verifier refused an honest quorum's signatures.
+      ASSERT_EQ(r.certs_rejected, 0u)
+          << proto.protocol << " / " << scenario.label << " seed " << seed;
+    }
+    total_commits += r.blocks_committed;
+    total_cert_rejects += r.certs_rejected;
+  }
+
+  if (scenario.expect_commits) {
+    EXPECT_GT(total_commits, 0u)
+        << proto.protocol << " / " << scenario.label
+        << ": no seed committed anything — liveness regression";
+  }
+  if (scenario.expect_cert_rejects) {
+    EXPECT_GT(total_cert_rejects, 0u)
+        << proto.protocol << " / " << scenario.label
+        << ": the forge-qc adversary ran but the CertVerifier never "
+           "rejected a certificate — the check is vacuous";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Conformance,
+                         ::testing::Combine(::testing::ValuesIn(kProtocols),
+                                            ::testing::ValuesIn(kScenarios)),
+                         param_name);
+
+}  // namespace
+}  // namespace bamboo

@@ -1,0 +1,157 @@
+// Liveness regression suite (PR 9): commits must RESUME after the two
+// canonical recovery scenarios — a partition that heals, and a fail-stop
+// leader crash the quorum survives — for every registered protocol
+// family, including the multi-leader FnF-BFT.
+//
+// The resume tests place the whole disturbance inside the warm-up window
+// and measure strictly after it: any protocol whose pacemaker, sync path
+// or (for FnF-BFT) slot-repair pipeline fails to restart the chain shows
+// up as a zero-commit measurement window.
+//
+// The Pinned suite captures one full recovery trajectory per protocol on
+// a fixed seed, byte-stable across runs and thread counts (the same
+// discipline as test_perf_pinned.cpp): a behavior change in the pacemaker
+// slot timers, the stuck-slot probe, the churn engine or the sync path
+// moves these counters and must be re-recorded DELIBERATELY (generator
+// pattern, DESIGN.md) with the diff called out in the PR.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+
+namespace bamboo {
+namespace {
+
+struct Proto {
+  const char* protocol;
+  const char* election;
+};
+
+const Proto kProtocols[] = {
+    {"hotstuff", "roundrobin"},     {"2chs", "roundrobin"},
+    {"streamlet", "roundrobin"},    {"fasthotstuff", "roundrobin"},
+    {"fnfbft", "multi:2"},
+};
+
+harness::RunSpec recovery_spec(const Proto& p, const std::string& churn) {
+  harness::RunSpec spec;
+  spec.cfg.protocol = p.protocol;
+  spec.cfg.election = p.election;
+  spec.cfg.n_replicas = 4;
+  spec.cfg.seed = 7;
+  spec.cfg.churn = churn;
+  spec.workload.concurrency = 32;
+  spec.opts.warmup_s = 0.4;
+  spec.opts.measure_s = 0.6;
+  return spec;
+}
+
+// --- commits resume after the disturbance ---------------------------------
+
+TEST(LivenessResume, AfterPartitionHeals) {
+  // 2-2 split: neither side holds a quorum of 3, so the chain stalls until
+  // the heal at 0.3 s; the measurement window [0.4, 1.0] is entirely
+  // post-heal.
+  for (const Proto& p : kProtocols) {
+    const auto r = harness::execute(
+        recovery_spec(p, "partition@0.1s:groups=0-1|2-3;heal@0.3s"));
+    EXPECT_TRUE(r.consistent) << p.protocol;
+    EXPECT_EQ(r.safety_violations, 0u) << p.protocol;
+    EXPECT_GT(r.blocks_committed, 0u)
+        << p.protocol << ": no commits after the partition healed";
+  }
+}
+
+TEST(LivenessResume, AfterLeaderCrash) {
+  // Replica 1 leads views (and, for FnF-BFT, slots) on rotation; its
+  // fail-stop leaves a 3-of-4 quorum that must keep committing through
+  // the dead leader's turns (timeout/TC or slot repair, per protocol).
+  for (const Proto& p : kProtocols) {
+    const auto r =
+        harness::execute(recovery_spec(p, "crash@0.2s:replica=1"));
+    EXPECT_TRUE(r.consistent) << p.protocol;
+    EXPECT_EQ(r.safety_violations, 0u) << p.protocol;
+    EXPECT_GT(r.blocks_committed, 0u)
+        << p.protocol << ": no commits after the leader crash";
+  }
+}
+
+// --- pinned recovery trajectories, one per protocol -----------------------
+
+harness::RunResult pinned_run(const Proto& p) {
+  return harness::execute(
+      recovery_spec(p, "partition@0.1s:groups=0-1|2-3;heal@0.3s"));
+}
+
+TEST(LivenessPinned, Hotstuff) {
+  const auto r = pinned_run(kProtocols[0]);
+  EXPECT_EQ(r.views, 442u);
+  EXPECT_EQ(r.blocks_committed, 441u);
+  EXPECT_EQ(r.timeouts, 3u);
+  EXPECT_EQ(r.latency_samples, 2046u);
+  EXPECT_EQ(r.net_bytes, 2151545u);
+  EXPECT_EQ(r.certs_verified, 1339u);
+  EXPECT_EQ(r.certs_rejected, 0u);
+  EXPECT_NEAR(r.recovery_ms, 5.0, 1e-9);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(LivenessPinned, TwoChainHotstuff) {
+  const auto r = pinned_run(kProtocols[1]);
+  EXPECT_EQ(r.views, 439u);
+  EXPECT_EQ(r.blocks_committed, 439u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.latency_samples, 2467u);
+  EXPECT_EQ(r.net_bytes, 2419386u);
+  EXPECT_EQ(r.certs_verified, 1317u);
+  EXPECT_EQ(r.certs_rejected, 0u);
+  EXPECT_NEAR(r.recovery_ms, 5.0, 1e-9);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(LivenessPinned, Streamlet) {
+  const auto r = pinned_run(kProtocols[2]);
+  EXPECT_EQ(r.views, 287u);
+  EXPECT_EQ(r.blocks_committed, 287u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.latency_samples, 2040u);
+  EXPECT_EQ(r.net_bytes, 9296619u);
+  EXPECT_EQ(r.certs_verified, 4305u);
+  EXPECT_EQ(r.certs_rejected, 0u);
+  EXPECT_NEAR(r.recovery_ms, 5.0, 1e-9);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(LivenessPinned, FastHotstuff) {
+  const auto r = pinned_run(kProtocols[3]);
+  EXPECT_EQ(r.views, 439u);
+  EXPECT_EQ(r.blocks_committed, 439u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.latency_samples, 2467u);
+  EXPECT_EQ(r.net_bytes, 2419386u);
+  EXPECT_EQ(r.certs_verified, 1317u);
+  EXPECT_EQ(r.certs_rejected, 0u);
+  EXPECT_NEAR(r.recovery_ms, 5.0, 1e-9);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(LivenessPinned, FnfBft) {
+  const auto r = pinned_run(kProtocols[4]);
+  // Two slots per view: committed blocks run ahead of views — the
+  // multi-leader capture also pins the slot pipeline's shape.
+  EXPECT_EQ(r.views, 259u);
+  EXPECT_EQ(r.blocks_committed, 518u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.latency_samples, 956u);
+  EXPECT_EQ(r.net_bytes, 1980374u);
+  EXPECT_EQ(r.certs_verified, 3105u);
+  EXPECT_EQ(r.certs_rejected, 0u);
+  EXPECT_DOUBLE_EQ(r.recovery_ms, 0.0);
+  EXPECT_TRUE(r.consistent);
+}
+
+}  // namespace
+}  // namespace bamboo

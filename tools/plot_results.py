@@ -107,6 +107,8 @@ def classify(rows: list[dict], name: str = "") -> str:
             return "recovery"
         if "fig18" in name and "hist_p999_ms" in rows[0]:
             return "saturation"
+        if "democracy" in name and "proposer_gini" in rows[0]:
+            return "democracy"
         return "sweep"
     return "runs"
 
@@ -230,6 +232,55 @@ def plot_saturation(plt, artifact: dict, out_path: Path) -> None:
         ax.grid(True, alpha=0.3)
     ax_good.legend(fontsize=7)
     ax_tail.legend(fontsize=6, ncol=2)
+    fig.suptitle(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def decode_commit_share(encoded: str) -> dict[int, int]:
+    """Decode the sparse "id:count;id:count" commit-share column."""
+    counts: dict[int, int] = {}
+    for part in str(encoded).split(";"):
+        if not part:
+            continue
+        replica, _, count = part.partition(":")
+        counts[int(replica)] = int(count)
+    return counts
+
+
+def plot_democracy(plt, artifact: dict, out_path: Path) -> None:
+    """Democracy panel (bench_fig19_democracy): chain quality (solid) and
+    proposer Gini (dashed) across the adversarial scenario grid, and the
+    per-replica commit-share distribution in the last (most adversarial)
+    scenario. A flat right panel is an even proposer lottery; spikes mean
+    a few replicas own the committed chain."""
+    grouped = series_of(artifact["rows"], "aggregate")
+    fig, (ax_q, ax_share) = plt.subplots(1, 2, figsize=(11, 4.2))
+    n_series = max(len(grouped), 1)
+    bar_w = 0.8 / n_series
+    for idx, (label, rows) in enumerate(grouped.items()):
+        scenario = floats(rows, "offered")
+        ax_q.plot(scenario, floats(rows, "chain_quality"), marker="o",
+                  label=f"{label} CQ")
+        ax_q.plot(scenario, floats(rows, "proposer_gini"), marker=".",
+                  linestyle="--", alpha=0.7, label=f"{label} gini")
+        counts = decode_commit_share(rows[-1].get("commit_share", ""))
+        total = sum(counts.values())
+        if total:
+            ids = sorted(counts)
+            xs = [r + (idx - (n_series - 1) / 2) * bar_w for r in ids]
+            ax_share.bar(xs, [counts[r] / total for r in ids], width=bar_w,
+                         label=label)
+    ax_q.set_xlabel("scenario index")
+    ax_q.set_ylabel("chain quality / proposer Gini")
+    ax_q.set_ylim(bottom=0)
+    ax_share.set_xlabel("replica id")
+    ax_share.set_ylabel("commit share (last scenario)")
+    for ax in (ax_q, ax_share):
+        ax.grid(True, alpha=0.3)
+    ax_q.legend(fontsize=6, ncol=2)
+    ax_share.legend(fontsize=7)
     fig.suptitle(artifact["name"])
     fig.tight_layout()
     fig.savefig(out_path)
@@ -388,6 +439,7 @@ def main() -> int:
     out_dir = Path(args.svg_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     renderers = {"sweep": plot_sweep, "timeline": plot_timeline,
+                 "democracy": plot_democracy,
                  "recovery": plot_recovery, "saturation": plot_saturation,
                  "table": plot_table}
     written = 0
