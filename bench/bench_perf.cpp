@@ -21,10 +21,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <unistd.h>
+
 #include <vector>
 
 #include "client/workload.h"
@@ -37,6 +40,7 @@
 #include "quorum/cert_verifier.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
+#include "storage/block_store.h"
 #include "sync/syncer.h"
 #include "types/block.h"
 #include "types/messages.h"
@@ -392,6 +396,44 @@ Metric bm_churn_dispatch(const Options& opt) {
 }
 
 // ---------------------------------------------------------------------------
+// Durable ledger append: the file-backed block store's hot path (encode +
+// checksum + buffered write), the per-commit cost of store = "file" runs.
+// ---------------------------------------------------------------------------
+
+Metric bm_store_append(const Options& opt) {
+  const std::uint64_t iters = scaled(opt, 20'000);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bamboo-perf-store-" + std::to_string(::getpid()) + ".blk"))
+          .string();
+  // Distinct blocks built outside the timed loop: append() dedupes by
+  // hash, so a repeated block would measure the no-op path.
+  std::vector<types::BlockPtr> blocks;
+  blocks.reserve(iters);
+  crypto::Digest parent = types::Block::genesis()->hash();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    types::Block::Fields f;
+    f.parent_hash = parent;
+    f.view = i + 1;
+    f.height = i + 1;
+    f.txns.resize(128);
+    for (std::size_t t = 0; t < f.txns.size(); ++t) f.txns[t].id = t;
+    blocks.push_back(std::make_shared<const types::Block>(std::move(f)));
+    parent = blocks.back()->hash();
+  }
+  double wall = 0;
+  {
+    storage::FileBlockStore store(path);
+    const double t0 = now_s();
+    for (const types::BlockPtr& block : blocks) store.append(block);
+    wall = now_s() - t0;
+  }
+  std::filesystem::remove(path);
+  return {"store_append", static_cast<double>(iters) / wall / 1e3,
+          "Kappends/s", iters, wall};
+}
+
+// ---------------------------------------------------------------------------
 // Output
 // ---------------------------------------------------------------------------
 
@@ -423,6 +465,7 @@ int run(const Options& opt) {
   add(bm_block_wire_size(opt));
   add(bm_verify_pipeline(opt));
   add(bm_churn_dispatch(opt));
+  add(bm_store_append(opt));
   for (const char* protocol : {"hotstuff", "2chs", "streamlet"}) {
     add(bm_e2e_protocol(opt, protocol));
   }

@@ -5,17 +5,22 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/quickstart [protocol] [topology] [link_model] [churn-dsl] \
-//                      [workload] [mempool]
+//                      [workload] [mempool] [store]
 // where protocol is one of: hotstuff (default), 2chs, streamlet,
 // fasthotstuff; topology is a WAN scenario spec (e.g. "wan:3:40",
 // "slow-leader:20"); link_model is normal | uniform | lognormal | pareto;
 // churn-dsl is a network-churn schedule (docs/SCENARIOS.md); workload is
 // "closed[:sessions]" (default closed:256) or "open:<tps>[:arrival-dsl]"
 // (docs/OVERLOAD.md, e.g. "open:40000:burst:1x0.2,4x0.1"); mempool is
-// "<memsize>[:admission-dsl]" (e.g. "2000:priority:0.1"). Try:
+// "<memsize>[:admission-dsl]" (e.g. "2000:priority:0.1"); store is
+// "memory" (default) or "file[:retention]" — the durable block store that
+// crash-restart churn replays on restart (docs/SCENARIOS.md recipe 17).
+// Try:
 //   ./build/quickstart hotstuff wan:3:40 pareto
 //   ./build/quickstart hotstuff uniform normal 'partition@0.5s:...;heal@0.8s'
 //   ./build/quickstart hotstuff uniform normal '' open:120000 2000:backoff:5
+//   ./build/quickstart hotstuff uniform normal \
+//       'crash-restart@0.5s:replica=2:for=0.2s' '' '' file
 
 #include <cstdlib>
 #include <iostream>
@@ -63,12 +68,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (argc > 6) {
+  if (argc > 6 && argv[6][0] != '\0') {
     const std::string spec = argv[6];
     const std::size_t colon = spec.find(':');
     cfg.memsize = static_cast<std::uint32_t>(
         std::atoi(spec.substr(0, colon).c_str()));
     if (colon != std::string::npos) cfg.admission = spec.substr(colon + 1);
+  }
+  if (argc > 7 && argv[7][0] != '\0') {
+    const std::string spec = argv[7];
+    const std::size_t colon = spec.find(':');
+    cfg.store = spec.substr(0, colon);
+    if (colon != std::string::npos) {
+      cfg.retention = static_cast<std::uint32_t>(
+          std::atoi(spec.c_str() + colon + 1));
+    }
   }
 
   harness::RunOptions opts;
@@ -114,6 +128,12 @@ int main(int argc, char** argv) {
               << ", rejected " << r.mem_rejected << ")\n"
               << "latency (hist) : p50 " << r.hist_p50_ms << " / p99 "
               << r.hist_p99_ms << " / p999 " << r.hist_p999_ms << " ms\n";
+  }
+  if (cfg.store != "memory" || r.restarts > 0) {
+    std::cout << "durability     : " << r.disk_bytes_written << " B to the "
+              << cfg.store << " store (write amp " << r.write_amplification
+              << "), " << r.store_reads << " store reads, " << r.restarts
+              << " crash-restart(s) replayed from disk\n";
   }
   std::cout << "latency (mean) : " << r.latency_ms_mean << " ms\n"
             << "latency (p99)  : " << r.latency_ms_p99 << " ms\n"

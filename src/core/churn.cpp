@@ -17,6 +17,7 @@ const char* churn_kind_name(ChurnKind kind) {
     case ChurnKind::kLossBurst: return "burst";
     case ChurnKind::kFluctuation: return "fluct";
     case ChurnKind::kCrash: return "crash";
+    case ChurnKind::kCrashRestart: return "crash-restart";
     case ChurnKind::kSilence: return "silence";
   }
   return "?";
@@ -181,8 +182,16 @@ ChurnEvent parse_event(const std::string& raw) {
   const std::string kind_name = head.substr(0, at);
 
   ChurnEvent ev;
-  ev.at_s = parse_time_s(head.substr(at + 1), text, "event time");
-  if (ev.at_s < 0) fail(text, "event time must be >= 0");
+  const std::string when = head.substr(at + 1);
+  if (when == "timeout") {
+    // Conditional trigger: fires at the first observed pacemaker timeout.
+    // Must be recognized before parse_time_s, which demands an s/ms unit.
+    ev.on_timeout = true;
+    ev.at_s = 0;
+  } else {
+    ev.at_s = parse_time_s(when, text, "event time");
+    if (ev.at_s < 0) fail(text, "event time must be >= 0");
+  }
 
   bool have_target = false, have_delta = false, have_loss = false,
        have_for = false, have_lo = false, have_hi = false,
@@ -320,16 +329,32 @@ ChurnEvent parse_event(const std::string& raw) {
     if (ev.lo_ms < 0 || ev.hi_ms < ev.lo_ms) {
       fail(text, "fluctuation bounds want 0 <= lo <= hi");
     }
-  } else if (kind_name == "crash" || kind_name == "silence") {
-    ev.kind = kind_name == "crash" ? ChurnKind::kCrash : ChurnKind::kSilence;
+  } else if (kind_name == "crash" || kind_name == "silence" ||
+             kind_name == "crash-restart") {
+    ev.kind = kind_name == "crash"
+                  ? ChurnKind::kCrash
+                  : kind_name == "silence" ? ChurnKind::kSilence
+                                           : ChurnKind::kCrashRestart;
     for (std::size_t i = 1; i < parts.size(); ++i) parse_common(parts[i]);
     if (!have_replica) fail(text, kind_name + " needs replica=<id>");
-    if (have_delta || have_loss || have_for || have_lo || have_hi ||
-        have_every) {
+    if (ev.kind == ChurnKind::kCrashRestart) {
+      if (have_delta || have_loss || have_lo || have_hi || have_every) {
+        fail(text, "crash-restart takes replica=<id> and an optional "
+                   "for=<downtime> only");
+      }
+    } else if (have_delta || have_loss || have_for || have_lo || have_hi ||
+               have_every) {
       fail(text, kind_name + " takes only replica=<id>");
     }
   } else {
     fail(text, "unknown event kind '" + kind_name + "'");
+  }
+  if (ev.on_timeout && ev.kind != ChurnKind::kLinkDegrade &&
+      ev.kind != ChurnKind::kCrash && ev.kind != ChurnKind::kCrashRestart) {
+    fail(text, "@timeout is only valid on degrade, crash and crash-restart");
+  }
+  if (ev.on_timeout && ev.every_s > 0) {
+    fail(text, "@timeout events are one-shot: every= is not allowed");
   }
   return ev;
 }
@@ -365,7 +390,7 @@ std::string format_target(const ChurnEvent& ev) {
 
 std::string format_event(const ChurnEvent& ev) {
   std::string out = churn_kind_name(ev.kind);
-  out += "@" + num(ev.at_s) + "s";
+  out += ev.on_timeout ? "@timeout" : "@" + num(ev.at_s) + "s";
   switch (ev.kind) {
     case ChurnKind::kLinkDegrade:
       out += format_target(ev);
@@ -400,6 +425,10 @@ std::string format_event(const ChurnEvent& ev) {
     case ChurnKind::kCrash:
     case ChurnKind::kSilence:
       out += ":replica=" + std::to_string(ev.a);
+      break;
+    case ChurnKind::kCrashRestart:
+      out += ":replica=" + std::to_string(ev.a);
+      if (ev.for_s > 0) out += ":for=" + num(ev.for_s) + "s";
       break;
   }
   if (ev.every_s > 0) out += ":every=" + num(ev.every_s) + "s";

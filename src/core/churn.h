@@ -38,8 +38,19 @@
 //                                 gains extra one-way delay ~ Uniform[L, H]
 //                                 for duration D (the paper's Fig. 15 knob)
 //   crash@T:replica=I             fail-stop replica I
+//   crash-restart@T:replica=I[:for=D]  fail-stop replica I, then after
+//                                 downtime D (default 0s) rebuild it from
+//                                 its durable BlockStore and restart it
+//                                 (crash-recovery experiments)
 //   silence@T:replica=I           replica I stops proposing (Fig. 15's
 //                                 "silence attack (crash)")
+//
+// degrade, crash and crash-restart also accept the conditional trigger
+// time '@timeout': the event fires at the FIRST pacemaker timeout
+// observed anywhere in the cluster instead of at a wall-clock instant
+// (checked on a fixed 5 ms cadence, so it stays deterministic). A
+// conditional event is one-shot: combining '@timeout' with every= is
+// rejected.
 //
 // degrade, restore, burst and fluct additionally accept every=<dur>: the
 // event re-fires every <dur> of simulated time until the end of the run
@@ -86,6 +97,7 @@ enum class ChurnKind {
   kLossBurst,
   kFluctuation,
   kCrash,
+  kCrashRestart,
   kSilence,
 };
 
@@ -107,6 +119,10 @@ enum class ChurnTarget {
 struct ChurnEvent {
   ChurnKind kind = ChurnKind::kLinkDegrade;
   double at_s = 0;  ///< simulated seconds from run start
+  /// Conditional trigger ('@timeout'): fire at the first pacemaker
+  /// timeout observed cluster-wide instead of at at_s (which is 0 then).
+  /// Only degrade / crash / crash-restart support it.
+  bool on_timeout = false;
 
   // --- link target (degrade / restore / burst) ---------------------------
   ChurnTarget target = ChurnTarget::kAll;
@@ -119,7 +135,8 @@ struct ChurnEvent {
   // --- per-kind parameters ----------------------------------------------
   double extra_ms = 0;  ///< degrade: one-way delay delta (may be negative)
   double loss = 0;      ///< burst: per-message loss probability [0, 1)
-  double for_s = 0;     ///< burst / fluct: window length (s), > 0
+  double for_s = 0;  ///< burst / fluct: window length (s), > 0;
+                     ///< crash-restart: downtime before the rebuild (>= 0)
   double lo_ms = 0;     ///< fluct: extra delay lower bound (one-way ms)
   double hi_ms = 0;     ///< fluct: extra delay upper bound (>= lo)
   /// degrade / restore / burst / fluct: re-fire period (s); 0 = one-shot.

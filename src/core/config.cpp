@@ -65,6 +65,15 @@ void Config::validate() const {
     throw std::invalid_argument("sync_batch must be >= 1");
   if (sync_timeout <= 0)
     throw std::invalid_argument("sync_timeout must be positive");
+  if (sync_pipeline == 0)
+    throw std::invalid_argument("sync_pipeline must be >= 1");
+  if (snapshot_chunk < 32)
+    throw std::invalid_argument(
+        "snapshot_chunk must hold at least one 32-byte hash");
+  if (store != "memory" && store != "file")
+    throw std::invalid_argument("unknown block store kind: " + store);
+  if (store_append_latency < 0 || store_read_latency < 0)
+    throw std::invalid_argument("store latencies must be >= 0");
   (void)parse_strategy(strategy);  // throws on unknown strategy
   (void)parse_verify_strategy(verify_strategy);  // throws on unknown strategy
   if (cpu_workers == 0)
@@ -128,6 +137,20 @@ Config Config::from_json(const util::Json& j) {
       "sync_timeout_ms", sim::to_milliseconds(c.sync_timeout)));
   c.sync_retries =
       static_cast<std::uint32_t>(j.get_int("sync_retries", c.sync_retries));
+  c.sync_pipeline =
+      static_cast<std::uint32_t>(j.get_int("sync_pipeline", c.sync_pipeline));
+  c.snapshot_gap =
+      static_cast<std::uint32_t>(j.get_int("snapshot_gap", c.snapshot_gap));
+  c.snapshot_chunk =
+      static_cast<std::uint32_t>(j.get_int("snapshot_chunk", c.snapshot_chunk));
+  c.store = j.get_string("store", c.store);
+  c.store_path = j.get_string("store_path", c.store_path);
+  c.retention =
+      static_cast<std::uint32_t>(j.get_int("retention", c.retention));
+  c.store_append_latency = sim::microseconds(j.get_int(
+      "store_append_us", c.store_append_latency / sim::kMicrosecond));
+  c.store_read_latency = sim::microseconds(j.get_int(
+      "store_read_us", c.store_read_latency / sim::kMicrosecond));
   c.rtt_mean = sim::from_milliseconds(
       j.get_number("rtt_ms", sim::to_milliseconds(c.rtt_mean)));
   c.rtt_stddev = sim::from_milliseconds(j.get_number(
@@ -186,6 +209,18 @@ util::Json Config::to_json() const {
             util::Json(sim::to_milliseconds(sync_timeout)));
   o.emplace("sync_retries",
             util::Json(static_cast<std::int64_t>(sync_retries)));
+  o.emplace("sync_pipeline",
+            util::Json(static_cast<std::int64_t>(sync_pipeline)));
+  o.emplace("snapshot_gap",
+            util::Json(static_cast<std::int64_t>(snapshot_gap)));
+  o.emplace("snapshot_chunk",
+            util::Json(static_cast<std::int64_t>(snapshot_chunk)));
+  o.emplace("store", util::Json(store));
+  o.emplace("retention", util::Json(static_cast<std::int64_t>(retention)));
+  o.emplace("store_append_us",
+            util::Json(store_append_latency / sim::kMicrosecond));
+  o.emplace("store_read_us",
+            util::Json(store_read_latency / sim::kMicrosecond));
   o.emplace("rtt_ms", util::Json(sim::to_milliseconds(rtt_mean)));
   o.emplace("verify_strategy", util::Json(verify_strategy));
   o.emplace("cpu_workers",

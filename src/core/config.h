@@ -119,6 +119,35 @@ struct Config {
   /// Peer-rotating retries per fetch after the first attempt; the entry
   /// expires afterwards so a later trigger starts fresh.
   std::uint32_t sync_retries = 3;
+  /// Max parallel in-flight range fetches the syncer issues against one
+  /// known gap (proactive pipelined sync). 1 (default) keeps the legacy
+  /// serial locator walk: one request, one response, one continuation.
+  std::uint32_t sync_pipeline = 1;
+  /// Catch-up gap (blocks) at or beyond which the syncer requests a
+  /// snapshot instead of chain-syncing the whole range. 0 (default) =
+  /// snapshot transfer disabled; every gap chain-syncs.
+  std::uint32_t snapshot_gap = 0;
+  /// Committed-hash payload bytes carried per SnapshotChunkMsg.
+  std::uint32_t snapshot_chunk = 4096;
+
+  // --- durable ledger (storage/block_store.h) -----------------------------
+  /// Committed-block store backing each replica: "memory" (default; no
+  /// file I/O, schedules bit-compatible with the pre-storage engine) or
+  /// "file" (append log + index, one log per replica under store_path).
+  std::string store = "memory";
+  /// Directory for file-backed stores. Empty (default) = a per-cluster
+  /// scratch directory under the system temp dir, removed on teardown.
+  std::string store_path;
+  /// Committed blocks kept in the in-memory forest behind the committed
+  /// tip; older vertices are pruned to the store. 0 (default) = infinite
+  /// retention, the legacy keep-everything behavior.
+  std::uint32_t retention = 0;
+  /// Simulated latency charged through the replica's CPU workers per
+  /// store append / point read. 0 (default) models an async write-behind
+  /// log that never stalls consensus — and adds no simulated events, so
+  /// default schedules stay byte-identical.
+  sim::Duration store_append_latency = 0;
+  sim::Duration store_read_latency = 0;
   sim::Duration cpu_sign = sim::microseconds(50);     ///< secp256k1 sign
   sim::Duration cpu_verify = sim::microseconds(80);   ///< secp256k1 verify
   /// Per-transaction server-side request handling (HTTP parse, mempool

@@ -43,7 +43,9 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
               [this](View v, types::Slot s) { on_slot_stuck(v, s); }}),
       syncer_(simulator, forest_,
               sync::Syncer::Settings{config.sync_batch, config.sync_timeout,
-                                     config.sync_retries},
+                                     config.sync_retries, config.sync_pipeline,
+                                     config.snapshot_gap,
+                                     config.snapshot_chunk},
               id, config.n_replicas,
               sync::Syncer::Hooks{
                   [this](types::NodeId to, types::MessagePtr msg) {
@@ -51,6 +53,22 @@ Replica::Replica(sim::Simulator& simulator, net::SimNetwork& network,
                   },
                   [this](const types::BlockPtr& block, types::NodeId from) {
                     return ingest_synced_block(block, from);
+                  },
+                  [this](const types::QuorumCert& qc) { return verify_qc(qc); },
+                  [this](const types::BlockPtr& anchor,
+                         const types::QuorumCert& qc,
+                         const std::vector<crypto::Digest>& hashes) {
+                    if (!forest_.install_snapshot(anchor, qc, hashes)) {
+                      return false;
+                    }
+                    // Adopt the anchor certificate into protocol state: it is
+                    // the freshest QC this replica knows, so processing it
+                    // catches the pacemaker (and safety rules) up to the
+                    // serving peer's view in one step.
+                    if (store_) store_->append(anchor);
+                    process_qc(qc, id_);
+                    retry_pending_proposals();
+                    return true;
                   }}) {
   verify_strategy_ = parse_verify_strategy(config.verify_strategy);
 }
@@ -196,6 +214,21 @@ sim::Duration Replica::cost_of(const types::Message& msg) {
       // The carried quorum of signatures, under the strategy cost model.
       return cfg.cpu_verify + self.charge_qc(m.qc);
     }
+    sim::Duration operator()(const types::SnapshotRequestMsg&) const {
+      // Serving a snapshot scans the committed-hash chain to slice it into
+      // chunks: a small flat charge plus a per-committed-block scan cost.
+      return sim::microseconds(2) +
+             static_cast<sim::Duration>(self.forest_.committed_height()) * 10;
+    }
+    sim::Duration operator()(const types::SnapshotChunkMsg& m) const {
+      // Hashing the chunk's digest payload into the state root, plus — on
+      // the final chunk — the anchor block's signature/QC verification.
+      sim::Duration cost = static_cast<sim::Duration>(m.hashes.size()) * 50;
+      if (m.anchor) {
+        cost += cfg.cpu_verify + self.charge_qc(m.anchor_qc);
+      }
+      return cost;
+    }
   };
   return std::visit(Visitor{*this, cfg_}, msg);
 }
@@ -287,6 +320,12 @@ void Replica::dispatch(const net::Envelope& env) {
     syncer_.on_request(std::get<types::ChainRequestMsg>(msg), env.from);
   } else if (std::holds_alternative<types::ChainResponseMsg>(msg)) {
     syncer_.on_response(std::get<types::ChainResponseMsg>(msg), env.from);
+  } else if (std::holds_alternative<types::SnapshotRequestMsg>(msg)) {
+    syncer_.on_snapshot_request(std::get<types::SnapshotRequestMsg>(msg),
+                                env.from);
+  } else if (std::holds_alternative<types::SnapshotChunkMsg>(msg)) {
+    syncer_.on_snapshot_chunk(std::get<types::SnapshotChunkMsg>(msg),
+                              env.from);
   } else if (std::holds_alternative<types::QcMsg>(msg)) {
     on_qc_msg(std::get<types::QcMsg>(msg), env.from);
   }
@@ -532,6 +571,15 @@ void Replica::do_commit(const crypto::Digest& target) {
   }
   for (const BlockPtr& block : *chain) {
     ++stats_.blocks_committed;
+    // Durable ledger: commit order IS append order, so the store doubles as
+    // a write-ahead commit log for crash-restart recovery. The simulated
+    // write stall (0 by default) occupies a CPU worker like any other work.
+    if (store_ && !block->is_genesis()) {
+      store_->append(block);
+      if (cfg_.store_append_latency > 0) {
+        enqueue_cpu(cfg_.store_append_latency, [] {});
+      }
+    }
     if (hooks_.on_commit_block) {
       hooks_.on_commit_block(block, pacemaker_.current_view(), sim_.now());
     }
@@ -557,6 +605,44 @@ void Replica::do_commit(const crypto::Digest& target) {
       if (tx.serving_replica == id_) mine.push_back(tx);
     }
     if (!mine.empty()) mempool_.recycle(mine);
+  }
+
+  // Retention pruning: cap the in-memory forest to the last `retention`
+  // committed blocks; older bodies live only in the store (0 = keep all).
+  if (cfg_.retention > 0 && forest_.committed_height() > cfg_.retention) {
+    forest_.prune_below(forest_.committed_height() - cfg_.retention);
+  }
+}
+
+void Replica::reload_from_store() {
+  if (!store_ || store_->empty()) return;
+  // Append-order replay: each record connects to the already-rebuilt prefix
+  // unless the log has a snapshot hole (blocks after an installed anchor
+  // whose gap bodies were never fetched) — those buffer as orphans and
+  // reconnect via live sync once the gap closes again.
+  BlockPtr best;
+  store_->replay([this, &best](const BlockPtr& block) {
+    if (!block || block->is_genesis()) return;
+    if (forest_.add(block) != forest::AddResult::kAdded) return;
+    // Each block's justify certifies its parent; restoring them makes the
+    // rebuilt replica able to serve chain-sync (and snapshots) again.
+    forest_.add_qc(block->justify());
+    if (!best || block->height() > best->height()) best = block;
+  });
+  if (cfg_.store_read_latency > 0) {
+    enqueue_cpu(
+        static_cast<sim::Duration>(store_->size()) * cfg_.store_read_latency,
+        [] {});
+  }
+  if (!best) return;
+  // Commit the recovered prefix directly (no hooks / stats: the pre-crash
+  // instance already counted these commits and answered their clients).
+  forest_.commit(best->hash());
+  if (const types::QuorumCert* qc = forest_.qc_for(best->hash())) {
+    forest_.add_qc(*qc);
+  }
+  if (cfg_.retention > 0 && forest_.committed_height() > cfg_.retention) {
+    forest_.prune_below(forest_.committed_height() - cfg_.retention);
   }
 }
 

@@ -21,6 +21,7 @@
 #include "quorum/cert_verifier.h"
 #include "quorum/vote_aggregator.h"
 #include "sim/simulator.h"
+#include "storage/block_store.h"
 #include "sync/syncer.h"
 
 namespace bamboo::core {
@@ -90,6 +91,17 @@ class Replica {
   /// drops all traffic and fires no timers.
   void crash();
 
+  /// Attach the durable block store committed blocks are appended to. The
+  /// store outlives the replica (the Cluster owns it), which is what makes
+  /// crash-restart recovery possible. Call before start().
+  void set_store(storage::BlockStore* store) { store_ = store; }
+
+  /// Crash-restart recovery: rebuild the committed chain from the attached
+  /// store (append-order replay, then commit the deepest connected block).
+  /// Blocks after a snapshot hole stay buffered as orphans and reconnect
+  /// via live sync. Call after set_store() and before start().
+  void reload_from_store();
+
   /// Switch the Byzantine strategy at runtime (the Fig. 15 experiment
   /// turns one replica silent mid-run). Not valid on a crashed replica.
   void set_strategy(ByzStrategy strategy) { strategy_ = strategy; }
@@ -113,6 +125,7 @@ class Replica {
   [[nodiscard]] const sync::SyncStats& sync_stats() const {
     return syncer_.stats();
   }
+  [[nodiscard]] const storage::BlockStore* store() const { return store_; }
 
  private:
   // --- CPU queue ----------------------------------------------------------
@@ -199,6 +212,7 @@ class Replica {
   Hooks hooks_;
   ByzStrategy strategy_ = ByzStrategy::kHonest;
 
+  storage::BlockStore* store_ = nullptr;  ///< owned by the Cluster
   forest::BlockForest forest_;
   mempool::Mempool mempool_;
   quorum::VoteAggregator votes_;

@@ -258,6 +258,75 @@ std::vector<BlockPtr> BlockForest::prune() {
   return dropped;
 }
 
+std::size_t BlockForest::prune_below(types::Height horizon) {
+  if (horizon > committed_tip_->height()) horizon = committed_tip_->height();
+  std::size_t dropped = 0;
+  for (auto it = vertices_.begin(); it != vertices_.end();) {
+    const Vertex& v = it->second;
+    if (!v.committed || v.block->height() >= horizon) {
+      ++it;
+      continue;
+    }
+    qcs_.erase(it->first);
+    it = vertices_.erase(it);
+    ++dropped;
+  }
+  if (dropped == 0) return 0;
+  for (auto& [hash, vertex] : vertices_) {
+    auto& ch = vertex.children;
+    ch.erase(std::remove_if(ch.begin(), ch.end(),
+                            [this](const crypto::Digest& c) {
+                              return vertices_.count(c) == 0;
+                            }),
+             ch.end());
+  }
+  // The certified-tip cache cannot point below the committed tip once
+  // anything was dropped below it; refresh defensively anyway.
+  if (!longest_certified_ ||
+      vertices_.count(longest_certified_->hash()) == 0) {
+    longest_certified_ = committed_tip_;
+  }
+  return dropped;
+}
+
+bool BlockForest::install_snapshot(const BlockPtr& anchor,
+                                   const QuorumCert& anchor_qc,
+                                   const std::vector<crypto::Digest>& hashes) {
+  if (!anchor || anchor_qc.block_hash != anchor->hash()) return false;
+  if (anchor->height() <= committed_tip_->height()) return false;  // stale
+  if (hashes.size() != anchor->height() + 1) return false;
+  if (hashes.back() != anchor->hash()) return false;
+  // The snapshot must agree with everything this replica already
+  // committed — a mismatched prefix is a Byzantine snapshot, not a merge.
+  for (std::size_t h = 0; h < committed_hashes_.size(); ++h) {
+    if (hashes[h] != committed_hashes_[h]) return false;
+  }
+
+  committed_hashes_ = hashes;
+  Vertex v;
+  v.block = anchor;
+  v.committed = true;
+  auto [it, inserted] = vertices_.emplace(anchor->hash(), std::move(v));
+  if (!inserted) it->second.committed = true;
+  // Mark any locally present blocks on the snapshot chain committed (the
+  // gap region is absent by definition, but blocks near our old tip may
+  // overlap the chain).
+  for (const crypto::Digest& h : committed_hashes_) {
+    const auto vit = vertices_.find(h);
+    if (vit != vertices_.end()) vit->second.committed = true;
+  }
+  committed_tip_ = anchor;
+  add_qc(anchor_qc);
+  if (!longest_certified_ ||
+      anchor->height() > longest_certified_->height()) {
+    longest_certified_ = anchor;
+  }
+  // Buffered children of the anchor (from concurrent chain sync or live
+  // traffic) can connect now.
+  flush_orphans_of(anchor->hash());
+  return true;
+}
+
 BlockPtr BlockForest::longest_certified_tip() const {
   return longest_certified_ ? longest_certified_ : committed_tip_;
 }
@@ -272,12 +341,16 @@ std::vector<crypto::Digest> BlockForest::missing_parents() const {
 }
 
 bool BlockForest::buffered(const crypto::Digest& hash) const {
+  return buffered_get(hash) != nullptr;
+}
+
+types::BlockPtr BlockForest::buffered_get(const crypto::Digest& hash) const {
   for (const auto& [parent_hash, bucket] : orphans_) {
     for (const BlockPtr& b : bucket) {
-      if (b->hash() == hash) return true;
+      if (b->hash() == hash) return b;
     }
   }
-  return false;
+  return nullptr;
 }
 
 std::size_t BlockForest::orphan_count() const {

@@ -81,10 +81,35 @@ class BlockForest {
   [[nodiscard]] std::optional<crypto::Digest> committed_hash_at(
       types::Height h) const;
 
+  /// The whole committed-hash chain, indexed by height (snapshot builds
+  /// serve slices of this; never pruned, 32 bytes per committed block).
+  [[nodiscard]] const std::vector<crypto::Digest>& committed_hashes() const {
+    return committed_hashes_;
+  }
+
   /// Drop every block that is not on the main chain and not a descendant of
   /// the committed tip. Returns the dropped blocks (the forked-out blocks
   /// whose transactions the replica recycles into its mempool).
   std::vector<types::BlockPtr> prune();
+
+  /// Retention pruning (durable ledger): drop committed vertices strictly
+  /// below `horizon` from the in-memory forest. Their bodies live in the
+  /// replica's BlockStore; their hashes stay in committed_hashes_, so
+  /// consistency checks and snapshot serving are unaffected. Returns the
+  /// number of vertices dropped (these are NOT forks — their transactions
+  /// committed — so they are not recycled).
+  std::size_t prune_below(types::Height horizon);
+
+  /// Snapshot install (state transfer): adopt `hashes` — the serving
+  /// peer's committed-hash chain for heights [0, anchor->height()] — and
+  /// `anchor` as the new committed tip, certified by `anchor_qc` (already
+  /// verified by the caller through quorum::CertVerifier). Refuses (false,
+  /// no change) when the snapshot is stale (anchor at or below our
+  /// committed tip), internally inconsistent (length/tail mismatch), or
+  /// conflicts with a hash this replica already committed.
+  bool install_snapshot(const types::BlockPtr& anchor,
+                        const types::QuorumCert& anchor_qc,
+                        const std::vector<crypto::Digest>& hashes);
 
   /// Tip of the longest certified ("notarized") chain — Streamlet's
   /// proposing base. Ties break toward the higher view, then lower hash.
@@ -96,6 +121,10 @@ class BlockForest {
   /// True if `hash` sits in the orphan buffer: the block arrived (e.g.
   /// via a sync batch) but is not yet connected to the forest.
   [[nodiscard]] bool buffered(const crypto::Digest& hash) const;
+
+  /// The buffered orphan with this hash, if any (pipelined sync descends
+  /// through fetched-but-unconnected segments to the first real hole).
+  [[nodiscard]] types::BlockPtr buffered_get(const crypto::Digest& hash) const;
 
   [[nodiscard]] std::size_t size() const { return vertices_.size(); }
   [[nodiscard]] std::size_t orphan_count() const;

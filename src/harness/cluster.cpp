@@ -1,5 +1,9 @@
 #include "harness/cluster.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <sstream>
 
 #include "crypto/sha256.h"
@@ -40,6 +44,53 @@ net::NetConfig net_config_of(const core::Config& cfg) {
   return nc;
 }
 
+/// Process-wide sequence for auto-generated store directories: two
+/// clusters in one process (or one test re-running) never collide. The
+/// path is outside the simulation — it never affects schedules.
+std::string next_store_dir() {
+  static std::atomic<std::uint64_t> seq{0};
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("bamboo-ledger-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(seq.fetch_add(1)));
+  return base.string();
+}
+
+/// Field-wise accumulate (restart_replica's retired bookkeeping).
+void fold(core::ReplicaStats& into, const core::ReplicaStats& s) {
+  into.blocks_proposed += s.blocks_proposed;
+  into.blocks_received += s.blocks_received;
+  into.blocks_committed += s.blocks_committed;
+  into.blocks_forked += s.blocks_forked;
+  into.txs_committed += s.txs_committed;
+  into.votes_sent += s.votes_sent;
+  into.msgs_handled += s.msgs_handled;
+  into.client_rejections += s.client_rejections;
+  into.safety_violations += s.safety_violations;
+  into.certs_verified += s.certs_verified;
+  into.certs_rejected += s.certs_rejected;
+  into.cpu_busy += s.cpu_busy;
+}
+
+void fold(sync::SyncStats& into, const sync::SyncStats& s) {
+  into.requests_sent += s.requests_sent;
+  into.timeouts += s.timeouts;
+  into.retries += s.retries;
+  into.exhausted += s.exhausted;
+  into.responses_applied += s.responses_applied;
+  into.responses_rejected += s.responses_rejected;
+  into.blocks_applied += s.blocks_applied;
+  into.blocks_rejected += s.blocks_rejected;
+  into.bytes_received += s.bytes_received;
+  into.requests_served += s.requests_served;
+  into.blocks_served += s.blocks_served;
+  into.snapshots_requested += s.snapshots_requested;
+  into.snapshots_served += s.snapshots_served;
+  into.snapshot_chunks_received += s.snapshot_chunks_received;
+  into.snapshot_bytes_received += s.snapshot_bytes_received;
+  into.snapshots_installed += s.snapshots_installed;
+  into.snapshots_rejected += s.snapshots_rejected;
+}
+
 }  // namespace
 
 Cluster::Cluster(core::Config config)
@@ -51,6 +102,16 @@ Cluster::Cluster(core::Config config)
                                         cfg_.seed)),
       pending_hooks_(cfg_.n_replicas) {
   cfg_.validate();
+}
+
+Cluster::~Cluster() {
+  // Replicas hold raw pointers into stores_: tear them down first.
+  replicas_.clear();
+  stores_.clear();
+  if (owns_store_dir_ && !store_dir_.empty()) {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(store_dir_, ec);
+  }
 }
 
 void Cluster::set_hooks(types::NodeId id, core::Replica::Hooks hooks) {
@@ -81,23 +142,65 @@ void Cluster::start() {
                     "' is not");
     }
   }
+  // Durable stores are created once and outlive replica instances — the
+  // point of the exercise: restart_replica rebuilds a replica from the
+  // store it appended to before it died.
+  if (cfg_.store == "file") {
+    store_dir_ = cfg_.store_path;
+    if (store_dir_.empty()) {
+      store_dir_ = next_store_dir();
+      owns_store_dir_ = true;
+    }
+    std::filesystem::create_directories(store_dir_);
+  }
+  stores_.reserve(cfg_.n_replicas);
+  for (types::NodeId id = 0; id < cfg_.n_replicas; ++id) {
+    const std::string path =
+        cfg_.store == "file"
+            ? (std::filesystem::path(store_dir_) /
+               ("replica" + std::to_string(id) + ".blk"))
+                  .string()
+            : std::string();
+    stores_.push_back(storage::make_store(cfg_.store, path));
+  }
   replicas_.reserve(cfg_.n_replicas);
   for (types::NodeId id = 0; id < cfg_.n_replicas; ++id) {
-    core::Replica::Hooks hooks = std::move(pending_hooks_[id]);
-    if (!view_listeners_.empty()) {
-      // Chain the cluster-wide listeners in front of any per-replica hook.
-      auto user = std::move(hooks.on_enter_view);
-      hooks.on_enter_view = [this, id,
-                             user = std::move(user)](types::View view) {
-        for (const auto& listener : view_listeners_) listener(id, view);
-        if (user) user(view);
-      };
-    }
-    replicas_.push_back(std::make_unique<core::Replica>(
-        sim_, net_, keys_, cfg_, id, protocols::make_protocol(cfg_.protocol),
-        *election_, std::move(hooks)));
+    replicas_.push_back(build_replica(id));
   }
   for (auto& replica : replicas_) replica->start();
+}
+
+std::unique_ptr<core::Replica> Cluster::build_replica(types::NodeId id) {
+  core::Replica::Hooks hooks = pending_hooks_[id];  // copy: restarts reuse
+  if (!view_listeners_.empty()) {
+    // Chain the cluster-wide listeners in front of any per-replica hook.
+    auto user = std::move(hooks.on_enter_view);
+    hooks.on_enter_view = [this, id,
+                           user = std::move(user)](types::View view) {
+      for (const auto& listener : view_listeners_) listener(id, view);
+      if (user) user(view);
+    };
+  }
+  auto replica = std::make_unique<core::Replica>(
+      sim_, net_, keys_, cfg_, id, protocols::make_protocol(cfg_.protocol),
+      *election_, std::move(hooks));
+  replica->set_store(stores_.at(id).get());
+  return replica;
+}
+
+void Cluster::restart_replica(types::NodeId id) {
+  if (!started_) return;
+  core::Replica& old = *replicas_.at(id);
+  fold(retired_, old.stats());
+  fold(retired_sync_, old.sync_stats());
+  retired_mem_admitted_ += old.pool().admitted_count();
+  retired_mem_rejected_ += old.pool().rejected_count();
+  if (!old.crashed()) old.crash();  // quiesce timers before the swap
+  ++restarts_;
+  replicas_.at(id) = build_replica(id);
+  net_.set_down(id, false);  // crash() downed the NIC; bring it back
+  replicas_.at(id)->reload_from_store();
+  replicas_.at(id)->start();
 }
 
 Cluster::ConsistencyReport Cluster::check_consistency() const {

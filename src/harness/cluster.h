@@ -11,6 +11,7 @@
 #include "election/leader_election.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "storage/block_store.h"
 
 namespace bamboo::harness {
 
@@ -22,6 +23,7 @@ namespace bamboo::harness {
 class Cluster {
  public:
   explicit Cluster(core::Config config);
+  ~Cluster();
 
   /// Starts every replica (view 1). Call after installing hooks.
   void start();
@@ -59,6 +61,35 @@ class Cluster {
   /// Crash a replica (fail-stop) — used by the responsiveness experiment.
   void crash_replica(types::NodeId id) { replicas_.at(id)->crash(); }
 
+  /// Crash-restart recovery: tear the replica down and rebuild it from its
+  /// durable BlockStore (which the Cluster owns, so it survives the old
+  /// instance), then start it — it rejoins at the recovered height and
+  /// chain-syncs the rest. The departing instance's counters are folded
+  /// into the retired accumulators so cluster-wide sums stay monotonic.
+  void restart_replica(types::NodeId id);
+
+  /// The durable store backing a replica (valid after start()).
+  [[nodiscard]] const storage::BlockStore& store(types::NodeId id) const {
+    return *stores_.at(id);
+  }
+
+  /// Counters carried over from replica instances torn down by
+  /// restart_replica (summed into cluster-wide metrics alongside the live
+  /// replicas' own counters).
+  [[nodiscard]] const core::ReplicaStats& retired_stats() const {
+    return retired_;
+  }
+  [[nodiscard]] const sync::SyncStats& retired_sync_stats() const {
+    return retired_sync_;
+  }
+  [[nodiscard]] std::uint64_t retired_mem_admitted() const {
+    return retired_mem_admitted_;
+  }
+  [[nodiscard]] std::uint64_t retired_mem_rejected() const {
+    return retired_mem_rejected_;
+  }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+
   /// Turn a replica silent mid-run (the paper's Fig. 15 "silence attack
   /// (crash)" fault: it stops proposing but keeps collecting votes).
   void silence_replica(types::NodeId id) {
@@ -80,6 +111,11 @@ class Cluster {
   [[nodiscard]] std::uint64_t total_timeouts() const;
 
  private:
+  /// Build one replica instance: hooks copied from pending_hooks_ (kept,
+  /// not moved, so restart_replica can rebuild with the same wiring),
+  /// view listeners chained in front, store attached.
+  [[nodiscard]] std::unique_ptr<core::Replica> build_replica(types::NodeId id);
+
   core::Config cfg_;
   sim::Simulator sim_;
   crypto::KeyStore keys_;
@@ -88,7 +124,15 @@ class Cluster {
   std::vector<core::Replica::Hooks> pending_hooks_;
   std::vector<std::function<void(types::NodeId, types::View)>>
       view_listeners_;
+  std::vector<std::unique_ptr<storage::BlockStore>> stores_;
+  std::string store_dir_;       ///< directory holding file-backed stores
+  bool owns_store_dir_ = false;  ///< auto-generated dir, removed in dtor
   std::vector<std::unique_ptr<core::Replica>> replicas_;
+  core::ReplicaStats retired_;
+  sync::SyncStats retired_sync_;
+  std::uint64_t retired_mem_admitted_ = 0;
+  std::uint64_t retired_mem_rejected_ = 0;
+  std::uint64_t restarts_ = 0;
   bool started_ = false;
 };
 

@@ -113,6 +113,14 @@ struct Snapshot {
   std::uint64_t certs_rejected = 0;
   std::uint64_t mem_admitted = 0;
   std::uint64_t mem_rejected = 0;
+  std::uint64_t disk_bytes_written = 0;
+  std::uint64_t disk_logical_bytes = 0;
+  std::uint64_t store_reads = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_chunks = 0;
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t snapshots_rejected = 0;
+  std::uint64_t restarts = 0;
 
   static Snapshot of(const Cluster& cluster) {
     const core::Replica& obs = cluster.replica(0);
@@ -138,7 +146,34 @@ struct Snapshot {
       // backpressure counters are cluster-wide sums too.
       s.mem_admitted += cluster.replica(id).pool().admitted_count();
       s.mem_rejected += cluster.replica(id).pool().rejected_count();
+      // Snapshot state transfer happens at the catching-up replicas.
+      s.snapshot_bytes += ss.snapshot_bytes_received;
+      s.snapshot_chunks += ss.snapshot_chunks_received;
+      s.snapshots_installed += ss.snapshots_installed;
+      s.snapshots_rejected += ss.snapshots_rejected;
+      // Durable-ledger accounting comes from the Cluster-owned stores
+      // (which survive crash-restarts, so these stay monotonic).
+      const storage::StoreStats& st = cluster.store(id).stats();
+      s.disk_bytes_written += st.bytes_written;
+      s.disk_logical_bytes += st.logical_bytes;
+      s.store_reads += st.reads;
     }
+    // Counters of replica instances torn down by restart_replica: the new
+    // instance restarts at zero, so without these the before/after deltas
+    // would go negative across a crash-restart.
+    const sync::SyncStats& rsync = cluster.retired_sync_stats();
+    s.sync_requests += rsync.requests_sent;
+    s.sync_blocks += rsync.blocks_applied;
+    s.sync_bytes += rsync.bytes_received;
+    s.snapshot_bytes += rsync.snapshot_bytes_received;
+    s.snapshot_chunks += rsync.snapshot_chunks_received;
+    s.snapshots_installed += rsync.snapshots_installed;
+    s.snapshots_rejected += rsync.snapshots_rejected;
+    s.certs_verified += cluster.retired_stats().certs_verified;
+    s.certs_rejected += cluster.retired_stats().certs_rejected;
+    s.mem_admitted += cluster.retired_mem_admitted();
+    s.mem_rejected += cluster.retired_mem_rejected();
+    s.restarts = cluster.restarts();
     return s;
   }
 };
@@ -185,6 +220,21 @@ RunResult finalize(Cluster& cluster, client::WorkloadDriver& driver,
   r.mem_admitted = after.mem_admitted - before.mem_admitted;
   r.mem_rejected = after.mem_rejected - before.mem_rejected;
   r.rejected = driver.stats().rejected;
+
+  r.disk_bytes_written = after.disk_bytes_written - before.disk_bytes_written;
+  const std::uint64_t disk_logical =
+      after.disk_logical_bytes - before.disk_logical_bytes;
+  r.write_amplification =
+      disk_logical > 0 ? static_cast<double>(r.disk_bytes_written) /
+                             static_cast<double>(disk_logical)
+                       : 0.0;
+  r.store_reads = after.store_reads - before.store_reads;
+  r.snapshot_bytes = after.snapshot_bytes - before.snapshot_bytes;
+  r.snapshot_chunks = after.snapshot_chunks - before.snapshot_chunks;
+  r.snapshots_installed =
+      after.snapshots_installed - before.snapshots_installed;
+  r.snapshots_rejected = after.snapshots_rejected - before.snapshots_rejected;
+  r.restarts = after.restarts - before.restarts;
 
   r.cgr_per_view = r.views > 0 ? static_cast<double>(r.blocks_committed) /
                                      static_cast<double>(r.views)
@@ -507,7 +557,24 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule,
     const sim::Time at = sim::from_seconds(ev.at_s);
     // One-shot events keep the pre-repetition scheduling shape (events
     // inserted at install time); every=<dur> events self-reschedule.
-    const auto fire_at = [&simulator, at, &ev](std::function<void()> fire) {
+    // '@timeout' events poll the cluster-wide pacemaker-timeout count on
+    // the fixed recovery-probe cadence and fire ONCE at the first observed
+    // timeout — pure observation until then, so an armed trigger that
+    // never trips perturbs nothing.
+    const auto fire_at = [&simulator, &cluster, at,
+                          &ev](std::function<void()> fire) {
+      if (ev.on_timeout) {
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [&simulator, &cluster, tick, fire = std::move(fire)] {
+          if (cluster.total_timeouts() > 0) {
+            fire();
+            return;  // one-shot: stop polling
+          }
+          simulator.schedule_after(kRecoveryPollPeriod, [tick] { (*tick)(); });
+        };
+        simulator.schedule_at(at, [tick] { (*tick)(); });
+        return;
+      }
       if (ev.every_s <= 0) {
         simulator.schedule_at(at, std::move(fire));
       } else {
@@ -698,12 +765,30 @@ void install_churn(Cluster& cluster, const core::ChurnSchedule& schedule,
         }
         const types::NodeId victim = ev.a;
         const bool hard = ev.kind == core::ChurnKind::kCrash;
-        simulator.schedule_at(at, [&cluster, victim, hard] {
+        fire_at([&cluster, victim, hard] {
           if (hard) {
             cluster.crash_replica(victim);
           } else {
             cluster.silence_replica(victim);
           }
+        });
+        break;
+      }
+      case core::ChurnKind::kCrashRestart: {
+        if (ev.a >= cfg.n_replicas) {
+          churn_fail(ev, "replica out of range (have " +
+                             std::to_string(cfg.n_replicas) + " replicas)");
+        }
+        const types::NodeId victim = ev.a;
+        const sim::Duration downtime = sim::from_seconds(ev.for_s);
+        fire_at([&simulator, &cluster, victim, downtime, probe] {
+          cluster.crash_replica(victim);
+          simulator.schedule_after(downtime, [&cluster, victim, probe] {
+            cluster.restart_replica(victim);
+            // The rebuilt replica rejoins at its recovered height; the
+            // probe measures how long it lags the rest of the cluster.
+            if (probe) arm_recovery_probe(cluster, *probe);
+          });
         });
         break;
       }

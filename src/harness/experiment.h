@@ -56,6 +56,24 @@ struct RunResult {
   std::uint64_t certs_verified = 0;  ///< received QCs/TCs that checked out
   std::uint64_t certs_rejected = 0;  ///< forged/malformed certificates dropped
 
+  // durable ledger (storage/block_store.h) + snapshot state transfer,
+  // summed over every replica's store / syncer
+  /// Physical store bytes written (record framing included) in the window.
+  std::uint64_t disk_bytes_written = 0;
+  /// Physical bytes / logical (wire-size) bytes appended; exactly 1.0 for
+  /// the in-memory store (it accounts logical as physical). The file log
+  /// usually lands BELOW 1: its records store block metadata compactly
+  /// while the wire model also charges the simulated (never materialized)
+  /// transaction payload bytes; record framing pushes it back up only for
+  /// near-empty blocks. 0 when nothing was written in the window.
+  double write_amplification = 0;
+  std::uint64_t store_reads = 0;  ///< store lookups (reads + replays)
+  std::uint64_t snapshot_bytes = 0;   ///< snapshot chunk wire bytes accepted
+  std::uint64_t snapshot_chunks = 0;  ///< snapshot chunks accepted
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t snapshots_rejected = 0;  ///< tampered/stale snapshots refused
+  std::uint64_t restarts = 0;  ///< crash-restart recoveries performed
+
   // open-loop / overload accounting
   /// Client-issued tx/s inside the measurement window — the offered load
   /// actually generated (vs throughput_tps, the goodput). Their gap is the

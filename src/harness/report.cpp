@@ -74,7 +74,10 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
          received = 0, forked = 0, timeouts = 0, rejected = 0, net_bytes = 0,
          sync_requests = 0, sync_blocks = 0, sync_bytes = 0,
          certs_verified = 0, certs_rejected = 0, recovery_ms = 0,
-         recovery_reps = 0, mem_admitted = 0, mem_rejected = 0;
+         recovery_reps = 0, mem_admitted = 0, mem_rejected = 0,
+         disk_bytes = 0, store_reads = 0, snapshot_bytes = 0,
+         snapshot_chunks = 0, snapshots_installed = 0, snapshots_rejected = 0,
+         restarts = 0, wamp = 0, wamp_reps = 0;
   for (const RunResult& r : results) {
     agg.add(r);
     fold(p50, r.latency_ms_p50);
@@ -113,6 +116,18 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
       recovery_ms += r.recovery_ms;
       recovery_reps += 1;
     }
+    disk_bytes += static_cast<double>(r.disk_bytes_written);
+    store_reads += static_cast<double>(r.store_reads);
+    snapshot_bytes += static_cast<double>(r.snapshot_bytes);
+    snapshot_chunks += static_cast<double>(r.snapshot_chunks);
+    snapshots_installed += static_cast<double>(r.snapshots_installed);
+    snapshots_rejected += static_cast<double>(r.snapshots_rejected);
+    restarts += static_cast<double>(r.restarts);
+    // Same no-event convention as recovery_ms: 0 means "nothing appended".
+    if (r.write_amplification > 0) {
+      wamp += r.write_amplification;
+      wamp_reps += 1;
+    }
   }
   const double n = results.empty() ? 1.0 : static_cast<double>(results.size());
 
@@ -150,6 +165,14 @@ Record aggregate_from(const std::string& bench, const std::string& artifact,
   rec.result.certs_rejected = round_u64(certs_rejected / n);
   rec.result.recovery_ms =
       recovery_reps > 0 ? recovery_ms / recovery_reps : 0.0;
+  rec.result.disk_bytes_written = round_u64(disk_bytes / n);
+  rec.result.write_amplification = wamp_reps > 0 ? wamp / wamp_reps : 0.0;
+  rec.result.store_reads = round_u64(store_reads / n);
+  rec.result.snapshot_bytes = round_u64(snapshot_bytes / n);
+  rec.result.snapshot_chunks = round_u64(snapshot_chunks / n);
+  rec.result.snapshots_installed = round_u64(snapshots_installed / n);
+  rec.result.snapshots_rejected = round_u64(snapshots_rejected / n);
+  rec.result.restarts = round_u64(restarts / n);
   rec.result.offered_tps = offered.mean();
   if (!hist.empty()) {
     // Exact pooled quantiles over every rep's samples, not a mean of
@@ -214,6 +237,10 @@ Provenance provenance_of(const RunSpec& spec, std::uint32_t rep) {
   p.sync_batch = spec.cfg.sync_batch;
   p.sync_timeout_ms = sim::to_milliseconds(spec.cfg.sync_timeout);
   p.sync_retries = spec.cfg.sync_retries;
+  p.sync_pipeline = spec.cfg.sync_pipeline;
+  p.snapshot_gap = spec.cfg.snapshot_gap;
+  p.store = spec.cfg.store;
+  p.retention = spec.cfg.retention;
   p.verify_strategy = spec.cfg.verify_strategy;
   p.cpu_workers = spec.cfg.cpu_workers;
   p.cpu_verify_per_sig_us = sim::to_microseconds(spec.cfg.cpu_verify_per_sig);
@@ -299,7 +326,8 @@ const std::vector<std::string>& csv_columns() {
       "psize", "memsize", "delay_ms", "delay_jitter_ms", "timeout_ms",
       "link_model", "link_shape", "link_loss", "topology", "churn", "ge_p",
       "ge_r", "ge_loss_good", "ge_loss_bad", "sync_batch", "sync_timeout_ms",
-      "sync_retries", "verify_strategy", "cpu_workers",
+      "sync_retries", "sync_pipeline", "snapshot_gap", "store", "retention",
+      "verify_strategy", "cpu_workers",
       "cpu_verify_per_sig_us", "cpu_verify_batch_base_us",
       "cpu_verify_batch_per_sig_us", "mode",
       "concurrency", "arrival_rate_tps", "arrival", "client_population",
@@ -312,7 +340,10 @@ const std::vector<std::string>& csv_columns() {
       "measured_s", "latency_samples", "views", "blocks_committed",
       "blocks_received", "blocks_forked", "timeouts", "rejected", "net_bytes",
       "sync_requests", "sync_blocks", "sync_bytes", "certs_verified",
-      "certs_rejected", "recovery_ms",
+      "certs_rejected", "recovery_ms", "disk_bytes_written",
+      "write_amplification", "store_reads", "snapshot_bytes",
+      "snapshot_chunks", "snapshots_installed", "snapshots_rejected",
+      "restarts",
       "offered_tps", "hist_p50_ms", "hist_p99_ms", "hist_p999_ms",
       "mem_admitted", "mem_rejected", "latency_hist",
       "commit_share", "chain_quality", "commit_share_max", "proposer_gini",
@@ -361,6 +392,10 @@ std::string csv_row(const Record& r) {
       std::to_string(r.prov.sync_batch),
       num(r.prov.sync_timeout_ms),
       std::to_string(r.prov.sync_retries),
+      std::to_string(r.prov.sync_pipeline),
+      std::to_string(r.prov.snapshot_gap),
+      csv_escape(r.prov.store),
+      std::to_string(r.prov.retention),
       csv_escape(r.prov.verify_strategy),
       std::to_string(r.prov.cpu_workers),
       num(r.prov.cpu_verify_per_sig_us),
@@ -406,6 +441,14 @@ std::string csv_row(const Record& r) {
       std::to_string(r.result.certs_verified),
       std::to_string(r.result.certs_rejected),
       num(r.result.recovery_ms),
+      std::to_string(r.result.disk_bytes_written),
+      num(r.result.write_amplification),
+      std::to_string(r.result.store_reads),
+      std::to_string(r.result.snapshot_bytes),
+      std::to_string(r.result.snapshot_chunks),
+      std::to_string(r.result.snapshots_installed),
+      std::to_string(r.result.snapshots_rejected),
+      std::to_string(r.result.restarts),
       num(r.result.offered_tps),
       num(r.result.hist_p50_ms),
       num(r.result.hist_p99_ms),
@@ -462,6 +505,13 @@ util::Json to_json(const Record& r) {
   o.emplace("sync_timeout_ms", util::Json(r.prov.sync_timeout_ms));
   o.emplace("sync_retries",
             util::Json(static_cast<std::int64_t>(r.prov.sync_retries)));
+  o.emplace("sync_pipeline",
+            util::Json(static_cast<std::int64_t>(r.prov.sync_pipeline)));
+  o.emplace("snapshot_gap",
+            util::Json(static_cast<std::int64_t>(r.prov.snapshot_gap)));
+  o.emplace("store", util::Json(r.prov.store));
+  o.emplace("retention",
+            util::Json(static_cast<std::int64_t>(r.prov.retention)));
   o.emplace("verify_strategy", util::Json(r.prov.verify_strategy));
   o.emplace("cpu_workers",
             util::Json(static_cast<std::int64_t>(r.prov.cpu_workers)));
@@ -528,6 +578,23 @@ util::Json to_json(const Record& r) {
   o.emplace("certs_rejected",
             util::Json(static_cast<std::int64_t>(r.result.certs_rejected)));
   o.emplace("recovery_ms", util::Json(r.result.recovery_ms));
+  o.emplace("disk_bytes_written",
+            util::Json(static_cast<std::int64_t>(r.result.disk_bytes_written)));
+  o.emplace("write_amplification", util::Json(r.result.write_amplification));
+  o.emplace("store_reads",
+            util::Json(static_cast<std::int64_t>(r.result.store_reads)));
+  o.emplace("snapshot_bytes",
+            util::Json(static_cast<std::int64_t>(r.result.snapshot_bytes)));
+  o.emplace("snapshot_chunks",
+            util::Json(static_cast<std::int64_t>(r.result.snapshot_chunks)));
+  o.emplace(
+      "snapshots_installed",
+      util::Json(static_cast<std::int64_t>(r.result.snapshots_installed)));
+  o.emplace(
+      "snapshots_rejected",
+      util::Json(static_cast<std::int64_t>(r.result.snapshots_rejected)));
+  o.emplace("restarts",
+            util::Json(static_cast<std::int64_t>(r.result.restarts)));
   o.emplace("offered_tps", util::Json(r.result.offered_tps));
   o.emplace("hist_p50_ms", util::Json(r.result.hist_p50_ms));
   o.emplace("hist_p99_ms", util::Json(r.result.hist_p99_ms));
@@ -583,6 +650,12 @@ Record record_from_json(const util::Json& j) {
   r.prov.sync_timeout_ms = j.get_number("sync_timeout_ms", 500);
   r.prov.sync_retries =
       static_cast<std::uint32_t>(j.get_int("sync_retries", 3));
+  r.prov.sync_pipeline =
+      static_cast<std::uint32_t>(j.get_int("sync_pipeline", 1));
+  r.prov.snapshot_gap =
+      static_cast<std::uint32_t>(j.get_int("snapshot_gap", 0));
+  r.prov.store = j.get_string("store", "memory");
+  r.prov.retention = static_cast<std::uint32_t>(j.get_int("retention", 0));
   r.prov.verify_strategy = j.get_string("verify_strategy", "eager");
   r.prov.cpu_workers = static_cast<std::uint32_t>(j.get_int("cpu_workers", 1));
   r.prov.cpu_verify_per_sig_us = j.get_number("cpu_verify_per_sig_us", 0);
@@ -640,6 +713,20 @@ Record record_from_json(const util::Json& j) {
   r.result.certs_rejected =
       static_cast<std::uint64_t>(j.get_int("certs_rejected", 0));
   r.result.recovery_ms = j.get_number("recovery_ms", 0);
+  r.result.disk_bytes_written =
+      static_cast<std::uint64_t>(j.get_int("disk_bytes_written", 0));
+  r.result.write_amplification = j.get_number("write_amplification", 0);
+  r.result.store_reads =
+      static_cast<std::uint64_t>(j.get_int("store_reads", 0));
+  r.result.snapshot_bytes =
+      static_cast<std::uint64_t>(j.get_int("snapshot_bytes", 0));
+  r.result.snapshot_chunks =
+      static_cast<std::uint64_t>(j.get_int("snapshot_chunks", 0));
+  r.result.snapshots_installed =
+      static_cast<std::uint64_t>(j.get_int("snapshots_installed", 0));
+  r.result.snapshots_rejected =
+      static_cast<std::uint64_t>(j.get_int("snapshots_rejected", 0));
+  r.result.restarts = static_cast<std::uint64_t>(j.get_int("restarts", 0));
   r.result.offered_tps = j.get_number("offered_tps", 0);
   r.result.hist_p50_ms = j.get_number("hist_p50_ms", 0);
   r.result.hist_p99_ms = j.get_number("hist_p99_ms", 0);

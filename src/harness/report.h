@@ -58,6 +58,12 @@ struct Provenance {
   std::uint32_t sync_batch = 1;
   double sync_timeout_ms = 500;
   std::uint32_t sync_retries = 3;
+  // Durable ledger + snapshot state transfer provenance (storage/
+  // block_store.h, sync/syncer.h accelerators), flat like the rest.
+  std::uint32_t sync_pipeline = 1;
+  std::uint32_t snapshot_gap = 0;
+  std::string store = "memory";
+  std::uint32_t retention = 0;
   // Certificate-verification pipeline provenance (quorum/cert_verifier.h +
   // the Replica cost model), flat like the rest.
   std::string verify_strategy = "eager";

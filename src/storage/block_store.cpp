@@ -1,0 +1,295 @@
+#include "storage/block_store.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace bamboo::storage {
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x314b4c42;  // "BLK1"
+constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 8;
+
+// --- little-endian primitives ---------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_digest(std::vector<std::uint8_t>& out, const crypto::Digest& d) {
+  out.insert(out.end(), d.begin(), d.end());
+}
+
+/// Bounds-checked payload reader; every overrun is an invalid_argument so
+/// a truncated record is a refusal, never UB.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t len;
+  std::size_t at = 0;
+
+  void need(std::size_t n) const {
+    if (at + n > len)
+      throw std::invalid_argument("block record truncated");
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    at += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    at += 8;
+    return v;
+  }
+  crypto::Digest digest() {
+    need(32);
+    crypto::Digest d{};
+    std::memcpy(d.data(), data + at, 32);
+    at += 32;
+    return d;
+  }
+};
+
+void encode_qc(std::vector<std::uint8_t>& out, const types::QuorumCert& qc) {
+  put_u64(out, qc.view);
+  put_u64(out, qc.height);
+  put_u32(out, qc.slot);
+  put_digest(out, qc.block_hash);
+  put_u32(out, static_cast<std::uint32_t>(qc.sigs.size()));
+  for (const crypto::Signature& sig : qc.sigs) {
+    put_u32(out, sig.signer);
+    put_digest(out, sig.tag);
+  }
+}
+
+types::QuorumCert decode_qc(Reader& r) {
+  types::QuorumCert qc;
+  qc.view = r.u64();
+  qc.height = r.u64();
+  qc.slot = r.u32();
+  qc.block_hash = r.digest();
+  const std::uint32_t nsigs = r.u32();
+  // A signature is 36 payload bytes; reject counts the buffer cannot hold
+  // before reserving (a corrupt count must not balloon the allocation).
+  if (static_cast<std::size_t>(nsigs) * 36 > r.len - r.at)
+    throw std::invalid_argument("block record truncated (qc sigs)");
+  qc.sigs.reserve(nsigs);
+  for (std::uint32_t i = 0; i < nsigs; ++i) {
+    crypto::Signature sig;
+    sig.signer = r.u32();
+    sig.tag = r.digest();
+    qc.sigs.push_back(sig);
+  }
+  return qc;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encode_block(const types::Block& b) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + 32 * b.txns().size());
+  put_digest(out, b.parent_hash());
+  put_u64(out, b.view());
+  put_u64(out, b.height());
+  put_u32(out, b.slot());
+  put_u32(out, b.proposer());
+  encode_qc(out, b.justify());
+  put_u32(out, static_cast<std::uint32_t>(b.txns().size()));
+  for (const types::Transaction& tx : b.txns()) {
+    put_u64(out, tx.id);
+    put_u32(out, tx.session);
+    put_u32(out, tx.serving_replica);
+    put_u32(out, tx.client_endpoint);
+    put_u64(out, static_cast<std::uint64_t>(tx.submitted_at));
+    put_u32(out, tx.payload_size);
+  }
+  return out;
+}
+
+types::BlockPtr decode_block(const std::uint8_t* data, std::size_t len) {
+  Reader r{data, len};
+  types::Block::Fields f;
+  f.parent_hash = r.digest();
+  f.view = r.u64();
+  f.height = r.u64();
+  f.slot = r.u32();
+  f.proposer = r.u32();
+  f.justify = decode_qc(r);
+  const std::uint32_t ntx = r.u32();
+  if (static_cast<std::size_t>(ntx) * 32 > r.len - r.at)
+    throw std::invalid_argument("block record truncated (txns)");
+  f.txns.reserve(ntx);
+  for (std::uint32_t i = 0; i < ntx; ++i) {
+    types::Transaction tx;
+    tx.id = r.u64();
+    tx.session = r.u32();
+    tx.serving_replica = r.u32();
+    tx.client_endpoint = r.u32();
+    tx.submitted_at = static_cast<sim::Time>(r.u64());
+    tx.payload_size = r.u32();
+    f.txns.push_back(tx);
+  }
+  if (r.at != len)
+    throw std::invalid_argument("block record has trailing bytes");
+  return std::make_shared<const types::Block>(std::move(f));
+}
+
+// --- MemoryBlockStore ------------------------------------------------------
+
+void MemoryBlockStore::append(const types::BlockPtr& block) {
+  if (index_.contains(block->hash())) return;
+  index_.emplace(block->hash(), log_.size());
+  log_.push_back(block);
+  ++stats_.appends;
+  stats_.bytes_written += block->wire_size();
+  stats_.logical_bytes += block->wire_size();
+}
+
+types::BlockPtr MemoryBlockStore::read(const crypto::Digest& hash) {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return nullptr;
+  ++stats_.reads;
+  stats_.bytes_read += log_[it->second]->wire_size();
+  return log_[it->second];
+}
+
+bool MemoryBlockStore::contains(const crypto::Digest& hash) const {
+  return index_.contains(hash);
+}
+
+void MemoryBlockStore::replay(
+    const std::function<void(const types::BlockPtr&)>& fn) {
+  for (const types::BlockPtr& block : log_) {
+    ++stats_.reads;
+    stats_.bytes_read += block->wire_size();
+    fn(block);
+  }
+}
+
+// --- FileBlockStore --------------------------------------------------------
+
+FileBlockStore::FileBlockStore(std::string path) : path_(std::move(path)) {
+  recover();
+}
+
+void FileBlockStore::recover() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return;  // fresh store
+  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  in.close();
+
+  std::size_t at = 0;
+  std::size_t good_end = 0;
+  while (at + kRecordHeaderBytes <= file.size()) {
+    Reader hdr{file.data() + at, kRecordHeaderBytes};
+    const std::uint32_t magic = hdr.u32();
+    const std::uint32_t plen = hdr.u32();
+    const std::uint64_t sum = hdr.u64();
+    if (magic != kRecordMagic) break;
+    if (at + kRecordHeaderBytes + plen > file.size()) break;  // torn tail
+    const std::uint8_t* payload = file.data() + at + kRecordHeaderBytes;
+    if (fnv1a64(payload, plen) != sum) break;  // bit rot / torn write
+    types::BlockPtr block;
+    try {
+      block = decode_block(payload, plen);
+    } catch (const std::invalid_argument&) {
+      break;  // checksum collided with garbage; stop at the last good record
+    }
+    if (!index_.contains(block->hash())) {
+      index_.emplace(block->hash(), log_.size());
+      log_.push_back(std::move(block));
+    }
+    at += kRecordHeaderBytes + plen;
+    good_end = at;
+  }
+  // Drop the corrupt tail on disk too, so future appends extend the valid
+  // prefix instead of burying good records behind garbage.
+  if (good_end < file.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, good_end, ec);
+  }
+}
+
+void FileBlockStore::append(const types::BlockPtr& block) {
+  if (index_.contains(block->hash())) return;
+  const std::vector<std::uint8_t> payload = encode_block(*block);
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  put_u32(record, kRecordMagic);
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64(record, fnv1a64(payload.data(), payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out.is_open())
+    throw std::runtime_error("block store: cannot open " + path_);
+  out.write(reinterpret_cast<const char*>(record.data()),
+            static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out.good())
+    throw std::runtime_error("block store: short write to " + path_);
+
+  index_.emplace(block->hash(), log_.size());
+  log_.push_back(block);
+  ++stats_.appends;
+  stats_.bytes_written += record.size();
+  stats_.logical_bytes += block->wire_size();
+}
+
+types::BlockPtr FileBlockStore::read(const crypto::Digest& hash) {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return nullptr;
+  const types::BlockPtr& block = log_[it->second];
+  ++stats_.reads;
+  stats_.bytes_read += kRecordHeaderBytes + encode_block(*block).size();
+  return block;
+}
+
+bool FileBlockStore::contains(const crypto::Digest& hash) const {
+  return index_.contains(hash);
+}
+
+void FileBlockStore::replay(
+    const std::function<void(const types::BlockPtr&)>& fn) {
+  for (const types::BlockPtr& block : log_) {
+    ++stats_.reads;
+    stats_.bytes_read += kRecordHeaderBytes + encode_block(*block).size();
+    fn(block);
+  }
+}
+
+std::unique_ptr<BlockStore> make_store(const std::string& kind,
+                                       const std::string& path) {
+  if (kind.empty() || kind == "memory")
+    return std::make_unique<MemoryBlockStore>();
+  if (kind == "file") return std::make_unique<FileBlockStore>(path);
+  throw std::invalid_argument("unknown block store kind: " + kind);
+}
+
+}  // namespace bamboo::storage

@@ -27,21 +27,33 @@ struct WireSizeVisitor {
     return m.tx.wire_size();
   }
   std::uint64_t operator()(const ClientResponseMsg&) const { return 64; }
-  std::uint64_t operator()(const ChainRequestMsg&) const {
+  std::uint64_t operator()(const ChainRequestMsg& m) const {
     // want hash + committed height + batch cap + framing; matches the
     // legacy single-block request size, so sync_batch == 1 runs are
-    // byte-identical on the wire.
-    return 48;
+    // byte-identical on the wire. The pipelined-sync skip count rides as
+    // a default-elided field (absent at 0, tag byte + u32 otherwise).
+    return 48 + (m.skip == 0 ? 0 : 5);
   }
   std::uint64_t operator()(const ChainResponseMsg& m) const {
     std::uint64_t bytes = 16;
     for (const BlockPtr& b : m.blocks) {
       if (b) bytes += b->wire_size();
     }
-    return bytes;
+    // The (want_hash, skip) echo only travels on pipelined mid-gap
+    // segments; the legacy serial path stays byte-identical.
+    return bytes + (m.skip == 0 ? 0 : 37);
   }
   std::uint64_t operator()(const QcMsg& m) const {
     return 8 + m.qc.wire_size();
+  }
+  std::uint64_t operator()(const SnapshotRequestMsg&) const {
+    // want hash + committed height + framing, like ChainRequestMsg.
+    return 48;
+  }
+  std::uint64_t operator()(const SnapshotChunkMsg& m) const {
+    std::uint64_t bytes = 16 + 32 + 8 + 32 * m.hashes.size();
+    if (m.anchor) bytes += m.anchor->wire_size() + m.anchor_qc.wire_size();
+    return bytes;
   }
 };
 
@@ -55,6 +67,10 @@ struct KindVisitor {
   const char* operator()(const ChainRequestMsg&) const { return "chainreq"; }
   const char* operator()(const ChainResponseMsg&) const { return "chainresp"; }
   const char* operator()(const QcMsg&) const { return "qc"; }
+  const char* operator()(const SnapshotRequestMsg&) const {
+    return "snapreq";
+  }
+  const char* operator()(const SnapshotChunkMsg&) const { return "snapchunk"; }
 };
 
 }  // namespace

@@ -78,6 +78,10 @@ struct ChainRequestMsg {
   crypto::Digest want_hash{};
   Height committed_height = 0;  ///< requester's committed tip (exclusive)
   std::uint32_t batch = 1;      ///< max blocks the responder may return
+  /// Pipelined sync: ancestors of `want_hash` the responder walks past
+  /// before serving `batch` blocks — so several segments of one long gap
+  /// can be in flight at once. 0 (the legacy serial walk) is wire-elided.
+  std::uint32_t skip = 0;
 };
 
 /// Answer to ChainRequestMsg: up to `batch` blocks, PARENT-FIRST, ending
@@ -86,6 +90,11 @@ struct ChainRequestMsg {
 /// chain in order fast-paths QC application without extra round trips.
 struct ChainResponseMsg {
   std::vector<BlockPtr> blocks;
+  /// Pipelined sync: echo of the request's (want_hash, skip) so the
+  /// requester can match a mid-gap segment (whose top block is NOT the
+  /// wanted hash). Both zero — and wire-elided — on the legacy path.
+  crypto::Digest want_hash{};
+  std::uint32_t skip = 0;
 };
 
 /// A freshly formed QC, broadcast by the slot leader that aggregated it
@@ -95,9 +104,34 @@ struct QcMsg {
   QuorumCert qc;
 };
 
+/// Snapshot/checkpoint state transfer (storage subsystem): a replica too
+/// far behind `want_hash` asks a peer for its committed checkpoint instead
+/// of chain-syncing the whole gap block-by-block.
+struct SnapshotRequestMsg {
+  crypto::Digest want_hash{};   ///< the block that exposed the gap
+  Height committed_height = 0;  ///< requester's committed tip
+};
+
+/// One chunk of a snapshot: a slice of the server's committed-hash chain
+/// [0, anchor.height], bound to a state root (the hash over the whole
+/// chain). The FINAL chunk carries the anchor block and its certifying QC
+/// — the part the receiver validates through quorum::CertVerifier before
+/// installing anything. Chunks are self-describing (seq/total/root), so a
+/// tampered or reordered stream is detected without peer state.
+struct SnapshotChunkMsg {
+  std::uint32_t seq = 0;    ///< chunk index, 0-based
+  std::uint32_t total = 0;  ///< chunk count for this snapshot
+  crypto::Digest root{};    ///< state root over the full hash chain
+  Height base_height = 0;   ///< height of hashes.front()
+  std::vector<crypto::Digest> hashes;  ///< committed-hash slice
+  BlockPtr anchor;          ///< final chunk only: the checkpoint block
+  QuorumCert anchor_qc;     ///< final chunk only: QC certifying `anchor`
+};
+
 using Message =
     std::variant<ProposalMsg, VoteMsg, TimeoutMsg, TcMsg, ClientRequestMsg,
-                 ClientResponseMsg, ChainRequestMsg, ChainResponseMsg, QcMsg>;
+                 ClientResponseMsg, ChainRequestMsg, ChainResponseMsg, QcMsg,
+                 SnapshotRequestMsg, SnapshotChunkMsg>;
 
 /// Messages are immutable and shared between broadcast recipients.
 using MessagePtr = std::shared_ptr<const Message>;

@@ -158,6 +158,66 @@ TEST(ChurnDsl, ParsesAndRejectsPeriodicEvents) {
   }
 }
 
+TEST(ChurnDsl, ParsesTimeoutTriggersAndCrashRestart) {
+  // '@timeout' replaces the wall-clock instant with "the first pacemaker
+  // timeout observed anywhere in the cluster".
+  const auto cond = core::parse_churn("crash@timeout:replica=1");
+  ASSERT_EQ(cond.size(), 1u);
+  EXPECT_EQ(cond[0].kind, ChurnKind::kCrash);
+  EXPECT_TRUE(cond[0].on_timeout);
+  EXPECT_DOUBLE_EQ(cond[0].at_s, 0.0);
+  EXPECT_EQ(cond[0].a, 1u);
+
+  const auto deg = core::parse_churn("degrade@timeout:leader=follow:+40ms");
+  EXPECT_TRUE(deg[0].on_timeout);
+  EXPECT_EQ(deg[0].target, ChurnTarget::kLeaderFollow);
+  EXPECT_DOUBLE_EQ(deg[0].extra_ms, 40.0);
+
+  // crash-restart: fail-stop + rebuild from the durable store after an
+  // optional downtime (for= reuses the window-length argument).
+  const auto cr = core::parse_churn("crash-restart@0.2s:replica=1:for=0.1s");
+  ASSERT_EQ(cr.size(), 1u);
+  EXPECT_EQ(cr[0].kind, ChurnKind::kCrashRestart);
+  EXPECT_FALSE(cr[0].on_timeout);
+  EXPECT_EQ(cr[0].target, ChurnTarget::kReplica);
+  EXPECT_EQ(cr[0].a, 1u);
+  EXPECT_DOUBLE_EQ(cr[0].for_s, 0.1);
+
+  const auto instant = core::parse_churn("crash-restart@timeout:replica=2");
+  EXPECT_TRUE(instant[0].on_timeout);
+  EXPECT_DOUBLE_EQ(instant[0].for_s, 0.0);  // downtime defaults to 0
+
+  // Both features are canonical fixed points (the provenance property).
+  for (const char* dsl :
+       {"crash@timeout:replica=1", "degrade@timeout:leader=follow:+40ms",
+        "crash-restart@0.2s:replica=1:for=0.1s",
+        "crash-restart@timeout:replica=2"}) {
+    EXPECT_EQ(core::canonical_churn(dsl), dsl) << dsl;
+  }
+
+  // Strictness: '@timeout' only on degrade/crash/crash-restart and only
+  // one-shot; crash-restart takes replica= plus an optional for= only.
+  for (const char* dsl :
+       {"heal@timeout",                           // kind without @timeout
+        "silence@timeout:replica=1",              // ditto
+        "restore@timeout:replica=1",              // ditto
+        "burst@timeout:loss=0.5:for=1s",          // ditto
+        "fluct@timeout:for=1s:lo=1ms:hi=2ms",     // ditto
+        "partition@timeout:groups=0-1|2-3",       // ditto
+        "crash@timeout:replica=1:every=2s",       // conditional + periodic
+        "degrade@timeout:link=0-1:+5ms:every=1s", // ditto
+        "crash-restart@2s",                       // missing replica=
+        "crash-restart@2s:replica=1:every=2s",    // one-shot kind
+        "crash-restart@2s:replica=1:loss=0.5",    // unknown argument
+        "crash-restart@2s:link=0-1",              // wrong target kind
+        "crash-restart@2s:replica=1:for=0s",      // degenerate downtime
+        "crash-restart@2s:replica=1:for=-1s"}) {  // negative downtime
+    EXPECT_THROW(static_cast<void>(core::parse_churn(dsl)),
+                 std::invalid_argument)
+        << dsl;
+  }
+}
+
 TEST(ChurnDsl, RejectsLeaderFollowOutsideDegradeRestore) {
   for (const char* dsl :
        {"burst@1s:leader=follow:loss=0.5:for=1s",
@@ -299,7 +359,14 @@ ChurnEvent random_event(util::Rng& rng) {
         break;
     }
   };
-  switch (rng.uniform_u64(8)) {
+  // Conditional triggers are one-shot and carry no wall-clock time.
+  const auto pick_timeout_trigger = [&] {
+    if (rng.bernoulli(0.25)) {
+      ev.on_timeout = true;
+      ev.at_s = 0;
+    }
+  };
+  switch (rng.uniform_u64(9)) {
     case 0:
       ev.kind = ChurnKind::kLinkDegrade;
       // kAll allowed (no-target degrade = every link); degrade may also
@@ -310,7 +377,8 @@ ChurnEvent random_event(util::Rng& rng) {
         pick_target(true);
       }
       ev.extra_ms = rng.uniform(-20.0, 120.0);
-      pick_every();
+      pick_timeout_trigger();
+      if (!ev.on_timeout) pick_every();  // @timeout forbids every=
       break;
     case 1:
       ev.kind = ChurnKind::kLinkRestore;
@@ -355,6 +423,14 @@ ChurnEvent random_event(util::Rng& rng) {
       ev.kind = ChurnKind::kCrash;
       ev.target = ChurnTarget::kReplica;
       ev.a = static_cast<std::uint32_t>(rng.uniform_u64(8));
+      pick_timeout_trigger();
+      break;
+    case 7:
+      ev.kind = ChurnKind::kCrashRestart;
+      ev.target = ChurnTarget::kReplica;
+      ev.a = static_cast<std::uint32_t>(rng.uniform_u64(8));
+      if (rng.bernoulli(0.5)) ev.for_s = rng.uniform(0.01, 5.0);
+      pick_timeout_trigger();
       break;
     default:
       ev.kind = ChurnKind::kSilence;
@@ -625,6 +701,45 @@ TEST(ChurnEngine, CrashEventMatchesClusterCrash) {
   EXPECT_NE(crash, silence);
 }
 
+TEST(ChurnEngine, TimeoutTriggerIsPureObservationUntilItFires) {
+  // A healthy 4-replica run under the 100 ms view timer sees no pacemaker
+  // timeouts, so an armed '@timeout' crash never fires — and the poll is
+  // pure observation, so the run is bit-identical to the unarmed baseline.
+  const auto baseline = harness::execute(churn_spec(""));
+  ASSERT_EQ(baseline.timeouts, 0u);
+  const auto armed = harness::execute(churn_spec("crash@timeout:replica=3"));
+  EXPECT_EQ(armed, baseline);
+}
+
+TEST(ChurnEngine, TimeoutTriggerFiresOnFirstObservedTimeout) {
+  // A 2|2 partition forces timeouts; the armed conditional crash then
+  // takes replica 3 down for good, so the cluster limps on 3 replicas
+  // after heal and commits strictly less than the partition alone.
+  const auto split = harness::execute(
+      churn_spec("partition@0.2s:groups=0-1|2-3;heal@0.35s"));
+  ASSERT_GT(split.timeouts, 0u);
+  const auto conditional = harness::execute(churn_spec(
+      "partition@0.2s:groups=0-1|2-3;heal@0.35s;crash@timeout:replica=3"));
+  EXPECT_LT(conditional.blocks_committed, split.blocks_committed);
+  EXPECT_GT(conditional.blocks_committed, 0u);
+  EXPECT_TRUE(conditional.consistent);
+  EXPECT_EQ(conditional.safety_violations, 0u);
+}
+
+TEST(ChurnEngine, CrashRestartRebuildsAndResumesCommits) {
+  // crash-restart = crash + rebuild-from-store: the restarted replica
+  // rejoins, so the run counts one restart and keeps committing; a plain
+  // crash of the same replica counts none.
+  const auto crashed = harness::execute(churn_spec("crash@0.25s:replica=3"));
+  EXPECT_EQ(crashed.restarts, 0u);
+  const auto restarted = harness::execute(
+      churn_spec("crash-restart@0.25s:replica=3:for=0.15s"));
+  EXPECT_EQ(restarted.restarts, 1u);
+  EXPECT_TRUE(restarted.consistent);
+  EXPECT_EQ(restarted.safety_violations, 0u);
+  EXPECT_GT(restarted.blocks_committed, 0u);
+}
+
 TEST(ChurnEngine, ChurnScheduleIsDeterministicAcrossThreadCounts) {
   // The acceptance bar: a nonempty schedule is bit-identical across
   // --threads values (sharding reuses the same per-spec execution).
@@ -633,7 +748,9 @@ TEST(ChurnEngine, ChurnScheduleIsDeterministicAcrossThreadCounts) {
        {"degrade@0.2s:leader=0:+15ms;restore@0.4s:leader=0",
         "partition@0.2s:groups=0-1|2-3;heal@0.4s",
         "burst@0.2s:replica=2:loss=0.8:for=0.2s",
-        "fluct@0.2s:for=0.2s:lo=5ms:hi=25ms;crash@0.5s:replica=3"}) {
+        "fluct@0.2s:for=0.2s:lo=5ms:hi=25ms;crash@0.5s:replica=3",
+        "partition@0.2s:groups=0-1|2-3;heal@0.35s;crash@timeout:replica=3",
+        "crash-restart@0.25s:replica=3:for=0.15s"}) {
     grid.push_back(churn_spec(dsl));
   }
   harness::ParallelRunner one(1);

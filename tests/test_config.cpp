@@ -120,6 +120,43 @@ TEST(Config, WanScenarioFieldsRoundTripThroughJson) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
+TEST(Config, StorageAndSnapshotFieldsRoundTripThroughJson) {
+  const auto j = util::Json::parse(R"({
+    "sync_pipeline": 4, "snapshot_gap": 128, "snapshot_chunk": 1024,
+    "store": "file", "retention": 512, "store_append_us": 50,
+    "store_read_us": 10
+  })");
+  const auto cfg = core::Config::from_json(j);
+  EXPECT_EQ(cfg.sync_pipeline, 4u);
+  EXPECT_EQ(cfg.snapshot_gap, 128u);
+  EXPECT_EQ(cfg.snapshot_chunk, 1024u);
+  EXPECT_EQ(cfg.store, "file");
+  EXPECT_EQ(cfg.retention, 512u);
+  EXPECT_EQ(cfg.store_append_latency, sim::microseconds(50));
+  EXPECT_EQ(cfg.store_read_latency, sim::microseconds(10));
+  const auto back = core::Config::from_json(cfg.to_json());
+  EXPECT_EQ(back.sync_pipeline, cfg.sync_pipeline);
+  EXPECT_EQ(back.snapshot_gap, cfg.snapshot_gap);
+  EXPECT_EQ(back.snapshot_chunk, cfg.snapshot_chunk);
+  EXPECT_EQ(back.store, cfg.store);
+  EXPECT_EQ(back.retention, cfg.retention);
+  EXPECT_EQ(back.store_append_latency, cfg.store_append_latency);
+  EXPECT_EQ(back.store_read_latency, cfg.store_read_latency);
+  // Defaults are the byte-compatible legacy configuration: snapshots and
+  // durability off.
+  const core::Config defaults;
+  EXPECT_EQ(defaults.sync_pipeline, 1u);
+  EXPECT_EQ(defaults.snapshot_gap, 0u);
+  EXPECT_EQ(defaults.store, "memory");
+  EXPECT_EQ(defaults.retention, 0u);
+  core::Config bad;
+  bad.store = "cloud";
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  core::Config tiny;
+  tiny.snapshot_chunk = 16;  // cannot hold a single 32-byte hash
+  EXPECT_THROW(tiny.validate(), std::invalid_argument);
+}
+
 TEST(Config, FromJsonMasterCompatibility) {
   // Table I: master 0 means rotating leaders; nonzero pins a static leader.
   const auto rotating =

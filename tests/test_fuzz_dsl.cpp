@@ -138,6 +138,10 @@ const std::vector<std::string> kChurnCorpus = {
     "fluct@0.3s:for=0.2s:lo=5ms:hi=20ms",
     "crash@0.2s:replica=1;silence@0.3s:replica=2",
     "degrade@0.1s:region=1/3:+10ms;restore@0.9s",
+    "crash@timeout:replica=1",
+    "degrade@timeout:leader=follow:+40ms",
+    "crash-restart@0.2s:replica=1:for=0.1s",
+    "crash-restart@timeout:replica=2",
 };
 
 const std::vector<std::string> kTopologyCorpus = {

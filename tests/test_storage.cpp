@@ -1,0 +1,334 @@
+// Tests for the durable ledger subsystem (storage/block_store.h): the
+// block codec, the in-memory and file-backed stores (append/read/replay,
+// hash dedup, byte accounting), torn-write recovery of the file log, and
+// the end-to-end crash-restart path through the harness — a replica
+// rebuilt from the store it appended to before it died, with the disk
+// accounting columns populated and deterministic across thread counts.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "client/workload.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "storage/block_store.h"
+#include "types/block.h"
+
+namespace bamboo {
+namespace {
+
+using storage::BlockStore;
+using storage::FileBlockStore;
+using storage::MemoryBlockStore;
+using types::BlockPtr;
+
+BlockPtr child_of(const BlockPtr& parent, types::View view,
+                  std::uint32_t txns = 0) {
+  types::Block::Fields f;
+  f.parent_hash = parent->hash();
+  f.view = view;
+  f.height = parent->height() + 1;
+  f.proposer = static_cast<types::NodeId>(view % 4);
+  f.justify.view = parent->view();
+  f.justify.height = parent->height();
+  f.justify.block_hash = parent->hash();
+  for (std::uint32_t i = 0; i < txns; ++i) {
+    types::Transaction tx;
+    tx.id = view * 1000 + i + 1;
+    tx.session = i;
+    tx.payload_size = 16;
+    f.txns.push_back(tx);
+  }
+  return std::make_shared<const types::Block>(std::move(f));
+}
+
+/// Genesis + a chain of `n` blocks (every third carrying transactions);
+/// returns the blocks tip-last.
+std::vector<BlockPtr> make_chain(std::size_t n) {
+  std::vector<BlockPtr> chain;
+  BlockPtr cursor = types::Block::genesis();
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor = child_of(cursor, static_cast<types::View>(i + 1),
+                      i % 3 == 0 ? 5 : 0);
+    chain.push_back(cursor);
+  }
+  return chain;
+}
+
+/// A unique temp log path per test, removed on scope exit.
+struct TempLog {
+  explicit TempLog(const char* tag)
+      : path((std::filesystem::temp_directory_path() /
+              ("bamboo-test-store-" + std::to_string(::getpid()) + "-" +
+               tag + ".blk"))
+                 .string()) {
+    std::filesystem::remove(path);
+  }
+  ~TempLog() { std::filesystem::remove(path); }
+  const std::string path;
+};
+
+// ---------------------------------------------------------------------------
+// Block codec
+// ---------------------------------------------------------------------------
+
+TEST(BlockCodec, EncodeDecodeRoundTripsEverything) {
+  const auto chain = make_chain(4);
+  for (const BlockPtr& b : chain) {
+    const auto payload = storage::encode_block(*b);
+    const BlockPtr back = storage::decode_block(payload.data(),
+                                                payload.size());
+    // The Block constructor re-derives the hash, so hash equality covers
+    // every hashed field at once.
+    EXPECT_EQ(back->hash(), b->hash());
+    EXPECT_EQ(back->height(), b->height());
+    EXPECT_EQ(back->parent_hash(), b->parent_hash());
+    EXPECT_EQ(back->justify().block_hash, b->justify().block_hash);
+    EXPECT_EQ(back->txns().size(), b->txns().size());
+  }
+}
+
+TEST(BlockCodec, RejectsTruncatedAndEmptyPayloads) {
+  const auto chain = make_chain(1);
+  const auto payload = storage::encode_block(*chain[0]);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3},
+                           payload.size() / 2, payload.size() - 1}) {
+    EXPECT_THROW(
+        static_cast<void>(storage::decode_block(payload.data(), keep)),
+        std::invalid_argument)
+        << "kept " << keep << " of " << payload.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+TEST(MemoryStore, AppendsDedupeAndAccountLogicalBytes) {
+  MemoryBlockStore store;
+  const auto chain = make_chain(3);
+  for (const BlockPtr& b : chain) store.append(b);
+  store.append(chain[0]);  // duplicate: idempotent on the hash
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.stats().appends, 3u);
+  // The in-memory store accounts the bytes a durable store WOULD have
+  // written, with no framing: write amplification is exactly 1.
+  EXPECT_GT(store.stats().bytes_written, 0u);
+  EXPECT_EQ(store.stats().bytes_written, store.stats().logical_bytes);
+
+  EXPECT_TRUE(store.contains(chain[1]->hash()));
+  const BlockPtr got = store.read(chain[1]->hash());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->hash(), chain[1]->hash());
+  EXPECT_FALSE(store.read(crypto::Sha256::hash("nowhere")));
+
+  std::vector<types::Height> heights;
+  store.replay([&](const BlockPtr& b) { heights.push_back(b->height()); });
+  EXPECT_EQ(heights, (std::vector<types::Height>{1, 2, 3}));
+  EXPECT_GT(store.stats().reads, 0u);
+}
+
+TEST(FileStore, RoundTripsBlocksAcrossReopen) {
+  TempLog log("roundtrip");
+  const auto chain = make_chain(8);
+  {
+    FileBlockStore store(log.path);
+    EXPECT_TRUE(store.empty());
+    for (const BlockPtr& b : chain) store.append(b);
+    store.append(chain[2]);  // dedup: the log must not grow
+    EXPECT_EQ(store.size(), 8u);
+    EXPECT_EQ(store.stats().appends, 8u);
+    // Physical bytes are the real file size; logical bytes follow the
+    // wire model, which also charges the simulated transaction payloads —
+    // so the two legitimately diverge (framing up, compact records down).
+    EXPECT_GT(store.stats().bytes_written, 0u);
+    EXPECT_EQ(store.stats().bytes_written,
+              std::filesystem::file_size(log.path));
+    EXPECT_NE(store.stats().bytes_written, store.stats().logical_bytes);
+  }
+  // Reopen: recovery rebuilds the index from the log alone.
+  FileBlockStore reopened(log.path);
+  EXPECT_EQ(reopened.size(), 8u);
+  std::vector<crypto::Digest> replayed;
+  reopened.replay([&](const BlockPtr& b) { replayed.push_back(b->hash()); });
+  ASSERT_EQ(replayed.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(replayed[i], chain[i]->hash()) << "position " << i;
+    EXPECT_TRUE(reopened.contains(chain[i]->hash()));
+  }
+  const BlockPtr got = reopened.read(chain[5]->hash());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->height(), 6u);
+  EXPECT_EQ(got->txns().size(), chain[5]->txns().size());
+}
+
+TEST(FileStore, TornWriteIsTruncatedToTheValidPrefix) {
+  TempLog log("torn");
+  const auto chain = make_chain(5);
+  {
+    FileBlockStore store(log.path);
+    for (const BlockPtr& b : chain) store.append(b);
+  }
+  // Simulate a crash mid-write: chop the tail of the last record.
+  const auto full = std::filesystem::file_size(log.path);
+  std::filesystem::resize_file(log.path, full - 7);
+
+  FileBlockStore recovered(log.path);
+  EXPECT_EQ(recovered.size(), 4u);
+  EXPECT_TRUE(recovered.contains(chain[3]->hash()));
+  EXPECT_FALSE(recovered.contains(chain[4]->hash()));
+  // The store keeps working after recovery: re-append the lost block and
+  // it survives the next reopen.
+  recovered.append(chain[4]);
+  EXPECT_EQ(recovered.size(), 5u);
+  FileBlockStore again(log.path);
+  EXPECT_EQ(again.size(), 5u);
+  EXPECT_TRUE(again.contains(chain[4]->hash()));
+}
+
+TEST(FileStore, ChecksumMismatchRejectsTheCorruptedSuffix) {
+  TempLog log("corrupt");
+  const auto chain = make_chain(5);
+  {
+    FileBlockStore store(log.path);
+    for (const BlockPtr& b : chain) store.append(b);
+  }
+  // Flip the last payload byte: length and magic still parse, but the
+  // FNV-1a checksum catches the rot and recovery stops at record 4.
+  {
+    std::fstream f(log.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(-1, std::ios::end);
+    char byte = 0;
+    f.get(byte);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(byte ^ 0x5a));
+  }
+  FileBlockStore recovered(log.path);
+  EXPECT_EQ(recovered.size(), 4u);
+  EXPECT_FALSE(recovered.contains(chain[4]->hash()));
+}
+
+TEST(StoreFactory, MakesBothKindsAndRejectsUnknown) {
+  TempLog log("factory");
+  const auto mem = storage::make_store("memory", "");
+  EXPECT_TRUE(dynamic_cast<MemoryBlockStore*>(mem.get()) != nullptr);
+  const auto file = storage::make_store("file", log.path);
+  EXPECT_TRUE(dynamic_cast<FileBlockStore*>(file.get()) != nullptr);
+  EXPECT_THROW(static_cast<void>(storage::make_store("cloud", "")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: crash-restart recovery from the durable store
+// ---------------------------------------------------------------------------
+
+harness::RunSpec storage_spec(const std::string& store,
+                              std::uint32_t retention) {
+  harness::RunSpec spec;
+  spec.cfg.n_replicas = 4;
+  spec.cfg.bsize = 100;
+  spec.cfg.memsize = 200000;
+  spec.cfg.seed = 47;
+  spec.cfg.store = store;  // store_path empty: a fresh dir per cluster
+  spec.cfg.retention = retention;
+  spec.cfg.sync_batch = 8;
+  spec.cfg.sync_timeout = sim::milliseconds(80);
+  spec.cfg.sync_retries = 4;
+  // Kill replica 3 mid-run and rebuild it from its store after 0.15 s of
+  // downtime; it must chain-sync whatever committed while it was dead.
+  spec.cfg.churn = "crash-restart@0.25s:replica=3:for=0.15s";
+  spec.workload.mode = client::LoadMode::kClosedLoop;
+  spec.workload.concurrency = 64;
+  spec.opts.warmup_s = 0.1;
+  spec.opts.measure_s = 0.6;
+  return spec;
+}
+
+TEST(StorageRecovery, CrashRestartRebuildsFromTheFileStore) {
+  const auto r = harness::execute(storage_spec("file", 0));
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.blocks_committed, 0u);
+  // Real bytes hit the log. The compact record encoding undercuts the
+  // wire model (which charges simulated transaction payload bytes), so
+  // the file store's amplification sits strictly between 0 and 1 here —
+  // unlike the memory store's exact 1.0.
+  EXPECT_GT(r.disk_bytes_written, 0u);
+  EXPECT_GT(r.write_amplification, 0.0);
+  EXPECT_LT(r.write_amplification, 1.0);
+  // The rebuild replayed the persisted prefix back into the forest.
+  EXPECT_GT(r.store_reads, 0u);
+}
+
+TEST(StorageRecovery, MemoryStoreModelsTheSameRecovery) {
+  // The default store survives a crash-restart too (it outlives the
+  // replica instance); accounting shows the no-framing baseline.
+  const auto r = harness::execute(storage_spec("memory", 0));
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_GT(r.disk_bytes_written, 0u);
+  EXPECT_DOUBLE_EQ(r.write_amplification, 1.0);
+}
+
+TEST(StorageRecovery, RetentionPruningSurvivesCrashRestart) {
+  // Aggressive retention (keep 8 committed blocks in memory) with the
+  // same crash-restart: the pruned bodies live only in the store, so the
+  // rebuild exercises the reload path the pruning relies on.
+  const auto r = harness::execute(storage_spec("file", 8));
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.blocks_committed, 0u);
+  EXPECT_GT(r.store_reads, 0u);
+}
+
+TEST(StorageRecovery, DeterministicAcrossThreadCounts) {
+  // The acceptance bar: restart-from-disk runs are bit-identical across
+  // --threads values (each cluster owns a private store directory).
+  std::vector<harness::RunSpec> grid = {
+      storage_spec("file", 0), storage_spec("file", 8),
+      storage_spec("memory", 0)};
+  harness::ParallelRunner one(1);
+  harness::ParallelRunner four(4);
+  const auto a = one.run(grid);
+  const auto b = four.run(grid);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StorageRecovery, DiskColumnsReachPersistedRecords) {
+  const auto spec = storage_spec("file", 16);
+  const auto result = harness::execute(spec);
+  const auto rec = harness::report::make_run_record("t", "a", "s", 0, spec,
+                                                    0, 1, result);
+  const std::string row = harness::report::csv_row(rec);
+  const auto json = harness::report::to_json(rec);
+  const auto back = harness::report::record_from_json(json);
+  EXPECT_EQ(back.result.disk_bytes_written, result.disk_bytes_written);
+  EXPECT_DOUBLE_EQ(back.result.write_amplification,
+                   result.write_amplification);
+  EXPECT_EQ(back.result.store_reads, result.store_reads);
+  EXPECT_EQ(back.result.restarts, result.restarts);
+  EXPECT_EQ(back.prov.store, "file");
+  EXPECT_EQ(back.prov.retention, 16u);
+  // The CSV row has one cell per column.
+  std::size_t cells = 1;
+  bool quoted = false;
+  for (char c : row) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++cells;
+  }
+  EXPECT_EQ(cells, harness::report::csv_columns().size());
+}
+
+}  // namespace
+}  // namespace bamboo

@@ -15,6 +15,10 @@ and renders one SVG per figure/table into --svg-dir:
     e.g. bench_fig17_recovery) -> a recovery-latency panel: ``recovery_ms``
     and ``sync_requests`` vs the ``offered`` label (the sync_batch sweep),
     one line per series;
+  - snapshot artifacts (aggregate rows whose name contains ``snapshot``,
+    from bench_fig17b_snapshot) -> a state-transfer panel: ``recovery_ms``
+    (log axis) and bytes moved vs the outage window, chain-sync series
+    dashed vs snapshot series solid — the crossover figure;
   - overload artifacts (aggregate rows whose name contains ``fig18``,
     from bench_fig18_overload) -> a saturation panel: goodput vs measured
     offered load against the ideal diagonal, plus histogram-exact
@@ -103,6 +107,8 @@ def classify(rows: list[dict], name: str = "") -> str:
     if "timeline" in kinds:
         return "timeline"
     if "aggregate" in kinds:
+        if "snapshot" in name and "snapshots_installed" in rows[0]:
+            return "snapshot"
         if "recovery" in name and "recovery_ms" in rows[0]:
             return "recovery"
         if "fig18" in name and "hist_p999_ms" in rows[0]:
@@ -194,6 +200,36 @@ def plot_recovery(plt, artifact: dict, out_path: Path) -> None:
     ax_req.set_xlabel("sync_batch")
     ax_req.set_ylabel("sync requests")
     for ax in (ax_rec, ax_req):
+        ax.grid(True, alpha=0.3)
+    ax_rec.legend(fontsize=7)
+    fig.suptitle(artifact["name"])
+    fig.tight_layout()
+    fig.savefig(out_path)
+    plt.close(fig)
+
+
+def plot_snapshot(plt, artifact: dict, out_path: Path) -> None:
+    """State-transfer panel (bench_fig17b_snapshot): heal->caught-up
+    latency vs the outage window for the chain-sync and snapshot series
+    (log y; the crossover is the whole point), and the bytes each mode
+    moved to close the gap -- per-block fetch traffic for chain-sync,
+    chunk traffic for the snapshot path."""
+    grouped = series_of(artifact["rows"], "aggregate")
+    fig, (ax_rec, ax_bytes) = plt.subplots(1, 2, figsize=(11, 4.2))
+    for label, rows in grouped.items():
+        window = floats(rows, "offered")
+        style = "--" if label.endswith("-chain") else "-"
+        ax_rec.plot(window, floats(rows, "recovery_ms"), style, marker="o",
+                    label=label)
+        moved = [(s + y) / 1e3 for s, y in zip(floats(rows, "snapshot_bytes"),
+                                               floats(rows, "sync_bytes"))]
+        ax_bytes.plot(window, moved, style, marker="o", label=label)
+    ax_rec.set_xlabel("outage window (s)")
+    ax_rec.set_ylabel("recovery, heal -> caught-up (ms)")
+    ax_rec.set_yscale("log")
+    ax_bytes.set_xlabel("outage window (s)")
+    ax_bytes.set_ylabel("transfer traffic (KB)")
+    for ax in (ax_rec, ax_bytes):
         ax.grid(True, alpha=0.3)
     ax_rec.legend(fontsize=7)
     fig.suptitle(artifact["name"])
@@ -439,7 +475,7 @@ def main() -> int:
     out_dir = Path(args.svg_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     renderers = {"sweep": plot_sweep, "timeline": plot_timeline,
-                 "democracy": plot_democracy,
+                 "democracy": plot_democracy, "snapshot": plot_snapshot,
                  "recovery": plot_recovery, "saturation": plot_saturation,
                  "table": plot_table}
     written = 0
